@@ -1,0 +1,177 @@
+package klocal_test
+
+import (
+	"testing"
+
+	"klocal"
+)
+
+// Benchmarks for the extension experiments: the memory-versus-dilation
+// landscape, the randomized and geometric baselines, and the Section 6.1
+// dormancy-policy ablation.
+
+func BenchmarkMemoryDilation(b *testing.B) {
+	var fullBits, intervalBits, klocalBits int
+	for i := 0; i < b.N; i++ {
+		rng := klocal.NewRand(11)
+		res, err := klocal.MemoryDilation(rng, 24, 80)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fullBits = res.Rows[0].NodeBits
+		intervalBits = res.Rows[1].NodeBits
+		klocalBits = res.Rows[2].NodeBits
+	}
+	b.ReportMetric(float64(fullBits), "nodeBits/fullTables")
+	b.ReportMetric(float64(intervalBits), "nodeBits/interval")
+	b.ReportMetric(float64(klocalBits), "nodeBits/alg1")
+}
+
+func BenchmarkRandomWalkQuadratic(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		rng := klocal.NewRand(12)
+		res := klocal.RandomWalkQuadratic(rng, []int{16, 32}, 10)
+		ratio = res.Points[len(res.Points)-1].RatioToN2
+	}
+	b.ReportMetric(ratio, "hops/n2")
+}
+
+func BenchmarkFaceRouting(b *testing.B) {
+	rng := klocal.NewRand(13)
+	pos := klocal.RandomPoints(rng, 48)
+	g := klocal.GabrielGraph(pos)
+	emb, err := klocal.NewEmbedding(g, pos)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vs := g.Vertices()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := vs[i%len(vs)]
+		t := vs[(i+19)%len(vs)]
+		if s == t {
+			continue
+		}
+		res, err := klocal.FaceRoute(emb, s, t)
+		if err != nil || !res.Delivered {
+			b.Fatalf("face route failed: %v", err)
+		}
+	}
+}
+
+func BenchmarkGreedyRouting(b *testing.B) {
+	rng := klocal.NewRand(14)
+	pos := klocal.RandomPoints(rng, 48)
+	g := klocal.UnitDiskGraph(pos, 0.4)
+	emb, err := klocal.NewEmbedding(g, pos)
+	if err != nil {
+		b.Fatal(err)
+	}
+	alg := klocal.GreedyRouting(emb)
+	vs := g.Vertices()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := vs[i%len(vs)]
+		t := vs[(i+11)%len(vs)]
+		if s == t {
+			continue
+		}
+		klocal.Route(alg, g, 1, s, t)
+	}
+}
+
+func BenchmarkAblationDormantPolicy(b *testing.B) {
+	// The Section 6.1 ablation: worst-case dilation of Algorithm 1B under
+	// min-rank versus max-rank dormancy on the Figure 17 family.
+	k := 12
+	f, err := klocal.NewFig17(4*k, k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	minAlg := klocal.Algorithm1BPolicy(klocal.PolicyMinRank)
+	maxAlg := klocal.Algorithm1BPolicy(klocal.PolicyMaxRank)
+	b.ResetTimer()
+	var lenMin, lenMax int
+	for i := 0; i < b.N; i++ {
+		rMin := klocal.Route(minAlg, f.G, k, f.S, f.T)
+		rMax := klocal.Route(maxAlg, f.G, k, f.S, f.T)
+		if rMin.Outcome != klocal.Delivered || rMax.Outcome != klocal.Delivered {
+			b.Fatal("policy variant failed to deliver")
+		}
+		lenMin, lenMax = rMin.Len(), rMax.Len()
+	}
+	b.ReportMetric(float64(lenMin), "routeLen/minRank")
+	b.ReportMetric(float64(lenMax), "routeLen/maxRank")
+}
+
+func BenchmarkDFSRoute(b *testing.B) {
+	g := klocal.RandomConnected(klocal.NewRand(15), 64, 0.06)
+	vs := g.Vertices()
+	b.ResetTimer()
+	var bits int
+	for i := 0; i < b.N; i++ {
+		s := vs[i%len(vs)]
+		t := vs[(i+31)%len(vs)]
+		if s == t {
+			continue
+		}
+		res, err := klocal.DFSRoute(g, s, t)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bits = res.PeakStateBits
+	}
+	b.ReportMetric(float64(bits), "peakStateBits")
+}
+
+func BenchmarkFlood(b *testing.B) {
+	g := klocal.RandomConnected(klocal.NewRand(16), 64, 0.06)
+	vs := g.Vertices()
+	b.ResetTimer()
+	var tx int
+	for i := 0; i < b.N; i++ {
+		res, err := klocal.Flood(g, vs[0], vs[len(vs)-1], 2*g.N())
+		if err != nil {
+			b.Fatal(err)
+		}
+		tx = res.Transmissions
+	}
+	b.ReportMetric(float64(tx), "transmissions")
+}
+
+func BenchmarkExhaustiveTheorem1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := klocal.ExhaustiveTheorem1(19)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.AllDefeated() {
+			b.Fatal("Theorem 1 exhaustive check does not reproduce")
+		}
+	}
+}
+
+func BenchmarkExhaustiveTheorem3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := klocal.ExhaustiveTheorem3(12)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.AllDefeated() {
+			b.Fatal("Theorem 3 exhaustive check does not reproduce")
+		}
+	}
+}
+
+func BenchmarkVerifyExhaustiveN5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := klocal.VerifyExhaustive(klocal.VerifyConfig{Algorithm: klocal.Algorithm1()}, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.OK() {
+			b.Fatal("verification failed")
+		}
+	}
+}

@@ -1,0 +1,152 @@
+// Command routesim routes a single message on a generated topology and
+// prints the hop-by-hop trace.
+//
+// Usage:
+//
+//	routesim [-graph random] [-n 24] [-k 0] [-alg alg1] [-s 0] [-t -1]
+//	         [-seed 1] [-p 0.1] [-distributed]
+//
+// With -k 0 the algorithm's own threshold T(n) is used; -t -1 picks the
+// vertex farthest from s. -distributed routes through the concurrent
+// message-passing simulator (with k-hop discovery) instead of the
+// single-threaded walk.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"klocal"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "routesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		graphKind   = flag.String("graph", "random", "topology: random|tree|path|cycle|grid|spider|lollipop|complete")
+		n           = flag.Int("n", 24, "number of nodes")
+		k           = flag.Int("k", 0, "locality parameter (0 = algorithm threshold)")
+		algName     = flag.String("alg", "alg1", "algorithm: alg1|alg1b|alg2|alg3|righthand|oracle|randomwalk")
+		sFlag       = flag.Int("s", 0, "origin vertex label")
+		tFlag       = flag.Int("t", -1, "destination vertex label (-1 = farthest from s)")
+		seed        = flag.Int64("seed", 1, "random seed")
+		p           = flag.Float64("p", 0.1, "extra-edge probability for -graph random")
+		distributed = flag.Bool("distributed", false, "route through the concurrent network simulator")
+	)
+	flag.Parse()
+
+	rng := klocal.NewRand(*seed)
+	var g *klocal.Graph
+	switch *graphKind {
+	case "random":
+		g = klocal.RandomConnected(rng, *n, *p)
+	case "tree":
+		g = klocal.RandomTree(rng, *n)
+	case "path":
+		g = klocal.Path(*n)
+	case "cycle":
+		g = klocal.Cycle(*n)
+	case "grid":
+		side := 1
+		for side*side < *n {
+			side++
+		}
+		g = klocal.Grid(side, side)
+	case "spider":
+		g = klocal.Spider(4, (*n-1)/4)
+	case "lollipop":
+		g = klocal.Lollipop(*n-*n/3, *n/3)
+	case "complete":
+		g = klocal.Complete(*n)
+	default:
+		return fmt.Errorf("unknown -graph %q", *graphKind)
+	}
+
+	var alg klocal.Algorithm
+	switch *algName {
+	case "alg1":
+		alg = klocal.Algorithm1()
+	case "alg1b":
+		alg = klocal.Algorithm1B()
+	case "alg2":
+		alg = klocal.Algorithm2()
+	case "alg3":
+		alg = klocal.Algorithm3()
+	case "righthand":
+		alg = klocal.TreeRightHand()
+	case "oracle":
+		alg = klocal.ShortestPathOracle()
+	case "randomwalk":
+		alg = klocal.RandomWalk(*seed)
+	default:
+		return fmt.Errorf("unknown -alg %q", *algName)
+	}
+
+	kk := *k
+	if kk == 0 {
+		kk = alg.MinK(g.N())
+		if kk == 0 {
+			kk = 1
+		}
+	}
+	s := klocal.Vertex(*sFlag)
+	if !g.HasVertex(s) {
+		return fmt.Errorf("origin %d not in the graph", s)
+	}
+	t := klocal.Vertex(*tFlag)
+	if *tFlag < 0 {
+		best, bestD := s, -1
+		for v, d := range g.BFS(s) {
+			if d > bestD || (d == bestD && v < best) {
+				best, bestD = v, d
+			}
+		}
+		t = best
+	}
+	if !g.HasVertex(t) {
+		return fmt.Errorf("destination %d not in the graph", t)
+	}
+
+	fmt.Printf("graph: %s, n=%d m=%d; algorithm %s, k=%d (threshold %d)\n",
+		*graphKind, g.N(), g.M(), alg.Name, kk, alg.MinK(g.N()))
+	fmt.Printf("routing %d -> %d (dist %d)\n", s, t, g.Dist(s, t))
+
+	if *distributed {
+		nw := klocal.NewNetwork(g, kk, alg)
+		nw.Start()
+		defer nw.Stop()
+		if err := nw.Discover(); err != nil {
+			return err
+		}
+		route, err := nw.Send(s, t)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("delivered in %d hops (distributed): %s\n", len(route)-1, trace(route))
+		return nil
+	}
+
+	res := klocal.Route(alg, g, kk, s, t)
+	fmt.Printf("outcome: %v, %d hops, dilation %.3f\n", res.Outcome, res.Len(), res.Dilation())
+	if res.Err != nil {
+		fmt.Printf("error: %v\n", res.Err)
+	}
+	fmt.Println("route:", trace(res.Route))
+	fmt.Print(klocal.RenderRoute(g, res.Route, t))
+	return nil
+}
+
+func trace(route []klocal.Vertex) string {
+	parts := make([]string, len(route))
+	for i, v := range route {
+		parts[i] = fmt.Sprint(v)
+	}
+	return strings.Join(parts, " -> ")
+}

@@ -1,0 +1,68 @@
+// Counterexample: replays Theorem 1's impossibility proof. Below the n/4
+// threshold, every origin-aware predecessor-aware routing strategy —
+// Lemma 1 forces each to be one of six circular permutations at the
+// degree-4 hub — is defeated by one of three graphs that look identical
+// from the hub.
+//
+//	go run ./examples/counterexample [-n 31]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"klocal"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "counterexample:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	n := flag.Int("n", 31, "family size (>= 11)")
+	flag.Parse()
+
+	rep, err := klocal.ReplayTheorem1(*n)
+	if err != nil {
+		return err
+	}
+	fam := rep.Family
+	fmt.Printf("Theorem 1 family, n=%d: hub %d with four arms of %d nodes; k = r = %d < T(n) = %d\n",
+		*n, fam.Hub, fam.R, fam.R, klocal.MinK1(*n))
+	fmt.Printf("the hub's %d-neighbourhood is the same tree in G1, G2 and G3;\n", fam.R)
+	fmt.Println("t hides behind a different arm in each variant, the other two arms are joined:")
+	fmt.Println()
+
+	for i, strat := range rep.Strategies {
+		fmt.Printf("strategy %d — circular permutation %v:\n", i+1, strat.Perm)
+		for j, o := range rep.Outcomes[i] {
+			verdict := "delivers"
+			if o != klocal.Delivered {
+				verdict = "LOOPS (message never enters the arm hiding t)"
+			}
+			fmt.Printf("  on G%d: %s\n", j+1, verdict)
+		}
+	}
+	fmt.Println()
+	if rep.EveryStrategyDefeated() {
+		fmt.Println("=> every admissible strategy is defeated by some family member:")
+		fmt.Printf("   no origin-aware predecessor-aware %d-local algorithm can guarantee delivery at n=%d.\n",
+			fam.R, *n)
+	} else {
+		fmt.Println("=> UNEXPECTED: a strategy survived; the replay does not match the theorem")
+	}
+
+	// The positive side of the same threshold: one unit more locality and
+	// Algorithm 1 delivers on all three variants.
+	k := klocal.MinK1(*n)
+	fmt.Printf("\nwith k = T(n) = %d, Algorithm 1 delivers on every variant:\n", k)
+	for j, inst := range fam.Variants {
+		res := klocal.Route(klocal.Algorithm1(), inst.G, k, inst.S, inst.T)
+		fmt.Printf("  G%d: %v in %d hops (dilation %.2f)\n", j+1, res.Outcome, res.Len(), res.Dilation())
+	}
+	return nil
+}

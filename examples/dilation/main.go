@@ -1,0 +1,76 @@
+// Dilation study: measures how route quality degrades as locality
+// shrinks, reproducing Table 2's landscape — the lower bound
+// S(k) = 2n/k − 3 on the Theorem 4 adversary versus what each algorithm
+// actually achieves, plus the extremal Figure 13/17 families.
+//
+//	go run ./examples/dilation [-n 64]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"klocal"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dilation:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	n := flag.Int("n", 64, "network size")
+	flag.Parse()
+
+	fmt.Printf("dilation on the Theorem 4 adversary path, n=%d (lower bound S(k)=(2n-3k-1)/(k+1)):\n", *n)
+	fmt.Printf("%-6s %-10s %-14s %-14s %-14s\n", "k", "S(k)", "Algorithm1", "Algorithm1B", "Algorithm2")
+	for _, k := range []int{klocal.MinK1(*n), klocal.MinK1(*n) + 2, klocal.MinK2(*n), (*n - 2) / 2} {
+		inst, err := klocal.DilationPath(*n, k)
+		if err != nil {
+			continue
+		}
+		row := fmt.Sprintf("%-6d %-10.3f", k, klocal.LowerBoundDilation(*n, k))
+		for _, alg := range []klocal.Algorithm{klocal.Algorithm1(), klocal.Algorithm1B(), klocal.Algorithm2()} {
+			res := klocal.Route(alg, inst.G, k, inst.S, inst.T)
+			cell := "failed"
+			if res.Outcome == klocal.Delivered {
+				cell = fmt.Sprintf("%.3f", res.Dilation())
+			}
+			row += fmt.Sprintf(" %-14s", cell)
+		}
+		fmt.Println(row)
+	}
+
+	fmt.Println("\nextremal families at k = n/4 (paper: Algorithm 1 -> 7, Algorithm 1B -> 6):")
+	fmt.Printf("%-6s %-6s %-22s %-22s\n", "n", "k", "Fig13: Alg1 dilation", "Fig17: Alg1B dilation")
+	for _, k := range []int{8, 16, 32, 64} {
+		nn := 4 * k
+		f13, err := klocal.NewFig13(nn, k)
+		if err != nil {
+			return err
+		}
+		r13 := klocal.Route(klocal.Algorithm1(), f13.G, k, f13.S, f13.T)
+		f17, err := klocal.NewFig17(nn, k)
+		if err != nil {
+			return err
+		}
+		r17 := klocal.Route(klocal.Algorithm1B(), f17.G, k, f17.S, f17.T)
+		fmt.Printf("%-6d %-6d %-22s %-22s\n", nn, k,
+			fmt.Sprintf("%.4f (7-96/(n+12)=%.4f)", r13.Dilation(), 7-96/float64(nn+12)),
+			fmt.Sprintf("%.4f (route n+2k-6-2δ*)", r17.Dilation()))
+	}
+
+	fmt.Println("\nrandomized baseline for contrast (random walk on the adversary path):")
+	k := klocal.MinK1(*n)
+	inst, err := klocal.DilationPath(*n, k)
+	if err != nil {
+		return err
+	}
+	rw := klocal.Route(klocal.RandomWalk(1), inst.G, k, inst.S, inst.T)
+	fmt.Printf("  random walk: outcome %v, %d hops vs dist %d (deterministic bound %d)\n",
+		rw.Outcome, rw.Len(), inst.G.Dist(inst.S, inst.T), 2*(*n)-3*k-1)
+	return nil
+}

@@ -1,0 +1,68 @@
+// Directed routing (the paper's Section 6.2): stateless 1-local routing
+// is impossible on digraphs in general — the successor rule confines a
+// message to one orbit of an arc permutation — while a little memory
+// (rotor pointers at nodes) restores guaranteed delivery.
+//
+//	go run ./examples/directed [-n 12] [-seed 5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"klocal"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "directed:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		n    = flag.Int("n", 12, "number of nodes")
+		seed = flag.Int64("seed", 5, "random seed")
+	)
+	flag.Parse()
+
+	rng := klocal.NewRand(*seed)
+
+	// Search random Eulerian digraphs for one whose successor orbits do
+	// not serve every pair.
+	for trial := 0; trial < 500; trial++ {
+		d := klocal.RandomEulerian(rng, *n, 2)
+		orbits, err := klocal.Orbits(d)
+		if err != nil {
+			return err
+		}
+		s, t, defeated := klocal.StatelessDefeat(d)
+		if !defeated {
+			continue
+		}
+		fmt.Printf("Eulerian digraph: n=%d arcs=%d, successor orbits: %d\n", d.N(), d.M(), len(orbits))
+		for i, orbit := range orbits {
+			fmt.Printf("  orbit %d: %d arcs\n", i+1, len(orbit))
+		}
+		fmt.Printf("\nstateless successor rule from %d to %d:\n", s, t)
+		or, err := klocal.OrbitRoute(d, s, t)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  orbit closed after %d hops without reaching %d -> FAILS\n", or.OrbitLen, t)
+		fmt.Println("  (every stateless 1-local rule is confined to an orbit: Fraser et al.'s")
+		fmt.Println("   impossibility for directed graphs, in miniature)")
+
+		rr, err := klocal.RotorRoute(d, s, t, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nrotor-router walk (per-node port pointers, %d bits of node memory total):\n", rr.NodeBits)
+		fmt.Printf("  delivered=%v in %d hops\n", rr.Delivered, len(rr.Route)-1)
+		return nil
+	}
+	fmt.Println("no defeating instance found; try another seed")
+	return nil
+}

@@ -1,0 +1,3 @@
+module klocal
+
+go 1.22

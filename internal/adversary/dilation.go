@@ -1,0 +1,54 @@
+package adversary
+
+import (
+	"fmt"
+
+	"klocal/internal/gen"
+	"klocal/internal/graph"
+)
+
+// DilationPath builds Theorem 4's extremal path instance (Figure 6) for a
+// locality parameter k < ⌊n/2⌋: a path of n vertices with dist(s, t) =
+// k+1, labelled so that every rank-based tie-break points *away* from t.
+// A k-local algorithm at s cannot see t and, by Lemma 1's circular-
+// permutation forcing, must commit to the away direction; it then travels
+// until a passive component appears (n−2k−1 nodes), returns, and finally
+// reaches t: total at least 2(n−2k−1) + (k+1) = 2n−3k−1, against a
+// shortest path of k+1, for dilation (2n−3k−1)/(k+1) → 2n/k − 3.
+//
+// Labels: s = 0; the node at distance d on the away side gets 2d−1 (odd,
+// low rank first), on the t side 2d (even); t itself keeps label 2(k+1),
+// so inside every view the away side root 1 outranks the t-side root 2.
+func DilationPath(n, k int) (gen.Instance, error) {
+	if k < 1 || k >= n/2 {
+		return gen.Instance{}, fmt.Errorf("adversary: DilationPath needs 1 <= k < n/2, got n=%d k=%d", n, k)
+	}
+	awayLen := n - 1 - (k + 1)
+	if awayLen < k+1 {
+		return gen.Instance{}, fmt.Errorf("adversary: DilationPath needs n >= 2k+3, got n=%d k=%d", n, k)
+	}
+	b := graph.NewBuilder()
+	prev := graph.Vertex(0)
+	for d := 1; d <= awayLen; d++ {
+		v := graph.Vertex(2*d - 1)
+		b.AddEdge(prev, v)
+		prev = v
+	}
+	prev = 0
+	for d := 1; d <= k+1; d++ {
+		v := graph.Vertex(2 * d)
+		b.AddEdge(prev, v)
+		prev = v
+	}
+	return gen.Instance{G: b.Build(), S: 0, T: prev}, nil
+}
+
+// LowerBoundRouteLen is Theorem 4's bound on the route length of any
+// successful k-local algorithm on the DilationPath instance: 2n−3k−1.
+func LowerBoundRouteLen(n, k int) int { return 2*n - 3*k - 1 }
+
+// LowerBoundDilation is Theorem 4's dilation bound (1): (2n−3k−1)/(k+1),
+// whose limit form is S(k) = 2n/k − 3.
+func LowerBoundDilation(n, k int) float64 {
+	return float64(2*n-3*k-1) / float64(k+1)
+}

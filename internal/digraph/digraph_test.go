@@ -1,0 +1,160 @@
+package digraph
+
+import (
+	"math/rand"
+	"testing"
+
+	"klocal/internal/graph"
+)
+
+func TestBuilderBasics(t *testing.T) {
+	d := NewBuilder().AddArc(0, 1).AddArc(1, 2).AddArc(2, 0).AddVertex(9).Build()
+	if d.N() != 4 || d.M() != 3 {
+		t.Fatalf("n=%d m=%d", d.N(), d.M())
+	}
+	if !d.HasArc(0, 1) || d.HasArc(1, 0) {
+		t.Error("arcs must be directed")
+	}
+	if d.OutDeg(9) != 0 || d.InDeg(9) != 0 {
+		t.Error("isolated vertex degrees")
+	}
+}
+
+func TestBuilderRejectsSelfLoopsAndDuplicates(t *testing.T) {
+	d := NewBuilder().AddArc(1, 1).AddArc(0, 1).AddArc(0, 1).Build()
+	if d.M() != 1 {
+		t.Errorf("m = %d, want 1", d.M())
+	}
+}
+
+func TestOutInSortedAndCopied(t *testing.T) {
+	d := NewBuilder().AddArc(0, 5).AddArc(0, 2).AddArc(3, 0).AddArc(1, 0).Build()
+	outs := d.Out(0)
+	if len(outs) != 2 || outs[0] != 2 || outs[1] != 5 {
+		t.Errorf("Out(0) = %v", outs)
+	}
+	ins := d.In(0)
+	if len(ins) != 2 || ins[0] != 1 || ins[1] != 3 {
+		t.Errorf("In(0) = %v", ins)
+	}
+	outs[0] = 99
+	if d.Out(0)[0] != 2 {
+		t.Error("Out must return a copy")
+	}
+}
+
+func TestStronglyConnected(t *testing.T) {
+	cyc := NewBuilder().AddArc(0, 1).AddArc(1, 2).AddArc(2, 0).Build()
+	if !cyc.StronglyConnected() {
+		t.Error("directed triangle is strongly connected")
+	}
+	path := NewBuilder().AddArc(0, 1).AddArc(1, 2).Build()
+	if path.StronglyConnected() {
+		t.Error("directed path is not strongly connected")
+	}
+	empty := NewBuilder().Build()
+	if !empty.StronglyConnected() {
+		t.Error("empty digraph counts as strongly connected")
+	}
+}
+
+func TestBalancedAndEulerian(t *testing.T) {
+	tri := NewBuilder().AddArc(0, 1).AddArc(1, 2).AddArc(2, 0).Build()
+	if !tri.Balanced() || !tri.Eulerian() {
+		t.Error("directed cycle is Eulerian")
+	}
+	unbalanced := NewBuilder().AddArc(0, 1).AddArc(1, 2).AddArc(2, 0).AddArc(0, 2).Build()
+	if unbalanced.Balanced() || unbalanced.Eulerian() {
+		t.Error("extra arc breaks balance")
+	}
+	twoCycles := NewBuilder().
+		AddArc(0, 1).AddArc(1, 0).
+		AddArc(2, 3).AddArc(3, 2).Build()
+	if twoCycles.Eulerian() {
+		t.Error("disconnected balanced digraph is not Eulerian")
+	}
+}
+
+func TestEulerCircuit(t *testing.T) {
+	d := Circulant(5, []int{1, 2})
+	circuit, err := d.EulerCircuit(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(circuit) != d.M()+1 {
+		t.Fatalf("circuit length %d, want %d", len(circuit), d.M()+1)
+	}
+	if circuit[0] != 0 || circuit[len(circuit)-1] != 0 {
+		t.Error("circuit must start and end at the start vertex")
+	}
+	used := make(map[Arc]bool)
+	for i := 1; i < len(circuit); i++ {
+		a := Arc{From: circuit[i-1], To: circuit[i]}
+		if !d.HasArc(a.From, a.To) {
+			t.Fatalf("non-arc %v in circuit", a)
+		}
+		if used[a] {
+			t.Fatalf("arc %v used twice", a)
+		}
+		used[a] = true
+	}
+	if len(used) != d.M() {
+		t.Errorf("circuit covers %d arcs, want %d", len(used), d.M())
+	}
+}
+
+func TestEulerCircuitErrors(t *testing.T) {
+	path := NewBuilder().AddArc(0, 1).Build()
+	if _, err := path.EulerCircuit(0); err == nil {
+		t.Error("non-Eulerian input must error")
+	}
+	tri := NewBuilder().AddArc(0, 1).AddArc(1, 2).AddArc(2, 0).Build()
+	if _, err := tri.EulerCircuit(99); err == nil {
+		t.Error("unknown start must error")
+	}
+}
+
+func TestCirculantProperties(t *testing.T) {
+	d := Circulant(7, []int{1, 3})
+	if d.N() != 7 || d.M() != 14 {
+		t.Fatalf("n=%d m=%d", d.N(), d.M())
+	}
+	if !d.Eulerian() {
+		t.Error("circulant with shift 1 is Eulerian")
+	}
+	for _, v := range d.Vertices() {
+		if d.OutDeg(v) != 2 || d.InDeg(v) != 2 {
+			t.Errorf("vertex %d degrees %d/%d", v, d.OutDeg(v), d.InDeg(v))
+		}
+	}
+}
+
+func TestRandomEulerian(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + rng.Intn(20)
+		cycles := 1 + rng.Intn(3)
+		d := RandomEulerian(rng, n, cycles)
+		if !d.Eulerian() {
+			t.Fatalf("RandomEulerian(%d,%d) not Eulerian", n, cycles)
+		}
+		if d.M() > n*cycles {
+			t.Fatalf("too many arcs: %d", d.M())
+		}
+	}
+}
+
+func TestArcsCanonicalOrder(t *testing.T) {
+	d := NewBuilder().AddArc(2, 0).AddArc(0, 2).AddArc(0, 1).Build()
+	arcs := d.Arcs()
+	want := []Arc{{0, 1}, {0, 2}, {2, 0}}
+	for i := range want {
+		if arcs[i] != want[i] {
+			t.Fatalf("arcs = %v", arcs)
+		}
+	}
+	arcs[0] = Arc{From: graph.Vertex(9), To: graph.Vertex(9)}
+	if d.Arcs()[0] != want[0] {
+		t.Error("Arcs must return a copy")
+	}
+}

@@ -1,0 +1,203 @@
+// Package diroute explores 1-local routing on directed graphs, the
+// paper's Section 6.2. Two results frame it: Chávez et al. give 1-local
+// algorithms for restricted digraph classes (Eulerian, outerplanar),
+// while Fraser et al. show *stateless* 1-local routing is impossible in
+// general — Ω(n) memory bits are required.
+//
+// This package makes both sides executable on the digraph substrate:
+//
+//   - BasicWalk / OrbitRoute: the stateless successor rule on balanced
+//     digraphs. Pairing each in-port with the next out-port in label
+//     order is a *permutation of the arc set*, so every walk is confined
+//     to one orbit of that permutation: delivery succeeds iff the
+//     destination lies on the origin's orbit. Orbits partition the arcs
+//     into closed walks (a machine-checked structural fact), and orbits
+//     need not cover the whole graph — the stateless rule is defeated
+//     even on Eulerian inputs, the Fraser-style impossibility in
+//     miniature.
+//
+//   - RotorRoute: the rotor-router walk. Giving every node a rotating
+//     port pointer (Θ(log deg) bits of *node* memory — trading away the
+//     paper's memoryless property) makes the walk cover every arc of any
+//     strongly connected digraph within m·(diameter+1) steps
+//     (Bhatt–Even–Greenberg–Tayar), so delivery is guaranteed.
+package diroute
+
+import (
+	"fmt"
+	"sort"
+
+	"klocal/internal/digraph"
+	"klocal/internal/graph"
+)
+
+// successor returns the out-neighbour paired with the in-arc (v → u):
+// in-neighbours and out-neighbours are both label-sorted, and in-port i
+// maps to out-port (i+1) mod outdeg. On balanced digraphs this pairing
+// is a bijection between in-arcs and out-arcs at every node.
+func successor(d *digraph.Digraph, v, u graph.Vertex) (graph.Vertex, error) {
+	ins := d.In(u)
+	outs := d.Out(u)
+	if len(outs) == 0 {
+		return graph.NoVertex, fmt.Errorf("diroute: sink node %d", u)
+	}
+	idx := sort.Search(len(ins), func(i int) bool { return ins[i] >= v })
+	if idx == len(ins) || ins[idx] != v {
+		return graph.NoVertex, fmt.Errorf("diroute: %d is not an in-neighbour of %d", v, u)
+	}
+	return outs[(idx+1)%len(outs)], nil
+}
+
+// Orbits decomposes the arcs of a balanced digraph into the closed walks
+// of the successor permutation. The returned walks are arc sequences;
+// together they cover every arc exactly once.
+func Orbits(d *digraph.Digraph) ([][]digraph.Arc, error) {
+	if !d.Balanced() {
+		return nil, fmt.Errorf("diroute: successor pairing needs a balanced digraph")
+	}
+	seen := make(map[digraph.Arc]bool, d.M())
+	var orbits [][]digraph.Arc
+	for _, start := range d.Arcs() {
+		if seen[start] {
+			continue
+		}
+		var orbit []digraph.Arc
+		cur := start
+		for {
+			orbit = append(orbit, cur)
+			seen[cur] = true
+			next, err := successor(d, cur.From, cur.To)
+			if err != nil {
+				return nil, err
+			}
+			cur = digraph.Arc{From: cur.To, To: next}
+			if cur == start {
+				break
+			}
+		}
+		orbits = append(orbits, orbit)
+	}
+	return orbits, nil
+}
+
+// OrbitResult describes a stateless successor-rule route.
+type OrbitResult struct {
+	// Route is the visited vertex walk from s.
+	Route []graph.Vertex
+	// Delivered reports whether t appeared on the orbit.
+	Delivered bool
+	// OrbitLen is the length of the full orbit through s's first out-arc.
+	OrbitLen int
+}
+
+// OrbitRoute runs the stateless 1-local successor rule from s: exit via
+// the out-port paired with the in-port (first exit: lowest out-port).
+// The walk is confined to one orbit; if the orbit closes without
+// visiting t, no stateless continuation exists and the route fails —
+// the Section 6.2 impossibility in executable form.
+func OrbitRoute(d *digraph.Digraph, s, t graph.Vertex) (*OrbitResult, error) {
+	if !d.HasVertex(s) || !d.HasVertex(t) {
+		return nil, fmt.Errorf("diroute: unknown endpoint")
+	}
+	if !d.Balanced() {
+		return nil, fmt.Errorf("diroute: successor pairing needs a balanced digraph")
+	}
+	res := &OrbitResult{Route: []graph.Vertex{s}}
+	if s == t {
+		res.Delivered = true
+		return res, nil
+	}
+	outs := d.Out(s)
+	if len(outs) == 0 {
+		return nil, fmt.Errorf("diroute: sink origin %d", s)
+	}
+	start := digraph.Arc{From: s, To: outs[0]}
+	cur := start
+	for {
+		res.OrbitLen++
+		res.Route = append(res.Route, cur.To)
+		if cur.To == t {
+			res.Delivered = true
+			return res, nil
+		}
+		next, err := successor(d, cur.From, cur.To)
+		if err != nil {
+			return nil, err
+		}
+		cur = digraph.Arc{From: cur.To, To: next}
+		if cur == start {
+			return res, nil // orbit closed without finding t
+		}
+	}
+}
+
+// RotorResult describes a rotor-router route.
+type RotorResult struct {
+	Route     []graph.Vertex
+	Delivered bool
+	// NodeBits is the total rotor memory across nodes: Θ(Σ log outdeg).
+	NodeBits int
+}
+
+// RotorRoute runs the rotor-router walk from s: every node remembers a
+// rotating pointer into its out-ports and forwards each arriving message
+// to the next port. On strongly connected digraphs the walk traverses
+// every arc within m·(diameter+1) steps, so it reaches t.
+func RotorRoute(d *digraph.Digraph, s, t graph.Vertex, maxSteps int) (*RotorResult, error) {
+	if !d.HasVertex(s) || !d.HasVertex(t) {
+		return nil, fmt.Errorf("diroute: unknown endpoint")
+	}
+	res := &RotorResult{Route: []graph.Vertex{s}}
+	for _, v := range d.Vertices() {
+		bits := 1
+		for 1<<bits < d.OutDeg(v) {
+			bits++
+		}
+		res.NodeBits += bits
+	}
+	if s == t {
+		res.Delivered = true
+		return res, nil
+	}
+	if maxSteps == 0 {
+		maxSteps = 4 * d.M() * (d.N() + 1)
+	}
+	rotor := make(map[graph.Vertex]int, d.N())
+	u := s
+	for step := 0; step < maxSteps; step++ {
+		outs := d.Out(u)
+		if len(outs) == 0 {
+			return res, fmt.Errorf("diroute: sink node %d", u)
+		}
+		next := outs[rotor[u]%len(outs)]
+		rotor[u]++
+		res.Route = append(res.Route, next)
+		u = next
+		if u == t {
+			res.Delivered = true
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// StatelessDefeat searches d for an origin-destination pair the
+// stateless successor rule cannot serve (t off s's orbit), returning the
+// first such pair in label order, or ok=false if every pair is covered.
+func StatelessDefeat(d *digraph.Digraph) (s, t graph.Vertex, ok bool) {
+	for _, a := range d.Vertices() {
+		for _, b := range d.Vertices() {
+			if a == b {
+				continue
+			}
+			res, err := OrbitRoute(d, a, b)
+			if err != nil {
+				continue
+			}
+			if !res.Delivered {
+				return a, b, true
+			}
+		}
+	}
+	return graph.NoVertex, graph.NoVertex, false
+}

@@ -1,0 +1,189 @@
+package diroute
+
+import (
+	"math/rand"
+	"testing"
+
+	"klocal/internal/digraph"
+	"klocal/internal/graph"
+)
+
+func TestOrbitsPartitionArcs(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	for trial := 0; trial < 20; trial++ {
+		d := digraph.RandomEulerian(rng, 4+rng.Intn(16), 1+rng.Intn(3))
+		orbits, err := Orbits(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make(map[digraph.Arc]bool)
+		total := 0
+		for _, orbit := range orbits {
+			total += len(orbit)
+			prev := orbit[len(orbit)-1]
+			for _, a := range orbit {
+				if seen[a] {
+					t.Fatalf("arc %v in two orbits", a)
+				}
+				seen[a] = true
+				// Consecutive arcs chain head to tail (closed walk).
+				if prev.To != a.From {
+					t.Fatalf("orbit not a walk: %v then %v", prev, a)
+				}
+				prev = a
+			}
+		}
+		if total != d.M() {
+			t.Fatalf("orbits cover %d arcs, want %d", total, d.M())
+		}
+	}
+}
+
+func TestOrbitsRequireBalance(t *testing.T) {
+	d := digraph.NewBuilder().AddArc(0, 1).AddArc(1, 2).AddArc(2, 0).AddArc(0, 2).Build()
+	if _, err := Orbits(d); err == nil {
+		t.Error("unbalanced digraph must be rejected")
+	}
+}
+
+func TestOrbitRouteOnDirectedCycle(t *testing.T) {
+	// A single directed cycle has one orbit: every pair is served.
+	d := digraph.Circulant(8, []int{1})
+	for _, s := range d.Vertices() {
+		for _, dst := range d.Vertices() {
+			res, err := OrbitRoute(d, s, dst)
+			if err != nil || !res.Delivered {
+				t.Fatalf("cycle orbit route %d->%d failed: %v", s, dst, err)
+			}
+		}
+	}
+}
+
+func TestOrbitRouteConfinedToOrbit(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	for trial := 0; trial < 15; trial++ {
+		d := digraph.RandomEulerian(rng, 5+rng.Intn(12), 2)
+		vs := d.Vertices()
+		s := vs[rng.Intn(len(vs))]
+		dst := vs[rng.Intn(len(vs))]
+		res, err := OrbitRoute(d, s, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The walk length never exceeds the total arc count (one orbit).
+		if res.OrbitLen > d.M() {
+			t.Fatalf("orbit walk %d exceeds m=%d", res.OrbitLen, d.M())
+		}
+		// Every hop is an arc.
+		for i := 1; i < len(res.Route); i++ {
+			if !d.HasArc(res.Route[i-1], res.Route[i]) {
+				t.Fatalf("non-arc hop %d->%d", res.Route[i-1], res.Route[i])
+			}
+		}
+	}
+}
+
+func TestStatelessRuleIsDefeatedSomewhere(t *testing.T) {
+	// The Section 6.2 impossibility in miniature: among random Eulerian
+	// digraphs there are instances whose successor orbits do not cover
+	// all pairs, so the stateless 1-local rule fails there.
+	rng := rand.New(rand.NewSource(94))
+	found := false
+	for trial := 0; trial < 60 && !found; trial++ {
+		d := digraph.RandomEulerian(rng, 6+rng.Intn(10), 2)
+		orbits, err := Orbits(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(orbits) < 2 {
+			continue // single orbit covers everything
+		}
+		s, dst, ok := StatelessDefeat(d)
+		if !ok {
+			// Multiple orbits can still cover all vertices pairwise if
+			// every orbit visits every vertex; keep searching.
+			continue
+		}
+		found = true
+		res, err := OrbitRoute(d, s, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Delivered {
+			t.Fatal("StatelessDefeat returned a served pair")
+		}
+		// The rotor walk, with per-node memory, serves the same pair.
+		rr, err := RotorRoute(d, s, dst, 0)
+		if err != nil || !rr.Delivered {
+			t.Fatalf("rotor walk should deliver %d->%d: %v", s, dst, err)
+		}
+	}
+	if !found {
+		t.Error("no defeating instance found in 60 random Eulerian digraphs; the search is miscalibrated")
+	}
+}
+
+func TestRotorRouteDeliversOnStronglyConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(95))
+	for trial := 0; trial < 20; trial++ {
+		d := digraph.RandomEulerian(rng, 5+rng.Intn(15), 1+rng.Intn(3))
+		vs := d.Vertices()
+		for i := 0; i < 6; i++ {
+			s := vs[rng.Intn(len(vs))]
+			dst := vs[rng.Intn(len(vs))]
+			res, err := RotorRoute(d, s, dst, 0)
+			if err != nil || !res.Delivered {
+				t.Fatalf("rotor route %d->%d failed: %v", s, dst, err)
+			}
+			if res.NodeBits <= 0 {
+				t.Error("rotor memory must be accounted")
+			}
+			// BEGT bound: the walk covers all arcs within m(D+1) steps;
+			// D <= n, so 4·m·(n+1) is a safe ceiling the default uses.
+			if len(res.Route)-1 > 4*d.M()*(d.N()+1) {
+				t.Fatalf("rotor walk too long: %d", len(res.Route)-1)
+			}
+		}
+	}
+}
+
+func TestRotorRouteSelfAndErrors(t *testing.T) {
+	d := digraph.Circulant(5, []int{1})
+	res, err := RotorRoute(d, 2, 2, 0)
+	if err != nil || !res.Delivered || len(res.Route) != 1 {
+		t.Errorf("self route: %+v err=%v", res, err)
+	}
+	if _, err := RotorRoute(d, 0, 99, 0); err == nil {
+		t.Error("unknown endpoint must error")
+	}
+	if _, err := OrbitRoute(d, 0, 99); err == nil {
+		t.Error("unknown endpoint must error")
+	}
+	sink := digraph.NewBuilder().AddArc(0, 1).Build()
+	if _, err := OrbitRoute(sink, 0, 1); err == nil {
+		t.Error("unbalanced digraph must be rejected by OrbitRoute")
+	}
+}
+
+func TestSuccessorPairingIsBijection(t *testing.T) {
+	// At every node of a balanced digraph, distinct in-arcs map to
+	// distinct out-arcs.
+	rng := rand.New(rand.NewSource(96))
+	d := digraph.RandomEulerian(rng, 12, 3)
+	for _, u := range d.Vertices() {
+		used := make(map[graph.Vertex]bool)
+		for _, v := range d.In(u) {
+			w, err := successor(d, v, u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if used[w] {
+				t.Fatalf("node %d: out-port %d paired twice", u, w)
+			}
+			used[w] = true
+		}
+		if len(used) != d.OutDeg(u) {
+			t.Fatalf("node %d: pairing not surjective", u)
+		}
+	}
+}

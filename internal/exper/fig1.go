@@ -1,0 +1,60 @@
+package exper
+
+import (
+	"fmt"
+	"io"
+
+	"klocal/internal/graph"
+	"klocal/internal/nbhd"
+)
+
+// Fig1Result reproduces Figure 1's taxonomy of local components: a
+// concrete neighbourhood whose four components exhibit every
+// classification the paper defines (independent active, independent
+// passive, constrained active with a constraint vertex, and a
+// multi-rooted unconstrained active component).
+type Fig1Result struct {
+	K          int
+	Center     graph.Vertex
+	Components []*nbhd.Component
+}
+
+// Fig1 builds the demonstration instance (a small replica of the
+// figure's shapes at k = 3) and classifies it.
+func Fig1() *Fig1Result {
+	b := graph.NewBuilder()
+	b.AddPath(0, 1, 2, 3)                     // B1: independent active
+	b.AddPath(0, 10, 11)                      // B2: independent passive
+	b.AddEdge(0, 20).AddEdge(0, 21)           // B3: two roots ...
+	b.AddEdge(20, 22).AddEdge(21, 22)         //     ... funnelled through w=22
+	b.AddEdge(22, 23)                         //     reaching the horizon
+	b.AddEdge(0, 30).AddEdge(0, 31)           // B4: two roots ...
+	b.AddPath(30, 32, 33).AddPath(31, 34, 35) //     ... with disjoint deep branches
+	b.AddEdge(30, 31)                         //     tied into one component
+	g := b.Build()
+	nb := nbhd.Extract(g, 0, 3)
+	return &Fig1Result{K: 3, Center: 0, Components: nb.Components()}
+}
+
+// Render prints the taxonomy in the figure's vocabulary.
+func (r *Fig1Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Figure 1 — local component taxonomy at G_%d(%d)\n", r.K, r.Center)
+	for i, c := range r.Components {
+		kind := "passive"
+		if c.Active {
+			kind = "active"
+			if c.Constrained {
+				kind = "constrained active"
+			}
+		}
+		indep := "multi-rooted"
+		if c.Independent {
+			indep = "independent"
+		}
+		fmt.Fprintf(w, "  B%d: roots %v — %s, %s", i+1, c.Roots, indep, kind)
+		if len(c.ConstraintVertices) > 0 {
+			fmt.Fprintf(w, ", constraint vertices %v", c.ConstraintVertices)
+		}
+		fmt.Fprintln(w)
+	}
+}

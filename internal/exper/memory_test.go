@@ -1,0 +1,93 @@
+package exper
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestMemoryDilationLandscape(t *testing.T) {
+	rng := rand.New(rand.NewSource(304))
+	res, err := MemoryDilation(rng, 20, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("got %d rows, want 6", len(res.Rows))
+	}
+	byName := make(map[string]MemoryRow, len(res.Rows))
+	for _, row := range res.Rows {
+		byName[row.Scheme] = row
+		if row.Delivered != row.Pairs {
+			t.Errorf("%s: delivered %d/%d — every scheme here guarantees delivery",
+				row.Scheme, row.Delivered, row.Pairs)
+		}
+	}
+	// Full tables: most node memory, dilation 1.
+	ft := byName["FullTables"]
+	if ft.WorstDilation > 1+1e-9 {
+		t.Errorf("full tables dilation %v > 1", ft.WorstDilation)
+	}
+	// Interval routing: least node memory among table schemes, but it
+	// renames nodes (fails the adversarial-label model).
+	ti := byName["TreeInterval"]
+	if ti.NodeBits >= ft.NodeBits {
+		t.Errorf("interval routing (%d bits) should be cheaper than full tables (%d)", ti.NodeBits, ft.NodeBits)
+	}
+	if ti.AdversarialLabels {
+		t.Error("interval routing renames nodes; it must be flagged")
+	}
+	// k-local memory shrinks with the awareness the algorithm buys:
+	// k=n/4 (Algorithm 1) consults a smaller chart than k=n/2.
+	a1 := byName["Algorithm1 (k=n/4)"]
+	a3 := byName["Algorithm3 (k=n/2)"]
+	if a1.NodeBits > a3.NodeBits {
+		t.Errorf("G_{n/4} (%d bits) should not exceed G_{n/2} (%d bits)", a1.NodeBits, a3.NodeBits)
+	}
+	// Stateful DFS: zero node bits, nonzero message bits.
+	dfs := byName["DFS (k=1, stateful)"]
+	if dfs.NodeBits != 0 || dfs.MessageBits == 0 {
+		t.Errorf("DFS row misaccounted: %+v", dfs)
+	}
+	// Flooding costs far more transmissions than any route is long.
+	if res.FloodTransmissions <= res.N {
+		t.Errorf("flooding transmissions %d suspiciously low", res.FloodTransmissions)
+	}
+	var sb strings.Builder
+	res.Render(&sb)
+	if !strings.Contains(sb.String(), "Memory vs dilation") {
+		t.Error("render missing header")
+	}
+}
+
+func TestRandomWalkQuadratic(t *testing.T) {
+	rng := rand.New(rand.NewSource(305))
+	res := RandomWalkQuadratic(rng, []int{8, 16, 32}, 30)
+	if len(res.Points) != 3 {
+		t.Fatalf("got %d points", len(res.Points))
+	}
+	for i, p := range res.Points {
+		if p.MeanHops < float64(p.N-1) {
+			t.Errorf("n=%d: mean %v below the path length", p.N, p.MeanHops)
+		}
+		// Quadratic growth: the n²-normalized ratio stays within loose
+		// constant bounds while the raw mean quadruples-ish per doubling.
+		if p.RatioToN2 < 0.2 || p.RatioToN2 > 5 {
+			t.Errorf("n=%d: hops/n² = %v outside [0.2, 5]", p.N, p.RatioToN2)
+		}
+		if i > 0 && p.MeanHops < 2*res.Points[i-1].MeanHops {
+			t.Errorf("n=%d: mean hops %v not clearly superlinear vs %v",
+				p.N, p.MeanHops, res.Points[i-1].MeanHops)
+		}
+		// The deterministic algorithms are linear on the same family.
+		if float64(p.Deterministic) > p.MeanHops && p.N >= 16 {
+			t.Errorf("n=%d: deterministic bound %d should be far below the walk's %v",
+				p.N, p.Deterministic, p.MeanHops)
+		}
+	}
+	var sb strings.Builder
+	res.Render(&sb)
+	if !strings.Contains(sb.String(), "Random walk baseline") {
+		t.Error("render missing header")
+	}
+}

@@ -1,0 +1,61 @@
+package exper
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"klocal/internal/route"
+)
+
+// SweepPoint is one (algorithm, k) measurement of the locality sweep.
+type SweepPoint struct {
+	Algorithm string
+	K         int
+	Stats     PairStats
+}
+
+// SweepResult measures delivery rate and dilation as the locality
+// parameter k varies across its whole range — the empirical picture of
+// the feasibility thresholds: each algorithm's delivery rate jumps to
+// 100% exactly at its T(n).
+type SweepResult struct {
+	N      int
+	Points []SweepPoint
+}
+
+// Sweep runs every algorithm at every k in [1, ⌈n/2⌉] over the standard
+// workload, sampling `pairs` origin-destination pairs per graph.
+func Sweep(rng *rand.Rand, n, randomGraphs, pairs int) *SweepResult {
+	res := &SweepResult{N: n}
+	graphs := workloadGraphs(rng, n, randomGraphs)
+	algs := []route.Algorithm{
+		route.Algorithm1(),
+		route.Algorithm1B(),
+		route.Algorithm2(),
+		route.Algorithm3(),
+	}
+	for _, alg := range algs {
+		for k := 1; k <= (n+1)/2; k++ {
+			var stats PairStats
+			for _, g := range graphs {
+				evalSampledPairs(rng, alg, g, k, pairs, &stats)
+			}
+			stats.finish()
+			res.Points = append(res.Points, SweepPoint{Algorithm: alg.Name, K: k, Stats: stats})
+		}
+	}
+	return res
+}
+
+// Render prints the sweep with the thresholds marked.
+func (r *SweepResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Locality sweep — delivery rate and dilation vs k, n = %d\n", r.N)
+	fmt.Fprintf(w, "(thresholds: Algorithm1/1B k>=%d, Algorithm2 k>=%d, Algorithm3 k>=%d)\n",
+		route.MinK1(r.N), route.MinK2(r.N), route.MinK3(r.N))
+	fmt.Fprintf(w, "%-14s %-4s %-12s %-12s %s\n", "algorithm", "k", "delivered", "worst dil", "mean dil")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%-14s %-4d %5d/%-6d %-12.3f %.3f\n",
+			p.Algorithm, p.K, p.Stats.Delivered, p.Stats.Pairs, p.Stats.WorstDilation, p.Stats.MeanDilation)
+	}
+}

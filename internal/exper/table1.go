@@ -1,0 +1,145 @@
+package exper
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"klocal/internal/adversary"
+	"klocal/internal/route"
+	"klocal/internal/sim"
+)
+
+// Table1Row is one cell of the paper's Table 1: an awareness combination,
+// its threshold T(n), the positive result (the matching algorithm
+// delivers everywhere at k = T(n)) and the negative result (every
+// admissible strategy is defeated at k = T(n)−1).
+type Table1Row struct {
+	Mode      string // e.g. "predecessor-aware / origin-aware"
+	Threshold string // e.g. "⌈n/4⌉"
+	N         int
+	K         int // T(n) used for the positive side
+
+	// Positive side.
+	Algorithm string
+	Positive  PairStats
+
+	// Negative side: how many of the admissible strategies were defeated
+	// at k = T(n)−1 (all of them, if the theorem replays).
+	StrategiesTotal    int
+	StrategiesDefeated int
+}
+
+// Table1Result reproduces Table 1 at a given size.
+type Table1Result struct {
+	N    int
+	Rows []Table1Row
+}
+
+// Table1 regenerates the main result at size n (n ≥ 11 so every
+// counterexample family is buildable). The positive side exercises the
+// matching algorithm on the structured+random workload; the negative side
+// replays the Theorem 1–3 strategy enumerations one unit below the
+// threshold.
+func Table1(rng *rand.Rand, n, randomGraphs int) (*Table1Result, error) {
+	if n < 11 {
+		return nil, fmt.Errorf("exper: Table1 needs n >= 11, got %d", n)
+	}
+	res := &Table1Result{N: n}
+	graphs := workloadGraphs(rng, n, randomGraphs)
+
+	positive := func(alg route.Algorithm, k int) PairStats {
+		var stats PairStats
+		for _, g := range graphs {
+			evalAllPairs(alg, g, k, &stats)
+		}
+		stats.finish()
+		return stats
+	}
+
+	// Predecessor-aware, origin-aware: T(n) = ⌈n/4⌉ (Theorems 1 and 5).
+	t1, err := adversary.ReplayTheorem1(n)
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, Table1Row{
+		Mode:               "pred-aware / origin-aware",
+		Threshold:          "n/4",
+		N:                  n,
+		K:                  route.MinK1(n),
+		Algorithm:          "Algorithm1",
+		Positive:           positive(route.Algorithm1(), route.MinK1(n)),
+		StrategiesTotal:    len(t1.Strategies),
+		StrategiesDefeated: countDefeated(t1.Outcomes),
+	})
+
+	// Predecessor-aware, origin-oblivious: T(n) = ⌈n/3⌉ (Theorems 2, 7).
+	t2, err := adversary.ReplayTheorem2(n)
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, Table1Row{
+		Mode:               "pred-aware / origin-oblivious",
+		Threshold:          "n/3",
+		N:                  n,
+		K:                  route.MinK2(n),
+		Algorithm:          "Algorithm2",
+		Positive:           positive(route.Algorithm2(), route.MinK2(n)),
+		StrategiesTotal:    len(t2.Strategies),
+		StrategiesDefeated: countDefeated(t2.Outcomes),
+	})
+
+	// Predecessor-oblivious rows: T(n) = ⌊n/2⌋ (Theorems 3, 8; Cor 2, 5).
+	t3, err := adversary.ReplayTheorem3(n)
+	if err != nil {
+		return nil, err
+	}
+	t3Defeated := 0
+	for d := 0; d < 2; d++ {
+		for j := 0; j < 2; j++ {
+			if t3.Outcomes[d][j] != sim.Delivered {
+				t3Defeated++
+				break
+			}
+		}
+	}
+	for _, mode := range []string{"pred-oblivious / origin-aware", "pred-oblivious / origin-oblivious"} {
+		res.Rows = append(res.Rows, Table1Row{
+			Mode:               mode,
+			Threshold:          "n/2",
+			N:                  n,
+			K:                  route.MinK3(n),
+			Algorithm:          "Algorithm3",
+			Positive:           positive(route.Algorithm3(), route.MinK3(n)),
+			StrategiesTotal:    2,
+			StrategiesDefeated: t3Defeated,
+		})
+	}
+	return res, nil
+}
+
+func countDefeated(outcomes [][]sim.Outcome) int {
+	defeated := 0
+	for _, row := range outcomes {
+		for _, o := range row {
+			if o != sim.Delivered {
+				defeated++
+				break
+			}
+		}
+	}
+	return defeated
+}
+
+// Render prints the table.
+func (r *Table1Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Table 1 — locality thresholds T(n), n = %d\n", r.N)
+	fmt.Fprintf(w, "%-36s %-5s %-4s %-12s %-12s %-10s %s\n",
+		"mode", "T(n)", "k", "algorithm", "delivered", "worst dil", "defeated at k=T(n)-1")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-36s %-5s %-4d %-12s %5d/%-6d %-10.3f %d/%d strategies\n",
+			row.Mode, row.Threshold, row.K, row.Algorithm,
+			row.Positive.Delivered, row.Positive.Pairs, row.Positive.WorstDilation,
+			row.StrategiesDefeated, row.StrategiesTotal)
+	}
+}

@@ -1,0 +1,72 @@
+package exper
+
+import (
+	"fmt"
+	"io"
+
+	"klocal/internal/adversary"
+	"klocal/internal/sim"
+)
+
+// Table3Result wraps the Theorem 1 strategy replay (Table 3).
+type Table3Result struct {
+	N      int
+	Replay *adversary.Theorem1Result
+}
+
+// Table3 regenerates Table 3 at size n.
+func Table3(n int) (*Table3Result, error) {
+	rep, err := adversary.ReplayTheorem1(n)
+	if err != nil {
+		return nil, err
+	}
+	return &Table3Result{N: n, Replay: rep}, nil
+}
+
+// Render prints the success/failure matrix in the paper's layout.
+func (r *Table3Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Table 3 — Theorem 1 strategies, n = %d (hub degree 4, k = r = %d)\n",
+		r.N, r.Replay.Family.R)
+	renderStrategyMatrix(w, r.Replay.Strategies, r.Replay.Outcomes)
+}
+
+// Table4Result wraps the Theorem 2 strategy replay (Table 4).
+type Table4Result struct {
+	N      int
+	Replay *adversary.Theorem2Result
+}
+
+// Table4 regenerates Table 4 at size n.
+func Table4(n int) (*Table4Result, error) {
+	rep, err := adversary.ReplayTheorem2(n)
+	if err != nil {
+		return nil, err
+	}
+	return &Table4Result{N: n, Replay: rep}, nil
+}
+
+// Render prints the success/failure matrix in the paper's layout.
+func (r *Table4Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Table 4 — Theorem 2 strategies, n = %d (hub = s, degree 3, k = r = %d)\n",
+		r.N, r.Replay.Family.R)
+	renderStrategyMatrix(w, r.Replay.Strategies, r.Replay.Outcomes)
+}
+
+func renderStrategyMatrix(w io.Writer, strategies []adversary.HubStrategy, outcomes [][]sim.Outcome) {
+	fmt.Fprintf(w, "%-4s %-22s", "#", "strategy")
+	for j := range outcomes[0] {
+		fmt.Fprintf(w, " %-10s", fmt.Sprintf("G%d", j+1))
+	}
+	fmt.Fprintln(w)
+	for i, strat := range strategies {
+		fmt.Fprintf(w, "%-4d %-22s", i+1, strat.String())
+		for _, o := range outcomes[i] {
+			cell := "succeeds"
+			if o != sim.Delivered {
+				cell = "FAILS"
+			}
+			fmt.Fprintf(w, " %-10s", cell)
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,83 @@
+// Package flood implements the flooding strawman the paper's
+// introduction dismisses: delivery is easy if every node retransmits to
+// all neighbours, but the traffic load is Θ(m) per message and
+// termination needs a known diameter bound. The experiment harness uses
+// it to quantify the single-path algorithms' advantage in transmissions.
+package flood
+
+import (
+	"fmt"
+
+	"klocal/internal/graph"
+)
+
+// Result describes one flood.
+type Result struct {
+	// Delivered reports whether t was reached within the TTL.
+	Delivered bool
+	// Transmissions counts every message copy sent over a link — the
+	// paper's "high traffic loads".
+	Transmissions int
+	// Rounds is the number of synchronous rounds used.
+	Rounds int
+}
+
+// Flood floods a message from s with the given TTL (hop budget) and
+// reports whether t is reached plus the total transmissions. Nodes
+// suppress duplicate retransmissions (each node forwards once), which is
+// the memoryful variant; without suppression memoryless flooding never
+// terminates, exactly the paper's point.
+func Flood(g *graph.Graph, s, t graph.Vertex, ttl int) (*Result, error) {
+	if !g.HasVertex(s) || !g.HasVertex(t) {
+		return nil, fmt.Errorf("flood: unknown endpoint")
+	}
+	res := &Result{}
+	if s == t {
+		res.Delivered = true
+		return res, nil
+	}
+	forwarded := map[graph.Vertex]bool{s: true}
+	frontier := []graph.Vertex{s}
+	for round := 0; round < ttl && len(frontier) > 0; round++ {
+		res.Rounds++
+		var next []graph.Vertex
+		for _, u := range frontier {
+			g.EachAdj(u, func(w graph.Vertex) bool {
+				res.Transmissions++
+				if w == t {
+					res.Delivered = true
+				}
+				if !forwarded[w] {
+					forwarded[w] = true
+					next = append(next, w)
+				}
+				return true
+			})
+		}
+		if res.Delivered {
+			return res, nil
+		}
+		frontier = next
+	}
+	return res, nil
+}
+
+// IterativeDeepening runs floods with TTL 1, 2, 4, ... until delivery,
+// the standard way to flood without knowing the diameter; it reports the
+// accumulated transmissions across all attempts.
+func IterativeDeepening(g *graph.Graph, s, t graph.Vertex) (*Result, error) {
+	total := &Result{}
+	for ttl := 1; ttl <= 2*g.N()+1; ttl *= 2 {
+		r, err := Flood(g, s, t, ttl)
+		if err != nil {
+			return nil, err
+		}
+		total.Transmissions += r.Transmissions
+		total.Rounds += r.Rounds
+		if r.Delivered {
+			total.Delivered = true
+			return total, nil
+		}
+	}
+	return total, nil
+}

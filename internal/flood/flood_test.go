@@ -1,0 +1,97 @@
+package flood
+
+import (
+	"math/rand"
+	"testing"
+
+	"klocal/internal/gen"
+	"klocal/internal/graph"
+)
+
+func TestFloodDeliversWithinDiameter(t *testing.T) {
+	g := gen.Path(10)
+	res, err := Flood(g, 0, 9, 9)
+	if err != nil || !res.Delivered {
+		t.Fatalf("flood failed: %+v err=%v", res, err)
+	}
+	if res.Rounds != 9 {
+		t.Errorf("rounds = %d, want 9", res.Rounds)
+	}
+}
+
+func TestFloodRespectsTTL(t *testing.T) {
+	g := gen.Path(10)
+	res, err := Flood(g, 0, 9, 5)
+	if err != nil || res.Delivered {
+		t.Errorf("TTL 5 must not reach distance 9: %+v err=%v", res, err)
+	}
+}
+
+func TestFloodSelf(t *testing.T) {
+	g := gen.Path(3)
+	res, err := Flood(g, 1, 1, 0)
+	if err != nil || !res.Delivered || res.Transmissions != 0 {
+		t.Errorf("self flood: %+v err=%v", res, err)
+	}
+}
+
+func TestFloodUnknownEndpoint(t *testing.T) {
+	g := gen.Path(3)
+	if _, err := Flood(g, 0, 99, 3); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestFloodTransmissionsAreThetaM(t *testing.T) {
+	// A full flood (TTL beyond the diameter, t unreachable early) costs
+	// about one transmission per directed edge.
+	g := gen.Cycle(20)
+	res, err := Flood(g, 0, 10, 20)
+	if err != nil || !res.Delivered {
+		t.Fatal("flood should deliver")
+	}
+	if res.Transmissions < g.M() {
+		t.Errorf("transmissions %d suspiciously below m=%d", res.Transmissions, g.M())
+	}
+	if res.Transmissions > 2*g.M() {
+		t.Errorf("transmissions %d above 2m=%d despite suppression", res.Transmissions, 2*g.M())
+	}
+}
+
+func TestIterativeDeepeningDelivers(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + rng.Intn(30)
+		g := gen.RandomConnected(rng, n, 0.1)
+		vs := g.Vertices()
+		s := vs[rng.Intn(len(vs))]
+		dst := vs[rng.Intn(len(vs))]
+		res, err := IterativeDeepening(g, s, dst)
+		if err != nil || !res.Delivered {
+			t.Fatalf("iterative deepening failed %d->%d: %v", s, dst, err)
+		}
+	}
+}
+
+func TestIterativeDeepeningDisconnected(t *testing.T) {
+	g := graph.NewBuilder().AddEdge(0, 1).AddEdge(2, 3).Build()
+	res, err := IterativeDeepening(g, 0, 3)
+	if err != nil || res.Delivered {
+		t.Errorf("disconnected flood: %+v err=%v", res, err)
+	}
+}
+
+func TestFloodTrafficVersusSinglePath(t *testing.T) {
+	// The introduction's point: flooding delivers but costs Θ(m)
+	// transmissions per message; any single-path route costs its length.
+	rng := rand.New(rand.NewSource(72))
+	g := gen.RandomConnected(rng, 40, 0.2)
+	res, err := Flood(g, 0, 39, 40)
+	if err != nil || !res.Delivered {
+		t.Fatal("flood should deliver")
+	}
+	if res.Transmissions <= g.Dist(0, 39) {
+		t.Errorf("flooding (%d transmissions) should cost far more than the %d-hop path",
+			res.Transmissions, g.Dist(0, 39))
+	}
+}

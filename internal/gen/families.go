@@ -1,0 +1,101 @@
+package gen
+
+import (
+	"klocal/internal/graph"
+)
+
+// Additional structured families used to diversify the experiment
+// workloads: dense cores with thin bridges (barbells), high-symmetry
+// degree-regular graphs (hypercubes), hubs with rims (wheels) and
+// balanced hierarchies (binary trees). Each stresses a different aspect
+// of the locality machinery: bridges force constrained components,
+// hypercubes maximize short-cycle density for the dormant-edge rules,
+// wheels mix degrees, and trees exercise pure right-hand traversal.
+
+// Barbell returns two cliques of size cliqueN joined by a path of
+// bridgeN vertices. Labels: first clique 0..cliqueN-1, bridge follows,
+// second clique last. The bridge endpoints attach to vertex 0 and to the
+// last vertex.
+func Barbell(cliqueN, bridgeN int) *graph.Graph {
+	if cliqueN < 2 || bridgeN < 0 {
+		panic("gen: Barbell needs cliqueN >= 2, bridgeN >= 0")
+	}
+	b := graph.NewBuilder()
+	for i := 0; i < cliqueN; i++ {
+		for j := i + 1; j < cliqueN; j++ {
+			b.AddEdge(graph.Vertex(i), graph.Vertex(j))
+		}
+	}
+	base := cliqueN
+	prev := graph.Vertex(0)
+	for i := 0; i < bridgeN; i++ {
+		v := graph.Vertex(base + i)
+		b.AddEdge(prev, v)
+		prev = v
+	}
+	second := base + bridgeN
+	for i := 0; i < cliqueN; i++ {
+		for j := i + 1; j < cliqueN; j++ {
+			b.AddEdge(graph.Vertex(second+i), graph.Vertex(second+j))
+		}
+	}
+	b.AddEdge(prev, graph.Vertex(second))
+	return b.Build()
+}
+
+// Hypercube returns the d-dimensional hypercube Q_d on 2^d vertices,
+// vertex labels being the coordinate bit patterns.
+func Hypercube(d int) *graph.Graph {
+	if d < 1 || d > 16 {
+		panic("gen: Hypercube needs 1 <= d <= 16")
+	}
+	b := graph.NewBuilder()
+	n := 1 << d
+	for v := 0; v < n; v++ {
+		for bit := 0; bit < d; bit++ {
+			w := v ^ (1 << bit)
+			if v < w {
+				b.AddEdge(graph.Vertex(v), graph.Vertex(w))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Wheel returns the wheel W_n: a hub (label 0) joined to every vertex of
+// a rim cycle 1..n-1.
+func Wheel(n int) *graph.Graph {
+	if n < 4 {
+		panic("gen: Wheel needs n >= 4")
+	}
+	b := graph.NewBuilder()
+	rim := n - 1
+	for i := 0; i < rim; i++ {
+		v := graph.Vertex(1 + i)
+		w := graph.Vertex(1 + (i+1)%rim)
+		b.AddEdge(v, w)
+		b.AddEdge(0, v)
+	}
+	return b.Build()
+}
+
+// BinaryTree returns the complete binary tree with the given number of
+// levels (level 1 = a single root, labelled 0; children of i are 2i+1
+// and 2i+2).
+func BinaryTree(levels int) *graph.Graph {
+	if levels < 1 || levels > 20 {
+		panic("gen: BinaryTree needs 1 <= levels <= 20")
+	}
+	b := graph.NewBuilder()
+	b.AddVertex(0)
+	n := 1<<levels - 1
+	for i := 0; 2*i+2 < n+1; i++ {
+		if 2*i+1 < n {
+			b.AddEdge(graph.Vertex(i), graph.Vertex(2*i+1))
+		}
+		if 2*i+2 < n {
+			b.AddEdge(graph.Vertex(i), graph.Vertex(2*i+2))
+		}
+	}
+	return b.Build()
+}

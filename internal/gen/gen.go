@@ -1,0 +1,301 @@
+// Package gen builds the graph families used throughout the reproduction:
+// generic topologies (paths, cycles, trees, spiders, random connected
+// graphs, ...) and the exact extremal constructions from the paper — the
+// counterexample families of Theorems 1–3 (Figures 3–5) and the dilation
+// constructions of Figures 7, 13 and 17.
+//
+// All generators label vertices deterministically; labels matter because
+// every tie-break in the routing algorithms is rank-based.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"klocal/internal/graph"
+)
+
+// Path returns the path 0-1-...-(n-1). It panics for n < 1.
+func Path(n int) *graph.Graph {
+	if n < 1 {
+		panic("gen: Path needs n >= 1")
+	}
+	b := graph.NewBuilder()
+	b.AddVertex(0)
+	for i := 1; i < n; i++ {
+		b.AddEdge(graph.Vertex(i-1), graph.Vertex(i))
+	}
+	return b.Build()
+}
+
+// Cycle returns the cycle 0-1-...-(n-1)-0. It panics for n < 3.
+func Cycle(n int) *graph.Graph {
+	if n < 3 {
+		panic("gen: Cycle needs n >= 3")
+	}
+	b := graph.NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddEdge(graph.Vertex(i), graph.Vertex((i+1)%n))
+	}
+	return b.Build()
+}
+
+// Star returns the star with centre 0 and leaves 1..n-1. It panics for
+// n < 2.
+func Star(n int) *graph.Graph {
+	if n < 2 {
+		panic("gen: Star needs n >= 2")
+	}
+	b := graph.NewBuilder()
+	for i := 1; i < n; i++ {
+		b.AddEdge(0, graph.Vertex(i))
+	}
+	return b.Build()
+}
+
+// Spider returns a spider: `arms` disjoint paths of `armLen` vertices
+// each, all attached to a hub labelled 0. Arm i uses labels
+// 1+i*armLen .. (i+1)*armLen, hub-adjacent end first. Spiders are the
+// skeleton of the Theorem 1 and 2 constructions.
+func Spider(arms, armLen int) *graph.Graph {
+	if arms < 1 || armLen < 1 {
+		panic("gen: Spider needs arms >= 1 and armLen >= 1")
+	}
+	b := graph.NewBuilder()
+	for a := 0; a < arms; a++ {
+		prev := graph.Vertex(0)
+		for i := 0; i < armLen; i++ {
+			v := graph.Vertex(1 + a*armLen + i)
+			b.AddEdge(prev, v)
+			prev = v
+		}
+	}
+	return b.Build()
+}
+
+// Complete returns the complete graph K_n on labels 0..n-1.
+func Complete(n int) *graph.Graph {
+	if n < 1 {
+		panic("gen: Complete needs n >= 1")
+	}
+	b := graph.NewBuilder()
+	b.AddVertex(0)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(graph.Vertex(i), graph.Vertex(j))
+		}
+	}
+	return b.Build()
+}
+
+// Grid returns the rows×cols grid graph, vertex (r,c) labelled r*cols+c.
+func Grid(rows, cols int) *graph.Graph {
+	if rows < 1 || cols < 1 {
+		panic("gen: Grid needs positive dimensions")
+	}
+	b := graph.NewBuilder()
+	b.AddVertex(0)
+	id := func(r, c int) graph.Vertex { return graph.Vertex(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				b.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Theta returns a theta graph: two hub vertices joined by three internally
+// disjoint paths with a, b and c internal vertices respectively. The hubs
+// are 0 and 1. Theta graphs are the extremal case of Lemma 6 ("a graph of
+// girth g with exactly three cycles").
+func Theta(a, b, c int) *graph.Graph {
+	if a < 0 || b < 0 || c < 0 || (a == 0 && b == 0) || (a == 0 && c == 0) || (b == 0 && c == 0) {
+		panic("gen: Theta needs at most one empty path (simple graph)")
+	}
+	bld := graph.NewBuilder()
+	next := graph.Vertex(2)
+	addBranch := func(internal int) {
+		if internal == 0 {
+			bld.AddEdge(0, 1)
+			return
+		}
+		prev := graph.Vertex(0)
+		for i := 0; i < internal; i++ {
+			bld.AddEdge(prev, next)
+			prev = next
+			next++
+		}
+		bld.AddEdge(prev, 1)
+	}
+	addBranch(a)
+	addBranch(b)
+	addBranch(c)
+	return bld.Build()
+}
+
+// Lollipop returns a cycle of cycleLen vertices with a pendant path of
+// tailLen vertices attached at cycle vertex 0. Tail labels follow the
+// cycle labels.
+func Lollipop(cycleLen, tailLen int) *graph.Graph {
+	if cycleLen < 3 || tailLen < 0 {
+		panic("gen: Lollipop needs cycleLen >= 3, tailLen >= 0")
+	}
+	b := graph.NewBuilder()
+	for i := 0; i < cycleLen; i++ {
+		b.AddEdge(graph.Vertex(i), graph.Vertex((i+1)%cycleLen))
+	}
+	prev := graph.Vertex(0)
+	for i := 0; i < tailLen; i++ {
+		v := graph.Vertex(cycleLen + i)
+		b.AddEdge(prev, v)
+		prev = v
+	}
+	return b.Build()
+}
+
+// Caterpillar returns a spine path of spine vertices with legs pendant
+// leaves attached to every spine vertex.
+func Caterpillar(spine, legs int) *graph.Graph {
+	if spine < 1 || legs < 0 {
+		panic("gen: Caterpillar needs spine >= 1, legs >= 0")
+	}
+	b := graph.NewBuilder()
+	b.AddVertex(0)
+	for i := 1; i < spine; i++ {
+		b.AddEdge(graph.Vertex(i-1), graph.Vertex(i))
+	}
+	next := graph.Vertex(spine)
+	for i := 0; i < spine; i++ {
+		for l := 0; l < legs; l++ {
+			b.AddEdge(graph.Vertex(i), next)
+			next++
+		}
+	}
+	return b.Build()
+}
+
+// RandomTree returns a uniformly random labelled tree on n vertices
+// (labels 0..n-1), generated from a random Prüfer sequence.
+func RandomTree(rng *rand.Rand, n int) *graph.Graph {
+	if n < 1 {
+		panic("gen: RandomTree needs n >= 1")
+	}
+	b := graph.NewBuilder()
+	b.AddVertex(0)
+	if n == 1 {
+		return b.Build()
+	}
+	if n == 2 {
+		return b.AddEdge(0, 1).Build()
+	}
+	prufer := make([]int, n-2)
+	for i := range prufer {
+		prufer[i] = rng.Intn(n)
+	}
+	degree := make([]int, n)
+	for i := range degree {
+		degree[i] = 1
+	}
+	for _, p := range prufer {
+		degree[p]++
+	}
+	for _, p := range prufer {
+		for v := 0; v < n; v++ {
+			if degree[v] == 1 {
+				b.AddEdge(graph.Vertex(v), graph.Vertex(p))
+				degree[v]--
+				degree[p]--
+				break
+			}
+		}
+	}
+	u, w := -1, -1
+	for v := 0; v < n; v++ {
+		if degree[v] == 1 {
+			if u == -1 {
+				u = v
+			} else {
+				w = v
+			}
+		}
+	}
+	return b.AddEdge(graph.Vertex(u), graph.Vertex(w)).Build()
+}
+
+// RandomConnected returns a random connected graph on n vertices: a random
+// spanning tree plus each remaining pair joined independently with
+// probability extraP.
+func RandomConnected(rng *rand.Rand, n int, extraP float64) *graph.Graph {
+	tree := RandomTree(rng, n)
+	b := graph.NewBuilder()
+	for _, e := range tree.Edges() {
+		b.AddEdge(e.U, e.V)
+	}
+	for _, v := range tree.Vertices() {
+		b.AddVertex(v)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < extraP {
+				b.AddEdge(graph.Vertex(i), graph.Vertex(j))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// RandomLabelPermutation returns a uniformly random relabelling of g's
+// vertices onto the same label set — the paper's adversarial relabelling.
+func RandomLabelPermutation(rng *rand.Rand, g *graph.Graph) map[graph.Vertex]graph.Vertex {
+	vs := g.Vertices()
+	shuffled := make([]graph.Vertex, len(vs))
+	copy(shuffled, vs)
+	rng.Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	perm := make(map[graph.Vertex]graph.Vertex, len(vs))
+	for i, v := range vs {
+		perm[v] = shuffled[i]
+	}
+	return perm
+}
+
+// ConnectedGraphs enumerates every connected labelled graph on vertices
+// 0..n-1 and calls fn for each. It panics for n > 8 (2^(n(n-1)/2) graphs:
+// use sampling beyond that). fn returning false stops the enumeration.
+func ConnectedGraphs(n int, fn func(*graph.Graph) bool) {
+	if n < 1 || n > 8 {
+		panic(fmt.Sprintf("gen: ConnectedGraphs supports 1 <= n <= 8, got %d", n))
+	}
+	type pair struct{ i, j int }
+	var pairs []pair
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pairs = append(pairs, pair{i, j})
+		}
+	}
+	total := 1 << len(pairs)
+	for mask := 0; mask < total; mask++ {
+		b := graph.NewBuilder()
+		for v := 0; v < n; v++ {
+			b.AddVertex(graph.Vertex(v))
+		}
+		for t, p := range pairs {
+			if mask&(1<<t) != 0 {
+				b.AddEdge(graph.Vertex(p.i), graph.Vertex(p.j))
+			}
+		}
+		g := b.Build()
+		if !g.Connected() {
+			continue
+		}
+		if !fn(g) {
+			return
+		}
+	}
+}

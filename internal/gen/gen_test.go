@@ -1,0 +1,568 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"klocal/internal/graph"
+)
+
+func TestPath(t *testing.T) {
+	g := Path(5)
+	if g.N() != 5 || g.M() != 4 || !g.IsTree() {
+		t.Errorf("Path(5) = %v", g)
+	}
+	if g.Dist(0, 4) != 4 {
+		t.Errorf("Path(5) endpoints at distance %d", g.Dist(0, 4))
+	}
+	single := Path(1)
+	if single.N() != 1 || single.M() != 0 {
+		t.Errorf("Path(1) = %v", single)
+	}
+}
+
+func TestCycle(t *testing.T) {
+	g := Cycle(6)
+	if g.N() != 6 || g.M() != 6 || g.Girth() != 6 {
+		t.Errorf("Cycle(6) = %v girth=%d", g, g.Girth())
+	}
+	for _, v := range g.Vertices() {
+		if g.Deg(v) != 2 {
+			t.Errorf("Cycle vertex %d has degree %d", v, g.Deg(v))
+		}
+	}
+}
+
+func TestStar(t *testing.T) {
+	g := Star(5)
+	if g.Deg(0) != 4 || g.M() != 4 {
+		t.Errorf("Star(5) = %v", g)
+	}
+}
+
+func TestSpider(t *testing.T) {
+	g := Spider(4, 3)
+	if g.N() != 13 || g.M() != 12 || !g.IsTree() {
+		t.Errorf("Spider(4,3) = %v", g)
+	}
+	if g.Deg(0) != 4 {
+		t.Errorf("hub degree = %d, want 4", g.Deg(0))
+	}
+	// Far end of arm 0 is vertex 3 at distance 3.
+	if g.Dist(0, 3) != 3 {
+		t.Errorf("arm end at distance %d, want 3", g.Dist(0, 3))
+	}
+}
+
+func TestComplete(t *testing.T) {
+	g := Complete(5)
+	if g.M() != 10 || g.Girth() != 3 {
+		t.Errorf("Complete(5) = %v", g)
+	}
+	if Complete(1).N() != 1 {
+		t.Error("Complete(1) should be a single vertex")
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(3, 4)
+	if g.N() != 12 || g.M() != 3*3+4*2 {
+		t.Errorf("Grid(3,4) = n=%d m=%d", g.N(), g.M())
+	}
+	if g.Dist(0, 11) != 5 {
+		t.Errorf("grid corner distance = %d, want 5", g.Dist(0, 11))
+	}
+	if Grid(1, 1).N() != 1 {
+		t.Error("Grid(1,1) should be a single vertex")
+	}
+}
+
+func TestTheta(t *testing.T) {
+	g := Theta(1, 2, 3)
+	if g.N() != 2+1+2+3 || g.M() != 2+3+4 {
+		t.Errorf("Theta(1,2,3) = %v", g)
+	}
+	if g.Deg(0) != 3 || g.Deg(1) != 3 {
+		t.Error("theta hubs must have degree 3")
+	}
+	// Shortest cycle uses the two shortest branches: (1+1)+(2+1) = 5.
+	if got := g.Girth(); got != 5 {
+		t.Errorf("Theta girth = %d, want 5", got)
+	}
+	direct := Theta(0, 2, 2)
+	if !direct.HasEdge(0, 1) || direct.Girth() != 4 {
+		t.Errorf("Theta(0,2,2) = %v girth=%d", direct, direct.Girth())
+	}
+}
+
+func TestLollipop(t *testing.T) {
+	g := Lollipop(5, 3)
+	if g.N() != 8 || g.M() != 8 || g.Girth() != 5 {
+		t.Errorf("Lollipop(5,3) = %v", g)
+	}
+	if g.Deg(0) != 3 {
+		t.Errorf("attachment degree = %d, want 3", g.Deg(0))
+	}
+}
+
+func TestCaterpillar(t *testing.T) {
+	g := Caterpillar(4, 2)
+	if g.N() != 4+8 || !g.IsTree() {
+		t.Errorf("Caterpillar(4,2) = %v", g)
+	}
+}
+
+func TestRandomTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 3, 10, 40} {
+		g := RandomTree(rng, n)
+		if g.N() != n || !g.IsTree() {
+			t.Errorf("RandomTree(%d): n=%d m=%d tree=%v", n, g.N(), g.M(), g.IsTree())
+		}
+	}
+}
+
+func TestRandomTreeCoversShapes(t *testing.T) {
+	// Over many draws on 4 vertices both the path and the star must occur:
+	// a weak uniformity smoke check.
+	rng := rand.New(rand.NewSource(2))
+	var sawPath, sawStar bool
+	for i := 0; i < 200; i++ {
+		g := RandomTree(rng, 4)
+		maxDeg := 0
+		for _, v := range g.Vertices() {
+			if g.Deg(v) > maxDeg {
+				maxDeg = g.Deg(v)
+			}
+		}
+		switch maxDeg {
+		case 2:
+			sawPath = true
+		case 3:
+			sawStar = true
+		}
+	}
+	if !sawPath || !sawStar {
+		t.Errorf("200 random trees on 4 vertices missed a shape: path=%v star=%v", sawPath, sawStar)
+	}
+}
+
+func TestRandomConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{2, 5, 20} {
+		g := RandomConnected(rng, n, 0.2)
+		if g.N() != n || !g.Connected() {
+			t.Errorf("RandomConnected(%d) disconnected or wrong size: %v", n, g)
+		}
+		if g.M() < n-1 {
+			t.Errorf("RandomConnected(%d) has %d < n-1 edges", n, g.M())
+		}
+	}
+}
+
+func TestRandomLabelPermutationIsBijection(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := RandomConnected(rng, 12, 0.3)
+	perm := RandomLabelPermutation(rng, g)
+	seen := make(map[graph.Vertex]bool)
+	for _, v := range g.Vertices() {
+		nv, ok := perm[v]
+		if !ok {
+			t.Fatalf("permutation missing vertex %d", v)
+		}
+		if seen[nv] {
+			t.Fatalf("permutation maps two vertices to %d", nv)
+		}
+		if !g.HasVertex(nv) {
+			t.Fatalf("permutation leaves the label set: %d", nv)
+		}
+		seen[nv] = true
+	}
+}
+
+func TestConnectedGraphsCountsMatchOEIS(t *testing.T) {
+	// Number of connected labelled graphs on n nodes (OEIS A001187):
+	// 1, 1, 4, 38, 728 for n = 1..5.
+	want := map[int]int{1: 1, 2: 1, 3: 4, 4: 38, 5: 728}
+	for n, w := range want {
+		count := 0
+		ConnectedGraphs(n, func(*graph.Graph) bool {
+			count++
+			return true
+		})
+		if count != w {
+			t.Errorf("ConnectedGraphs(%d) enumerated %d graphs, want %d", n, count, w)
+		}
+	}
+}
+
+func TestConnectedGraphsEarlyStop(t *testing.T) {
+	count := 0
+	ConnectedGraphs(4, func(*graph.Graph) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Errorf("enumeration did not stop early: %d", count)
+	}
+}
+
+func TestTheorem1FamilyShape(t *testing.T) {
+	for _, n := range []int{11, 12, 13, 14, 23} { // covers every n mod 4
+		fam, err := NewTheorem1Family(n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if fam.R != (n-3)/4 {
+			t.Errorf("n=%d: R=%d want %d", n, fam.R, (n-3)/4)
+		}
+		for i, inst := range fam.Variants {
+			if inst.G.N() != n {
+				t.Errorf("n=%d variant %d: %d vertices", n, i, inst.G.N())
+			}
+			if !inst.G.Connected() {
+				t.Errorf("n=%d variant %d: disconnected", n, i)
+			}
+			if inst.G.Deg(fam.Hub) != 4 {
+				t.Errorf("n=%d variant %d: hub degree %d, want 4", n, i, inst.G.Deg(fam.Hub))
+			}
+			if inst.G.Deg(inst.T) != 1 || inst.G.Deg(inst.S) != 1 {
+				t.Errorf("n=%d variant %d: s and t must be leaves", n, i)
+			}
+			// s and t are outside the hub's R-neighbourhood.
+			if d := inst.G.Dist(fam.Hub, inst.S); d <= fam.R {
+				t.Errorf("n=%d variant %d: dist(hub,s)=%d <= r=%d", n, i, d, fam.R)
+			}
+			if d := inst.G.Dist(fam.Hub, inst.T); d != fam.R+1 {
+				t.Errorf("n=%d variant %d: dist(hub,t)=%d, want r+1=%d", n, i, d, fam.R+1)
+			}
+		}
+	}
+}
+
+func TestTheorem1FamilyIdenticalHubNeighbourhood(t *testing.T) {
+	fam, err := NewTheorem1Family(19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The r-neighbourhood of the hub must be the same labelled subgraph in
+	// all three variants (the proof's key property).
+	b0 := pathsBall(fam.Variants[0].G, fam.Hub, fam.R)
+	for i := 1; i < 3; i++ {
+		if !b0.Equal(pathsBall(fam.Variants[i].G, fam.Hub, fam.R)) {
+			t.Errorf("hub %d-neighbourhood differs between variants 0 and %d", fam.R, i)
+		}
+	}
+	// And it is a spider with 4 arms of length r.
+	if b0.N() != 4*fam.R+1 || !b0.IsTree() {
+		t.Errorf("hub ball is not the 4-arm spider: %v", b0)
+	}
+}
+
+func TestTheorem1FamilyTooSmall(t *testing.T) {
+	if _, err := NewTheorem1Family(10); err == nil {
+		t.Error("expected error for n=10")
+	}
+}
+
+func TestTheorem2FamilyShape(t *testing.T) {
+	for _, n := range []int{8, 9, 10, 20} { // covers every n mod 3
+		fam, err := NewTheorem2Family(n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i, inst := range fam.Variants {
+			if inst.G.N() != n || !inst.G.Connected() {
+				t.Errorf("n=%d variant %d: bad graph %v", n, i, inst.G)
+			}
+			if inst.S != fam.Hub {
+				t.Errorf("variant %d: the hub must be the origin", i)
+			}
+			if inst.G.Deg(fam.Hub) != 3 {
+				t.Errorf("n=%d variant %d: hub degree %d, want 3", n, i, inst.G.Deg(fam.Hub))
+			}
+			if d := inst.G.Dist(inst.S, inst.T); d <= fam.R {
+				t.Errorf("n=%d variant %d: dist(s,t)=%d <= r=%d", n, i, d, fam.R)
+			}
+		}
+	}
+}
+
+func TestTheorem2FamilyIdenticalHubNeighbourhood(t *testing.T) {
+	fam, err := NewTheorem2Family(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b0 := pathsBall(fam.Variants[0].G, fam.Hub, fam.R)
+	for i := 1; i < 3; i++ {
+		if !b0.Equal(pathsBall(fam.Variants[i].G, fam.Hub, fam.R)) {
+			t.Errorf("hub %d-neighbourhood differs between variants 0 and %d", fam.R, i)
+		}
+	}
+	if b0.N() != 3*fam.R+1 || !b0.IsTree() {
+		t.Errorf("hub ball is not the 3-arm spider: %v", b0)
+	}
+}
+
+func TestTheorem3FamilyShape(t *testing.T) {
+	for _, n := range []int{4, 5, 10, 11, 21} {
+		fam, err := NewTheorem3Family(n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i, inst := range fam.Variants {
+			if inst.G.N() != n || !inst.G.Connected() {
+				t.Errorf("n=%d variant %d: bad graph", n, i)
+			}
+			if inst.G.M() != n-1 {
+				t.Errorf("n=%d variant %d: not a path (m=%d)", n, i, inst.G.M())
+			}
+			for _, v := range inst.G.Vertices() {
+				if inst.G.Deg(v) > 2 {
+					t.Errorf("n=%d variant %d: vertex %d degree %d in a path", n, i, v, inst.G.Deg(v))
+				}
+			}
+			if inst.G.Deg(inst.T) != 1 {
+				t.Errorf("n=%d variant %d: t must be a path end", n, i)
+			}
+			if d := inst.G.Dist(inst.S, inst.T); d <= fam.R {
+				t.Errorf("n=%d variant %d: dist(s,t)=%d <= r=%d", n, i, d, fam.R)
+			}
+		}
+	}
+}
+
+func TestTheorem3FamilyIdenticalNeighbourhood(t *testing.T) {
+	for _, n := range []int{8, 9, 15} {
+		fam, err := NewTheorem3Family(n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		s := fam.Variants[0].S
+		for k := 1; k <= fam.R; k++ {
+			if !pathsBall(fam.Variants[0].G, s, k).Equal(pathsBall(fam.Variants[1].G, s, k)) {
+				t.Errorf("n=%d k=%d: G_k(s) differs between the variants", n, k)
+			}
+		}
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	f, err := NewFig7(12, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.G.N() != 17 || !f.G.Connected() {
+		t.Errorf("Fig7 graph = %v", f.G)
+	}
+	if f.G.Deg(f.Attach) != 3 {
+		t.Errorf("attach degree = %d", f.G.Deg(f.Attach))
+	}
+	if f.G.Girth() != 12 {
+		t.Errorf("girth = %d, want 12", f.G.Girth())
+	}
+	if d := f.G.Dist(f.Attach, f.T); d != 5 {
+		t.Errorf("dist(attach,t) = %d, want 5", d)
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{{16, 4}, {20, 5}, {40, 10}, {41, 10}} {
+		f, err := NewFig13(tc.n, tc.k)
+		if err != nil {
+			t.Fatalf("n=%d k=%d: %v", tc.n, tc.k, err)
+		}
+		if f.G.N() != tc.n {
+			t.Errorf("n=%d k=%d: got %d vertices", tc.n, tc.k, f.G.N())
+		}
+		if d := f.G.Dist(f.S, f.T); d != tc.k+3 {
+			t.Errorf("n=%d k=%d: dist(s,t)=%d, want k+3=%d", tc.n, tc.k, d, tc.k+3)
+		}
+		if f.G.Girth() != f.CycleLen {
+			t.Errorf("n=%d k=%d: girth=%d, want cycle length %d", tc.n, tc.k, f.G.Girth(), f.CycleLen)
+		}
+		if f.CycleLen <= 2*tc.k {
+			t.Errorf("n=%d k=%d: cycle %d not longer than 2k", tc.n, tc.k, f.CycleLen)
+		}
+		if d := f.G.Dist(f.D, f.T); d != tc.k {
+			t.Errorf("n=%d k=%d: dist(d,t)=%d, want k", tc.n, tc.k, d)
+		}
+		if d := f.G.Dist(f.S, f.C); d != 2 {
+			t.Errorf("n=%d k=%d: dist(s,c)=%d, want 2", tc.n, tc.k, d)
+		}
+	}
+}
+
+func TestFig13Invalid(t *testing.T) {
+	if _, err := NewFig13(10, 4); err == nil {
+		t.Error("expected error: n < 3k+2")
+	}
+	if _, err := NewFig13(16, 1); err == nil {
+		t.Error("expected error: k < 2")
+	}
+}
+
+func TestFig17Shape(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{{32, 8}, {39, 10}, {40, 10}, {80, 20}} {
+		f, err := NewFig17(tc.n, tc.k)
+		if err != nil {
+			t.Fatalf("n=%d k=%d: %v", tc.n, tc.k, err)
+		}
+		g := f.G
+		if g.N() != tc.n || !g.Connected() {
+			t.Fatalf("n=%d k=%d: got %d vertices, connected=%v", tc.n, tc.k, g.N(), g.Connected())
+		}
+		if d := g.Dist(f.S, f.T); d != tc.k+1 {
+			t.Errorf("n=%d k=%d: dist(s,t)=%d, want k+1", tc.n, tc.k, d)
+		}
+		if !g.HasEdge(f.S, f.D) {
+			t.Error("dormant edge {s,d} missing")
+		}
+		// {s,d} is the global minimum-rank edge.
+		if e := g.Edges()[0]; e != graph.NewEdge(f.S, f.D) {
+			t.Errorf("minimum-rank edge is %v, want {s,d}", e)
+		}
+		// The small cycle through {s,d} has length n-3k+1 (visible in any
+		// k-neighbourhood containing it); the big cycle is longer than 2k.
+		if got := g.Girth(); got != tc.n-3*tc.k+1 {
+			t.Errorf("n=%d k=%d: girth=%d, want n-3k+1=%d", tc.n, tc.k, got, tc.n-3*tc.k+1)
+		}
+		// Removing the dormant edge leaves girth > 2k (the big cycle).
+		rest := g.WithoutEdges([]graph.Edge{graph.NewEdge(f.S, f.D)})
+		if got := rest.Girth(); got <= 2*tc.k {
+			t.Errorf("n=%d k=%d: consistent girth=%d, want > 2k", tc.n, tc.k, got)
+		}
+		if d := g.Dist(f.D, f.T); d != tc.k {
+			t.Errorf("n=%d k=%d: dist(d,t)=%d, want k", tc.n, tc.k, d)
+		}
+	}
+}
+
+func TestFig17Invalid(t *testing.T) {
+	if _, err := NewFig17(20, 5); err == nil {
+		t.Error("expected error for k < 8")
+	}
+	if _, err := NewFig17(100, 8); err == nil {
+		t.Error("expected error for n > 5k-1")
+	}
+}
+
+// pathsBall is the paper's k-neighbourhood: the subgraph of all paths
+// rooted at u with length at most k — vertices within distance k, and
+// edges whose nearer endpoint is within distance k−1 (an edge between two
+// frontier vertices lies only on longer paths and is excluded).
+func pathsBall(g *graph.Graph, u graph.Vertex, k int) *graph.Graph {
+	dist := g.BFSBounded(u, k)
+	b := graph.NewBuilder()
+	for v := range dist {
+		b.AddVertex(v)
+	}
+	for _, e := range g.Edges() {
+		du, okU := dist[e.U]
+		dv, okV := dist[e.V]
+		if okU && okV && min(du, dv) < k {
+			b.AddEdge(e.U, e.V)
+		}
+	}
+	return b.Build()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestPropertyGeneratorsConnected(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		return RandomConnected(rng, n, rng.Float64()*0.3).Connected() &&
+			RandomTree(rng, n).IsTree()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBarbell(t *testing.T) {
+	g := Barbell(4, 3)
+	if g.N() != 11 {
+		t.Fatalf("n = %d, want 11", g.N())
+	}
+	if g.M() != 2*6+4 {
+		t.Errorf("m = %d, want 16", g.M())
+	}
+	if !g.Connected() {
+		t.Error("barbell must be connected")
+	}
+	// The bridge is a sequence of cut edges: removing one disconnects.
+	cut := g.WithoutEdges([]graph.Edge{graph.NewEdge(0, 4)})
+	if cut.Connected() {
+		t.Error("bridge edge must be a cut edge")
+	}
+	zero := Barbell(3, 0)
+	if zero.N() != 6 || !zero.Connected() {
+		t.Errorf("Barbell(3,0) = %v", zero)
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	g := Hypercube(4)
+	if g.N() != 16 || g.M() != 32 {
+		t.Fatalf("Q4: n=%d m=%d", g.N(), g.M())
+	}
+	for _, v := range g.Vertices() {
+		if g.Deg(v) != 4 {
+			t.Errorf("Q4 vertex %d degree %d", v, g.Deg(v))
+		}
+	}
+	if g.Girth() != 4 {
+		t.Errorf("Q4 girth = %d, want 4", g.Girth())
+	}
+	if g.Dist(0, 15) != 4 {
+		t.Errorf("antipodal distance = %d, want 4", g.Dist(0, 15))
+	}
+}
+
+func TestWheel(t *testing.T) {
+	g := Wheel(8)
+	if g.N() != 8 || g.M() != 14 {
+		t.Fatalf("W8: n=%d m=%d", g.N(), g.M())
+	}
+	if g.Deg(0) != 7 {
+		t.Errorf("hub degree = %d", g.Deg(0))
+	}
+	if g.Girth() != 3 {
+		t.Errorf("wheel girth = %d", g.Girth())
+	}
+}
+
+func TestBinaryTree(t *testing.T) {
+	g := BinaryTree(4)
+	if g.N() != 15 || !g.IsTree() {
+		t.Fatalf("binary tree: n=%d tree=%v", g.N(), g.IsTree())
+	}
+	if g.Deg(0) != 2 {
+		t.Errorf("root degree = %d", g.Deg(0))
+	}
+	if g.Dist(7, 14) != 6 {
+		t.Errorf("leaf-to-leaf distance = %d, want 6", g.Dist(7, 14))
+	}
+	single := BinaryTree(1)
+	if single.N() != 1 {
+		t.Errorf("one-level tree: %v", single)
+	}
+}
+
+func TestNewFamiliesSupportRouting(t *testing.T) {
+	// The new families slot into the routing workloads: thresholds hold.
+	graphs := []*graph.Graph{Barbell(4, 4), Hypercube(3), Wheel(9), BinaryTree(4)}
+	for _, g := range graphs {
+		if !g.Connected() {
+			t.Fatalf("family member disconnected: %v", g)
+		}
+	}
+}

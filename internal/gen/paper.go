@@ -1,0 +1,464 @@
+package gen
+
+import (
+	"fmt"
+
+	"klocal/internal/graph"
+)
+
+// Instance is a routing problem: a graph plus an origin-destination pair.
+type Instance struct {
+	G *graph.Graph
+	S graph.Vertex
+	T graph.Vertex
+}
+
+// Theorem1Family is the counterexample family of Theorem 1 (Figure 3),
+// defeating every origin-aware, predecessor-aware, k-local routing
+// algorithm for k < ⌊(n+1)/4⌋.
+type Theorem1Family struct {
+	// Variants holds G1, G2, G3. In variant i, the destination t hangs off
+	// the far end of arm i+1 (arms are numbered P1..P4, s hangs off P1),
+	// and the far ends of the remaining two arms of {P2,P3,P4} are joined,
+	// so a message that enters the wrong arm loops back to the hub.
+	Variants [3]Instance
+	Hub      graph.Vertex
+	// ArmRoots[i] is the hub neighbour rooting arm P(i+1); identical in
+	// all variants, as is the whole G_r(Hub).
+	ArmRoots [4]graph.Vertex
+	// R is the arm length: k-local routing is defeated for all k ≤ R.
+	R int
+}
+
+// NewTheorem1Family builds the family for n ≥ 11 total vertices
+// (r = ⌊(n−3)/4⌋ ≥ 2 keeps s and t outside the hub's r-neighbourhood and
+// the far-end joins invisible from the hub).
+//
+// Labels (consistent across variants, as the proof requires): hub = 0;
+// arm a ∈ {0..3} position i ∈ {0..r−1} = 1 + a·r + i (position 0 adjacent
+// to the hub); extra padding nodes between s and P1's far end =
+// 4r+1 .. 4r+e; s = 4r+e+1; t = 4r+e+2 = n−1.
+func NewTheorem1Family(n int) (*Theorem1Family, error) {
+	r := (n - 3) / 4
+	if r < 2 {
+		return nil, fmt.Errorf("gen: Theorem 1 family needs n >= 11, got %d", n)
+	}
+	extra := n - (4*r + 3)
+	fam := &Theorem1Family{Hub: 0, R: r}
+	arm := func(a, i int) graph.Vertex { return graph.Vertex(1 + a*r + i) }
+	for a := 0; a < 4; a++ {
+		fam.ArmRoots[a] = arm(a, 0)
+	}
+	s := graph.Vertex(4*r + extra + 1)
+	t := graph.Vertex(4*r + extra + 2)
+
+	for variant := 0; variant < 3; variant++ {
+		b := graph.NewBuilder()
+		for a := 0; a < 4; a++ {
+			prev := graph.Vertex(0)
+			for i := 0; i < r; i++ {
+				b.AddEdge(prev, arm(a, i))
+				prev = arm(a, i)
+			}
+		}
+		// s chain: P1 far end — padding — s.
+		prev := arm(0, r-1)
+		for x := 0; x < extra; x++ {
+			pad := graph.Vertex(4*r + 1 + x)
+			b.AddEdge(prev, pad)
+			prev = pad
+		}
+		b.AddEdge(prev, s)
+		// t hangs off arm variant+1; the other two arms of {P2,P3,P4} are
+		// joined at their far ends.
+		tArm := variant + 1
+		b.AddEdge(arm(tArm, r-1), t)
+		var joined []int
+		for a := 1; a < 4; a++ {
+			if a != tArm {
+				joined = append(joined, a)
+			}
+		}
+		b.AddEdge(arm(joined[0], r-1), arm(joined[1], r-1))
+		fam.Variants[variant] = Instance{G: b.Build(), S: s, T: t}
+	}
+	return fam, nil
+}
+
+// Theorem2Family is the counterexample family of Theorem 2 (Figure 4),
+// defeating every origin-oblivious, predecessor-aware, k-local routing
+// algorithm for k < ⌊(n+1)/3⌋. The hub is the origin s itself.
+type Theorem2Family struct {
+	// Variants holds G1, G2, G3: in variant i, t hangs off arm i+1's far
+	// end (through the padding nodes) and the other two arms' far ends are
+	// joined.
+	Variants [3]Instance
+	Hub      graph.Vertex // = s in every variant
+	ArmRoots [3]graph.Vertex
+	R        int
+}
+
+// NewTheorem2Family builds the family for n ≥ 8 (r = ⌊(n−2)/3⌋ ≥ 2).
+// Labels: s = 0; arm a position i = 1 + a·r + i; padding between the
+// t-arm's far end and t = 3r+1 .. 3r+e; t = n−1.
+func NewTheorem2Family(n int) (*Theorem2Family, error) {
+	r := (n - 2) / 3
+	if r < 2 {
+		return nil, fmt.Errorf("gen: Theorem 2 family needs n >= 8, got %d", n)
+	}
+	extra := n - (3*r + 2)
+	fam := &Theorem2Family{Hub: 0, R: r}
+	arm := func(a, i int) graph.Vertex { return graph.Vertex(1 + a*r + i) }
+	for a := 0; a < 3; a++ {
+		fam.ArmRoots[a] = arm(a, 0)
+	}
+	t := graph.Vertex(n - 1)
+
+	for variant := 0; variant < 3; variant++ {
+		b := graph.NewBuilder()
+		for a := 0; a < 3; a++ {
+			prev := graph.Vertex(0)
+			for i := 0; i < r; i++ {
+				b.AddEdge(prev, arm(a, i))
+				prev = arm(a, i)
+			}
+		}
+		prev := arm(variant, r-1)
+		for x := 0; x < extra; x++ {
+			pad := graph.Vertex(3*r + 1 + x)
+			b.AddEdge(prev, pad)
+			prev = pad
+		}
+		b.AddEdge(prev, t)
+		var joined []int
+		for a := 0; a < 3; a++ {
+			if a != variant {
+				joined = append(joined, a)
+			}
+		}
+		b.AddEdge(arm(joined[0], r-1), arm(joined[1], r-1))
+		fam.Variants[variant] = Instance{G: b.Build(), S: 0, T: t}
+	}
+	return fam, nil
+}
+
+// Theorem3Family is the two-path family of Theorem 3 (Figure 5),
+// defeating every predecessor-oblivious k-local routing algorithm for
+// k < ⌊n/2⌋. Both graphs are paths of n vertices with s placed so that
+// G_k(s) is an identical path of 2k+1 consistently-labelled vertices; t is
+// at the end of the right arm in G1 and of the left arm in G2.
+type Theorem3Family struct {
+	Variants [2]Instance
+	R        int
+}
+
+// NewTheorem3Family builds the family for n ≥ 4 (r = ⌊n/2⌋−1 ≥ 1).
+// Labels encode (side, distance from s): s = 0, the node at distance d on
+// the short side is 2d−1, at distance d on the long side 2d; t = n−1...
+// more precisely the far-end node of the long side is t and carries the
+// single label that differs between the variants only beyond distance r.
+func NewTheorem3Family(n int) (*Theorem3Family, error) {
+	r := n/2 - 1
+	if r < 1 {
+		return nil, fmt.Errorf("gen: Theorem 3 family needs n >= 4, got %d", n)
+	}
+	long := n - 1 - r // length of the arm holding t; long >= r+1
+	fam := &Theorem3Family{R: r}
+
+	build := func(tOnRight bool) Instance {
+		b := graph.NewBuilder()
+		leftLen, rightLen := r, long
+		if !tOnRight {
+			leftLen, rightLen = long, r
+		}
+		// Side-distance labels keep G_k(s) identical across the variants
+		// for every k ≤ r: left distance d ↦ 2d−1, right distance d ↦ 2d.
+		// The far end of the long arm is relabelled to t = 2n (at distance
+		// long > r, outside every admissible k-neighbourhood; the label is
+		// outside the regular range so it cannot collide).
+		t := graph.Vertex(2 * n)
+		label := func(left bool, d int) graph.Vertex {
+			if left {
+				if !tOnRight && d == leftLen {
+					return t
+				}
+				return graph.Vertex(2*d - 1)
+			}
+			if tOnRight && d == rightLen {
+				return t
+			}
+			return graph.Vertex(2 * d)
+		}
+		prev := graph.Vertex(0)
+		for d := 1; d <= leftLen; d++ {
+			b.AddEdge(prev, label(true, d))
+			prev = label(true, d)
+		}
+		prev = 0
+		for d := 1; d <= rightLen; d++ {
+			b.AddEdge(prev, label(false, d))
+			prev = label(false, d)
+		}
+		return Instance{G: b.Build(), S: 0, T: t}
+	}
+	fam.Variants[0] = build(true)
+	fam.Variants[1] = build(false)
+	return fam, nil
+}
+
+// Fig7 is the Figure 7 construction: a cycle longer than 2k with the
+// destination t at the end of a pendant path longer than k, attached at
+// cycle vertex c. Labels are arranged so the naive right-hand rule
+// (circular permutation of all neighbours by rank at every node, no
+// preprocessing) circulates forever without any visited node seeing t.
+type Fig7 struct {
+	Instance
+
+	CycleLen int
+	TailLen  int
+	Attach   graph.Vertex
+}
+
+// NewFig7 builds the construction. It requires cycleLen ≥ 4 and
+// tailLen ≥ 1; for the right-hand rule to fail at locality k, pick
+// cycleLen > 2k and tailLen > k. Labels: cycle 0..cycleLen−1 (s = 0, the
+// pendant attached at ⌊cycleLen/2⌋), tail cycleLen..cycleLen+tailLen−1
+// with t last.
+func NewFig7(cycleLen, tailLen int) (*Fig7, error) {
+	if cycleLen < 4 || tailLen < 1 {
+		return nil, fmt.Errorf("gen: Fig7 needs cycleLen >= 4 and tailLen >= 1")
+	}
+	b := graph.NewBuilder()
+	for i := 0; i < cycleLen; i++ {
+		b.AddEdge(graph.Vertex(i), graph.Vertex((i+1)%cycleLen))
+	}
+	attach := graph.Vertex(cycleLen / 2)
+	prev := attach
+	for i := 0; i < tailLen; i++ {
+		v := graph.Vertex(cycleLen + i)
+		b.AddEdge(prev, v)
+		prev = v
+	}
+	return &Fig7{
+		Instance: Instance{G: b.Build(), S: 0, T: prev},
+		CycleLen: cycleLen,
+		TailLen:  tailLen,
+		Attach:   attach,
+	}, nil
+}
+
+// Fig13 is the Figure 13 construction showing Algorithm 1's dilation
+// approaches 7: a cycle of n−k−1 vertices containing s, with a pendant
+// path of k+1 edges to t attached at vertex c two hops from s. Labels
+// steer Algorithm 1's rank-based choices so that the route has length
+// exactly 2n−k−3 while dist(s,t) = k+3.
+type Fig13 struct {
+	Instance
+
+	K        int
+	CycleLen int
+	C        graph.Vertex // pendant attachment, two hops from s
+	D        graph.Vertex // first pendant vertex; Case 1 applies from D on
+}
+
+// NewFig13 builds the construction for locality k on n vertices. It
+// requires n ≥ 3k+2 (so the cycle is longer than 2k and stays fully
+// consistent) and k ≥ 2.
+//
+// Cycle labels clockwise: s=0, g=1, c=2, w1..w_{L−3} = 3..L−1; pendant
+// d,m1,...,t = L..L+k. The rank conditions this encodes:
+//   - at s, the lower-rank cycle neighbour is g (label 1 < L−1), so the
+//     message starts clockwise through c;
+//   - at c the circular order of {g=1, w1=3, d=L} forwards g→w1 (first,
+//     clockwise pass skips the pendant) and w1→d (second,
+//     counter-clockwise pass enters it).
+func NewFig13(n, k int) (*Fig13, error) {
+	if k < 2 || n < 3*k+2 {
+		return nil, fmt.Errorf("gen: Fig13 needs k >= 2 and n >= 3k+2, got n=%d k=%d", n, k)
+	}
+	cycleLen := n - k - 1
+	b := graph.NewBuilder()
+	// Cycle: 0(s) - 1(g) - 2(c) - 3 - ... - (L-1) - back to 0.
+	for i := 0; i < cycleLen; i++ {
+		b.AddEdge(graph.Vertex(i), graph.Vertex((i+1)%cycleLen))
+	}
+	// Pendant path c → d → m1 → ... → t with k+1 edges total from c.
+	prev := graph.Vertex(2)
+	for i := 0; i <= k; i++ {
+		v := graph.Vertex(cycleLen + i)
+		b.AddEdge(prev, v)
+		prev = v
+	}
+	return &Fig13{
+		Instance: Instance{G: b.Build(), S: 0, T: prev},
+		K:        k,
+		CycleLen: cycleLen,
+		C:        2,
+		D:        graph.Vertex(cycleLen),
+	}, nil
+}
+
+// ExpectedRouteLen is the route length the paper derives for Algorithm 1
+// on this instance: 2n − k − 3.
+func (f *Fig13) ExpectedRouteLen() int { return 2*f.G.N() - f.K - 3 }
+
+// ShortestLen is dist(s,t) = k + 3.
+func (f *Fig13) ShortestLen() int { return f.K + 3 }
+
+// Fig17 is the Figure 17 construction showing Algorithm 1B's dilation
+// approaches 6. A big (consistent) cycle carries vertices c, e and u; a
+// pendant path of q vertices ending at s hangs off e; a path of j+k
+// vertices to t hangs off c with d at distance j from c; and the dormant
+// minimum-rank edge {s,d} closes a local cycle of length n−3k+1. The
+// route of Algorithm 1B has length n+2k−6 while dist(s,t) = k+1 via the
+// dormant edge.
+type Fig17 struct {
+	Instance
+
+	K int
+	Q int // pendant path length (edges) from e to s
+	J int // distance from c to d along the t-path
+
+	// DeltaStar is the distance from u at which the U2e pre-emption first
+	// becomes provable under this repository's dormancy rule (every short
+	// cycle visible in G_k(x) is classified at x, a superset of the
+	// paper's cycles-through-x rule; see DESIGN.md). The witness cycle
+	// for the dormant edge {s,d} becomes fully visible already at
+	// distance δ* = k−4−⌊(n−3k)/2⌋ past u on the c-side arc, so
+	// Algorithm 1B reverses 2·δ* edges earlier than the paper's
+	// narrative: its exact route is n+2k−6−2·δ*. With δ* = 0 the paper's
+	// figure is reproduced verbatim.
+	DeltaStar int
+
+	C, D, E, U graph.Vertex
+}
+
+// NewFig17 builds the construction for locality k on n vertices. The
+// geometry is determined by Lemma 16's arithmetic. Cycle, clockwise:
+// e → (B arc, B = n−3k−j−q edges) → c → (D arc, D = 2k−3 edges) → u →
+// (3 edges) → e. The pendant path e→…→s has q edges; the t-path
+// c→…→d→…→t has j+k edges with d at distance j from c; and the dormant
+// minimum-rank edge {s,d} closes the small cycle of length
+// 1+j+B+q = n−3k+1 ≤ 2k.
+//
+// The route of Algorithm 1B is s→e (q), e→c→u clockwise (B+D), the U2e
+// pre-emptive reversal at u, u→c (D) and c→t (j+k): total n+2k−6. The
+// 3-edge u→e arc (Lemma 16's path I) is never traversed; plain
+// Algorithm 1 traverses it twice in each direction via the US2 bounce at
+// e, giving route n+2k (exactly the 6-edge gap Lemma 14 predicts).
+//
+// Feasibility: k ≥ 7 and 3k+7 ≤ n ≤ 4k; q = 3 and j = 2 internally.
+// Labels: s = 0 and d = 1 make {s,d} the global minimum-rank edge; the
+// scheme below further encodes
+//   - at e, the B-side active neighbour has lower rank than the 3-arc
+//     side one (US2 sends the message toward c first, and later bounces
+//     an arrival from the 3-arc side — the bounce U2e anticipates at u);
+//   - at c, the circular rank order is (B-side → D-side → t-path).
+func NewFig17(n, k int) (*Fig17, error) {
+	if k < 7 {
+		return nil, fmt.Errorf("gen: Fig17 needs k >= 7, got %d", k)
+	}
+	if n < 3*k+7 || n > 4*k {
+		return nil, fmt.Errorf("gen: Fig17 needs 3k+7 <= n <= 4k, got n=%d k=%d", n, k)
+	}
+	const q, j = 3, 2
+	bArc := n - 3*k - j - q
+	dArc := 2*k - 3
+	deltaStar := k - 4 - (n-3*k)/2
+	if deltaStar < 0 {
+		deltaStar = 0
+	}
+	if deltaStar >= dArc {
+		return nil, fmt.Errorf("gen: Fig17 infeasible: deltaStar=%d >= D=%d", deltaStar, dArc)
+	}
+
+	next := graph.Vertex(2)
+	alloc := func() graph.Vertex { v := next; next++; return v }
+
+	// Allocation order encodes the rank constraints: B-arc internals
+	// first (so e's B-side neighbour has the smallest cycle label and c's
+	// B-side neighbour precedes its D-side one), then e, the 3-arc
+	// internals, u, the D-arc internals, c, the t-path, and finally the
+	// pendant.
+	bInternal := make([]graph.Vertex, bArc-1)
+	for i := range bInternal {
+		bInternal[i] = alloc()
+	}
+	e := alloc()
+	threeInternal := []graph.Vertex{alloc(), alloc()}
+	u := alloc()
+	dInternal := make([]graph.Vertex, dArc-1)
+	for i := range dInternal {
+		dInternal[i] = alloc()
+	}
+	c := alloc()
+
+	b := graph.NewBuilder()
+	cycle := []graph.Vertex{e}
+	cycle = append(cycle, bInternal...)
+	cycle = append(cycle, c)
+	cycle = append(cycle, dInternal...)
+	cycle = append(cycle, u)
+	cycle = append(cycle, threeInternal...)
+	for i := range cycle {
+		b.AddEdge(cycle[i], cycle[(i+1)%len(cycle)])
+	}
+	// t-path c → m1 → d → m3 → ... → t (d at distance j=2 from c).
+	prev := c
+	var d graph.Vertex
+	for i := 1; i <= j+k; i++ {
+		var v graph.Vertex
+		if i == j {
+			v = 1
+			d = v
+		} else {
+			v = alloc()
+		}
+		b.AddEdge(prev, v)
+		prev = v
+	}
+	t := prev
+	// Pendant path e → p1 → p2 → s (q=3 edges).
+	prev = e
+	for i := 0; i < q-1; i++ {
+		p := alloc()
+		b.AddEdge(prev, p)
+		prev = p
+	}
+	b.AddEdge(prev, 0) // s
+	// The dormant edge.
+	b.AddEdge(0, d)
+
+	g := b.Build()
+	if g.N() != n {
+		return nil, fmt.Errorf("gen: Fig17 internal error: n=%d want %d", g.N(), n)
+	}
+	return &Fig17{
+		Instance:  Instance{G: g, S: 0, T: t},
+		K:         k,
+		Q:         q,
+		J:         j,
+		DeltaStar: deltaStar,
+		C:         c,
+		D:         d,
+		E:         e,
+		U:         u,
+	}, nil
+}
+
+// Algorithm1RouteLen is the route length plain Algorithm 1 takes on this
+// instance: n+2k (it additionally traverses the 3-edge u→e arc twice in
+// each direction).
+func (f *Fig17) Algorithm1RouteLen() int { return f.G.N() + 2*f.K }
+
+// ExpectedRouteLen is this implementation's exact Algorithm 1B route
+// length: n+2k−6−2·δ* (see DeltaStar). It equals PaperRouteLen when
+// δ* = 0.
+func (f *Fig17) ExpectedRouteLen() int { return f.G.N() + 2*f.K - 6 - 2*f.DeltaStar }
+
+// PaperRouteLen is the route length the paper derives for its Figure 17
+// instance: n+2k−6.
+func (f *Fig17) PaperRouteLen() int { return f.G.N() + 2*f.K - 6 }
+
+// ShortestLen is dist(s,t) = k+1 via the dormant edge {s,d}.
+func (f *Fig17) ShortestLen() int { return f.K + 1 }

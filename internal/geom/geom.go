@@ -1,0 +1,391 @@
+// Package geom is the computational-geometry substrate for the
+// position-based routing algorithms of the paper's Section 3 (greedy,
+// compass and face routing): points, embedded graphs with rotation
+// systems, unit disk graphs and planar proximity subgraphs.
+//
+// The paper contrasts its position-oblivious results with this
+// position-based world — greedy/compass routing are 1-local but defeated
+// by some planar graphs, while face routing delivers on planar graphs at
+// the cost of Θ(log n) message state. Package georoute implements those
+// algorithms on top of this substrate.
+package geom
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"klocal/internal/graph"
+)
+
+// Point is a location in the plane.
+type Point struct {
+	X, Y float64
+}
+
+// Sub returns p − q.
+func (p Point) Sub(q Point) Point { return Point{X: p.X - q.X, Y: p.Y - q.Y} }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Hypot(dx, dy)
+}
+
+// Dist2 returns the squared distance (exact for comparisons).
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// Angle returns the polar angle of the vector p→q in (−π, π].
+func (p Point) Angle(q Point) float64 {
+	return math.Atan2(q.Y-p.Y, q.X-p.X)
+}
+
+// Cross returns the z-component of (b−a) × (c−a): positive when a,b,c
+// turn counterclockwise.
+func Cross(a, b, c Point) float64 {
+	return (b.X-a.X)*(c.Y-a.Y) - (b.Y-a.Y)*(c.X-a.X)
+}
+
+// eps is the tolerance for geometric predicates on the random coordinates
+// the generators produce.
+const eps = 1e-12
+
+// SegmentsIntersect reports whether the closed segments ab and cd share a
+// point, and returns one such point (for properly crossing segments, the
+// crossing point). Collinear overlaps return an endpoint inside the
+// overlap.
+func SegmentsIntersect(a, b, c, d Point) (Point, bool) {
+	d1 := Cross(c, d, a)
+	d2 := Cross(c, d, b)
+	d3 := Cross(a, b, c)
+	d4 := Cross(a, b, d)
+	if ((d1 > eps && d2 < -eps) || (d1 < -eps && d2 > eps)) &&
+		((d3 > eps && d4 < -eps) || (d3 < -eps && d4 > eps)) {
+		// Proper crossing: solve for the intersection parameter.
+		t := d1 / (d1 - d2)
+		return Point{X: a.X + t*(b.X-a.X), Y: a.Y + t*(b.Y-a.Y)}, true
+	}
+	if onSegment(c, d, a) {
+		return a, true
+	}
+	if onSegment(c, d, b) {
+		return b, true
+	}
+	if onSegment(a, b, c) {
+		return c, true
+	}
+	if onSegment(a, b, d) {
+		return d, true
+	}
+	return Point{}, false
+}
+
+// onSegment reports whether p lies on the closed segment ab.
+func onSegment(a, b, p Point) bool {
+	if math.Abs(Cross(a, b, p)) > eps*(1+a.Dist(b)) {
+		return false
+	}
+	return p.X >= math.Min(a.X, b.X)-eps && p.X <= math.Max(a.X, b.X)+eps &&
+		p.Y >= math.Min(a.Y, b.Y)-eps && p.Y <= math.Max(a.Y, b.Y)+eps
+}
+
+// Embedding is a straight-line embedding of a graph: a location for every
+// vertex plus the rotation system (neighbours in counterclockwise order)
+// it induces.
+type Embedding struct {
+	G   *graph.Graph
+	Pos map[graph.Vertex]Point
+
+	rotation map[graph.Vertex][]graph.Vertex
+}
+
+// NewEmbedding pairs a graph with vertex positions and precomputes the
+// rotation system. Every vertex of g must have a position; positions must
+// be distinct.
+func NewEmbedding(g *graph.Graph, pos map[graph.Vertex]Point) (*Embedding, error) {
+	for _, v := range g.Vertices() {
+		if _, ok := pos[v]; !ok {
+			return nil, fmt.Errorf("geom: vertex %d has no position", v)
+		}
+	}
+	e := &Embedding{
+		G:        g,
+		Pos:      pos,
+		rotation: make(map[graph.Vertex][]graph.Vertex, g.N()),
+	}
+	for _, v := range g.Vertices() {
+		nbrs := g.Adj(v)
+		pv := pos[v]
+		sort.Slice(nbrs, func(i, j int) bool {
+			return pv.Angle(pos[nbrs[i]]) < pv.Angle(pos[nbrs[j]])
+		})
+		e.rotation[v] = nbrs
+	}
+	return e, nil
+}
+
+// Rotation returns v's neighbours in counterclockwise order (a copy).
+func (e *Embedding) Rotation(v graph.Vertex) []graph.Vertex {
+	r := e.rotation[v]
+	out := make([]graph.Vertex, len(r))
+	copy(out, r)
+	return out
+}
+
+// NextCCW returns the neighbour of v that follows `from` counterclockwise
+// in v's rotation; NextCW the clockwise one. `from` must be a neighbour
+// of v (or, for routing entry points, any reference vertex with a
+// position — the successor of its angle is returned).
+func (e *Embedding) NextCCW(v, from graph.Vertex) graph.Vertex {
+	return e.nextByAngle(v, e.Pos[from], false)
+}
+
+// NextCW is NextCCW's clockwise counterpart.
+func (e *Embedding) NextCW(v, from graph.Vertex) graph.Vertex {
+	return e.nextByAngle(v, e.Pos[from], true)
+}
+
+// NextCCWFromPoint returns the first neighbour of v counterclockwise
+// strictly after the direction v→ref.
+func (e *Embedding) NextCCWFromPoint(v graph.Vertex, ref Point) graph.Vertex {
+	return e.nextByAngle(v, ref, false)
+}
+
+// NextCWFromPoint is the clockwise counterpart.
+func (e *Embedding) NextCWFromPoint(v graph.Vertex, ref Point) graph.Vertex {
+	return e.nextByAngle(v, ref, true)
+}
+
+func (e *Embedding) nextByAngle(v graph.Vertex, ref Point, clockwise bool) graph.Vertex {
+	rot := e.rotation[v]
+	if len(rot) == 0 {
+		return graph.NoVertex
+	}
+	pv := e.Pos[v]
+	refAngle := pv.Angle(ref)
+	// Find the neighbour whose angle matches ref (if ref is a neighbour
+	// position) or the rotational successor of refAngle otherwise.
+	best := graph.NoVertex
+	bestDelta := math.Inf(1)
+	for _, w := range rot {
+		a := pv.Angle(e.Pos[w])
+		var delta float64
+		if clockwise {
+			delta = math.Mod(refAngle-a+4*math.Pi, 2*math.Pi)
+		} else {
+			delta = math.Mod(a-refAngle+4*math.Pi, 2*math.Pi)
+		}
+		if delta < eps {
+			delta = 2 * math.Pi // the reference direction itself comes last
+		}
+		if delta < bestDelta {
+			bestDelta = delta
+			best = w
+		}
+	}
+	return best
+}
+
+// FaceWalkNext returns the directed edge following (u, v) in the
+// traversal of the face to the LEFT of (u, v): the next edge is
+// (v, NextCW(v, u)). Iterating FaceWalkNext from any directed edge walks
+// the closed boundary of one face of the embedding.
+func (e *Embedding) FaceWalkNext(u, v graph.Vertex) (graph.Vertex, graph.Vertex) {
+	return v, e.NextCW(v, u)
+}
+
+// Faces enumerates the faces of the embedding as directed-edge cycles.
+// Each directed edge of the graph appears in exactly one face; for a
+// connected planar embedding the count obeys Euler's formula
+// n − m + f = 2.
+func (e *Embedding) Faces() [][]graph.Vertex {
+	type dir struct{ u, v graph.Vertex }
+	seen := make(map[dir]bool, 2*e.G.M())
+	var faces [][]graph.Vertex
+	for _, edge := range e.G.Edges() {
+		for _, start := range []dir{{edge.U, edge.V}, {edge.V, edge.U}} {
+			if seen[start] {
+				continue
+			}
+			var face []graph.Vertex
+			cur := start
+			for {
+				seen[cur] = true
+				face = append(face, cur.u)
+				nu, nv := e.FaceWalkNext(cur.u, cur.v)
+				cur = dir{nu, nv}
+				if cur == start {
+					break
+				}
+			}
+			faces = append(faces, face)
+		}
+	}
+	return faces
+}
+
+// RandomPoints places n points uniformly in the unit square, rejecting
+// near-coincident pairs so geometric predicates stay robust.
+func RandomPoints(rng *rand.Rand, n int) map[graph.Vertex]Point {
+	pos := make(map[graph.Vertex]Point, n)
+	var placed []Point
+	for len(placed) < n {
+		p := Point{X: rng.Float64(), Y: rng.Float64()}
+		ok := true
+		for _, q := range placed {
+			if p.Dist2(q) < 1e-8 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			pos[graph.Vertex(len(placed))] = p
+			placed = append(placed, p)
+		}
+	}
+	return pos
+}
+
+// UnitDiskGraph connects every pair of points at distance at most radius
+// — the paper's ad hoc wireless model.
+func UnitDiskGraph(pos map[graph.Vertex]Point, radius float64) *graph.Graph {
+	b := graph.NewBuilder()
+	vs := make([]graph.Vertex, 0, len(pos))
+	for v := range pos {
+		vs = append(vs, v)
+		b.AddVertex(v)
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	r2 := radius * radius
+	for i, u := range vs {
+		for _, w := range vs[i+1:] {
+			if pos[u].Dist2(pos[w]) <= r2 {
+				b.AddEdge(u, w)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// GabrielGraph keeps the edge {u, w} iff no other point lies inside the
+// closed disk with diameter uw. The Gabriel graph is planar and contains
+// the Euclidean MST, so it is connected whenever the point set is finite.
+func GabrielGraph(pos map[graph.Vertex]Point) *graph.Graph {
+	return gabrielFilter(completeOn(pos), pos)
+}
+
+// GabrielSubgraph intersects g with the Gabriel condition — the classic
+// local planarization of a unit disk graph (cf. the k-local MST
+// constructions of Li et al. cited by the paper). It preserves
+// connectivity of unit disk graphs.
+func GabrielSubgraph(g *graph.Graph, pos map[graph.Vertex]Point) *graph.Graph {
+	return gabrielFilter(g, pos)
+}
+
+func completeOn(pos map[graph.Vertex]Point) *graph.Graph {
+	b := graph.NewBuilder()
+	vs := make([]graph.Vertex, 0, len(pos))
+	for v := range pos {
+		vs = append(vs, v)
+		b.AddVertex(v)
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	for i, u := range vs {
+		for _, w := range vs[i+1:] {
+			b.AddEdge(u, w)
+		}
+	}
+	return b.Build()
+}
+
+func gabrielFilter(g *graph.Graph, pos map[graph.Vertex]Point) *graph.Graph {
+	return g.FilterEdges(func(e graph.Edge) bool {
+		mid := Point{X: (pos[e.U].X + pos[e.V].X) / 2, Y: (pos[e.U].Y + pos[e.V].Y) / 2}
+		r2 := pos[e.U].Dist2(pos[e.V]) / 4
+		for v, p := range pos {
+			if v == e.U || v == e.V {
+				continue
+			}
+			if p.Dist2(mid) < r2-eps {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// RelativeNeighborhoodGraph keeps {u, w} iff no point is strictly closer
+// to both u and w than they are to each other (RNG ⊆ Gabriel, still
+// connected and planar).
+func RelativeNeighborhoodGraph(pos map[graph.Vertex]Point) *graph.Graph {
+	return completeOn(pos).FilterEdges(func(e graph.Edge) bool {
+		d := pos[e.U].Dist2(pos[e.V])
+		for v, p := range pos {
+			if v == e.U || v == e.V {
+				continue
+			}
+			if p.Dist2(pos[e.U]) < d-eps && p.Dist2(pos[e.V]) < d-eps {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// IsPlaneEmbedding reports whether no two non-adjacent edges of the
+// embedding cross (straight-line drawing test).
+func (e *Embedding) IsPlaneEmbedding() bool {
+	edges := e.G.Edges()
+	for i, a := range edges {
+		for _, b := range edges[i+1:] {
+			if a.U == b.U || a.U == b.V || a.V == b.U || a.V == b.V {
+				continue
+			}
+			if _, hit := SegmentsIntersect(e.Pos[a.U], e.Pos[a.V], e.Pos[b.U], e.Pos[b.V]); hit {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// QuasiUnitDiskGraph builds a d-quasi unit disk graph (Kuhn, Wattenhofer,
+// Zollinger, cited in the paper's Section 3): pairs at distance ≤ dmin
+// are always connected, pairs beyond 1 never, and pairs in between are
+// connected or not adversarially — here, by a deterministic hash of the
+// pair so the construction is reproducible. Requires 0 < dmin ≤ 1.
+func QuasiUnitDiskGraph(pos map[graph.Vertex]Point, dmin float64, seed int64) *graph.Graph {
+	if dmin <= 0 || dmin > 1 {
+		panic("geom: QuasiUnitDiskGraph needs 0 < dmin <= 1")
+	}
+	b := graph.NewBuilder()
+	vs := make([]graph.Vertex, 0, len(pos))
+	for v := range pos {
+		vs = append(vs, v)
+		b.AddVertex(v)
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	for i, u := range vs {
+		for _, w := range vs[i+1:] {
+			d2 := pos[u].Dist2(pos[w])
+			switch {
+			case d2 <= dmin*dmin:
+				b.AddEdge(u, w)
+			case d2 > 1:
+				// never connected
+			default:
+				// The grey zone: a cheap deterministic pair hash plays the
+				// adversary.
+				h := uint64(u)*0x9e3779b97f4a7c15 ^ uint64(w)*0xc2b2ae3d27d4eb4f ^ uint64(seed)
+				if h%3 != 0 {
+					b.AddEdge(u, w)
+				}
+			}
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,45 @@
+package georoute
+
+import (
+	"klocal/internal/geom"
+	"klocal/internal/graph"
+)
+
+// Trap is a position-based routing counterexample: a plane embedding with
+// an origin-destination pair defeating a 1-local stateless rule.
+type Trap struct {
+	Emb  *geom.Embedding
+	S, T graph.Vertex
+}
+
+// GreedyTrap builds a small connected plane graph with a greedy local
+// minimum: node 0's neighbours are both farther from t than 0 is, and
+// label-order tie-breaks send greedy (and compass) into a two-node
+// ping-pong, while the connection to t runs around the barrier. Face
+// routing delivers on it. This instantiates the paper's Section 3 claim
+// that every 1-local stateless position-based rule of this kind is
+// defeated by some planar graph.
+func GreedyTrap() *Trap {
+	// Geometry: s=0 at the origin; t=5 straight above; wings 1..4 route
+	// around the gap but every first hop moves away from t.
+	pos := map[graph.Vertex]geom.Point{
+		0: {X: 0, Y: 0},  // s: local minimum (dist to t = 1)
+		1: {X: -1, Y: 0}, // left wing (dist √2)
+		2: {X: -1, Y: 1}, // left upper (dist 1)
+		3: {X: 1, Y: 0},  // right wing (dist √2)
+		4: {X: 1, Y: 1},  // right upper (dist 1)
+		5: {X: 0, Y: 1},  // t
+	}
+	g := graph.NewBuilder().
+		AddEdge(0, 1).AddEdge(0, 3).
+		AddEdge(1, 2).AddEdge(3, 4).
+		AddEdge(2, 5).AddEdge(4, 5).
+		Build()
+	emb, err := geom.NewEmbedding(g, pos)
+	if err != nil {
+		// The construction is fixed and valid; failure is a programming
+		// error worth surfacing loudly in tests.
+		panic(err)
+	}
+	return &Trap{Emb: emb, S: 0, T: 5}
+}

@@ -1,0 +1,95 @@
+package graph
+
+import (
+	"testing"
+)
+
+// FuzzBuilderInvariants drives the Builder with arbitrary edge bytes and
+// checks structural invariants of the built graph.
+func FuzzBuilderInvariants(f *testing.F) {
+	f.Add([]byte{1, 2, 2, 3, 3, 1})
+	f.Add([]byte{0, 0, 5, 5})
+	f.Add([]byte{9, 1, 1, 9, 3, 7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b := NewBuilder()
+		for i := 0; i+1 < len(data); i += 2 {
+			b.AddEdge(Vertex(data[i]%32), Vertex(data[i+1]%32))
+		}
+		g := b.Build()
+		// Adjacency symmetric, sorted, self-loop free; M consistent.
+		degSum := 0
+		for _, v := range g.Vertices() {
+			adj := g.Adj(v)
+			degSum += len(adj)
+			for i, w := range adj {
+				if w == v {
+					t.Fatalf("self-loop at %d", v)
+				}
+				if i > 0 && adj[i-1] >= w {
+					t.Fatalf("adjacency of %d not strictly sorted: %v", v, adj)
+				}
+				if !g.HasEdge(w, v) {
+					t.Fatalf("asymmetric edge {%d,%d}", v, w)
+				}
+			}
+		}
+		if degSum != 2*g.M() {
+			t.Fatalf("degree sum %d != 2m = %d", degSum, 2*g.M())
+		}
+		// Components partition the vertex set.
+		seen := make(map[Vertex]bool)
+		for _, comp := range g.Components() {
+			for _, v := range comp {
+				if seen[v] {
+					t.Fatalf("vertex %d in two components", v)
+				}
+				seen[v] = true
+			}
+		}
+		if len(seen) != g.N() {
+			t.Fatalf("components cover %d of %d vertices", len(seen), g.N())
+		}
+	})
+}
+
+// FuzzDistanceMetric checks that BFS distances form a metric consistent
+// with adjacency on arbitrary graphs.
+func FuzzDistanceMetric(f *testing.F) {
+	f.Add([]byte{1, 2, 2, 3, 3, 4, 4, 1}, uint8(1), uint8(3))
+	f.Fuzz(func(t *testing.T, data []byte, a, bv uint8) {
+		b := NewBuilder()
+		for i := 0; i+1 < len(data); i += 2 {
+			b.AddEdge(Vertex(data[i]%16), Vertex(data[i+1]%16))
+		}
+		g := b.Build()
+		if g.N() == 0 {
+			return
+		}
+		vs := g.Vertices()
+		u := vs[int(a)%len(vs)]
+		v := vs[int(bv)%len(vs)]
+		d := g.Dist(u, v)
+		switch {
+		case u == v:
+			if d != 0 {
+				t.Fatalf("Dist(%d,%d) = %d, want 0", u, v, d)
+			}
+		case g.HasEdge(u, v):
+			if d != 1 {
+				t.Fatalf("adjacent Dist(%d,%d) = %d", u, v, d)
+			}
+		case d != Infinity:
+			if d < 2 {
+				t.Fatalf("non-adjacent Dist(%d,%d) = %d", u, v, d)
+			}
+			// Symmetry.
+			if g.Dist(v, u) != d {
+				t.Fatalf("asymmetric distance %d vs %d", d, g.Dist(v, u))
+			}
+			// A shortest path realizes it.
+			if p := g.ShortestPath(u, v); len(p) != d+1 {
+				t.Fatalf("path length %d != dist %d", len(p)-1, d)
+			}
+		}
+	})
+}

@@ -1,0 +1,250 @@
+// Package graph implements the undirected simple graph substrate used by
+// every other module: connected, unweighted, simple graphs with unique
+// integer vertex labels, exactly the network model of Bose, Carmi and
+// Durocher, "Bounding the Locality of Distributed Routing Algorithms".
+//
+// Labels induce the canonical total orders the paper relies on: vertices
+// are ranked by label, and edges are ranked lexicographically by the label
+// pair of their endpoints ("label each edge by concatenating the labels of
+// its endpoints and order edge labels lexicographically"). All tie-breaks
+// in the routing algorithms use these ranks, so graphs here are
+// deterministic value-like objects: construction happens through a Builder
+// and the resulting Graph is immutable.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Vertex is a network node, identified by its unique integer label.
+// The label carries no topological information (the paper's adversary may
+// permute labels arbitrarily); it only induces the canonical rank order.
+type Vertex int
+
+// NoVertex is the sentinel for "no vertex" (the paper's ⊥), used for the
+// predecessor of a message that has not been forwarded yet.
+const NoVertex Vertex = -1 << 62
+
+// Edge is an undirected edge. A normalized Edge has U < V; NewEdge
+// normalizes.
+type Edge struct {
+	U, V Vertex
+}
+
+// NewEdge returns the normalized edge {u, v} with the smaller label first.
+func NewEdge(u, v Vertex) Edge {
+	if u > v {
+		u, v = v, u
+	}
+	return Edge{U: u, V: v}
+}
+
+// Other returns the endpoint of e that is not w. It returns NoVertex if w
+// is not an endpoint of e.
+func (e Edge) Other(w Vertex) Vertex {
+	switch w {
+	case e.U:
+		return e.V
+	case e.V:
+		return e.U
+	default:
+		return NoVertex
+	}
+}
+
+// Less reports whether e precedes f in the canonical edge rank order
+// (lexicographic on the normalized endpoint labels).
+func (e Edge) Less(f Edge) bool {
+	if e.U != f.U {
+		return e.U < f.U
+	}
+	return e.V < f.V
+}
+
+func (e Edge) String() string {
+	return fmt.Sprintf("{%d,%d}", e.U, e.V)
+}
+
+// Graph is an immutable undirected simple graph. The zero value is the
+// empty graph. Adjacency lists are kept sorted by label so that iteration
+// order is deterministic everywhere.
+type Graph struct {
+	adj      map[Vertex][]Vertex
+	vertices []Vertex // sorted
+	edges    []Edge   // sorted by rank
+}
+
+// Builder accumulates vertices and edges and produces an immutable Graph.
+// Adding an existing vertex or edge is a no-op; self-loops are rejected.
+type Builder struct {
+	adj map[Vertex]map[Vertex]bool
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{adj: make(map[Vertex]map[Vertex]bool)}
+}
+
+// AddVertex ensures v is present.
+func (b *Builder) AddVertex(v Vertex) *Builder {
+	if _, ok := b.adj[v]; !ok {
+		b.adj[v] = make(map[Vertex]bool)
+	}
+	return b
+}
+
+// AddEdge ensures the undirected edge {u, v} is present, adding endpoints
+// as needed. Self-loops are ignored: the model is simple graphs.
+func (b *Builder) AddEdge(u, v Vertex) *Builder {
+	if u == v {
+		return b
+	}
+	b.AddVertex(u)
+	b.AddVertex(v)
+	b.adj[u][v] = true
+	b.adj[v][u] = true
+	return b
+}
+
+// AddPath adds edges between consecutive vertices of vs.
+func (b *Builder) AddPath(vs ...Vertex) *Builder {
+	for i := 1; i < len(vs); i++ {
+		b.AddEdge(vs[i-1], vs[i])
+	}
+	return b
+}
+
+// AddCycle adds the cycle through vs in order (closing the loop).
+func (b *Builder) AddCycle(vs ...Vertex) *Builder {
+	if len(vs) < 3 {
+		return b
+	}
+	b.AddPath(vs...)
+	b.AddEdge(vs[len(vs)-1], vs[0])
+	return b
+}
+
+// Build produces the immutable Graph. The Builder remains usable.
+func (b *Builder) Build() *Graph {
+	g := &Graph{
+		adj:      make(map[Vertex][]Vertex, len(b.adj)),
+		vertices: make([]Vertex, 0, len(b.adj)),
+	}
+	for v, nbrs := range b.adj {
+		g.vertices = append(g.vertices, v)
+		list := make([]Vertex, 0, len(nbrs))
+		for w := range nbrs {
+			list = append(list, w)
+		}
+		sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+		g.adj[v] = list
+	}
+	sort.Slice(g.vertices, func(i, j int) bool { return g.vertices[i] < g.vertices[j] })
+	for _, u := range g.vertices {
+		for _, w := range g.adj[u] {
+			if u < w {
+				g.edges = append(g.edges, Edge{U: u, V: w})
+			}
+		}
+	}
+	sort.Slice(g.edges, func(i, j int) bool { return g.edges[i].Less(g.edges[j]) })
+	return g
+}
+
+// FromEdges builds a graph from an edge list (plus optional isolated
+// vertices).
+func FromEdges(edges []Edge, isolated ...Vertex) *Graph {
+	b := NewBuilder()
+	for _, e := range edges {
+		b.AddEdge(e.U, e.V)
+	}
+	for _, v := range isolated {
+		b.AddVertex(v)
+	}
+	return b.Build()
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.vertices) }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return len(g.edges) }
+
+// Vertices returns the vertices in label order. The slice is a copy.
+func (g *Graph) Vertices() []Vertex {
+	out := make([]Vertex, len(g.vertices))
+	copy(out, g.vertices)
+	return out
+}
+
+// Edges returns the edges in canonical rank order. The slice is a copy.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, len(g.edges))
+	copy(out, g.edges)
+	return out
+}
+
+// HasVertex reports whether v is a vertex of g.
+func (g *Graph) HasVertex(v Vertex) bool {
+	_, ok := g.adj[v]
+	return ok
+}
+
+// HasEdge reports whether {u, v} is an edge of g.
+func (g *Graph) HasEdge(u, v Vertex) bool {
+	nbrs := g.adj[u]
+	i := sort.Search(len(nbrs), func(i int) bool { return nbrs[i] >= v })
+	return i < len(nbrs) && nbrs[i] == v
+}
+
+// Adj returns the neighbours of v in label order. The slice is a copy;
+// it is nil if v has no neighbours or is absent.
+func (g *Graph) Adj(v Vertex) []Vertex {
+	nbrs := g.adj[v]
+	if len(nbrs) == 0 {
+		return nil
+	}
+	out := make([]Vertex, len(nbrs))
+	copy(out, nbrs)
+	return out
+}
+
+// Deg returns the degree of v (0 if absent).
+func (g *Graph) Deg(v Vertex) int { return len(g.adj[v]) }
+
+// EachAdj calls fn for every neighbour of v in label order, without
+// allocating. It stops early if fn returns false.
+func (g *Graph) EachAdj(v Vertex, fn func(w Vertex) bool) {
+	for _, w := range g.adj[v] {
+		if !fn(w) {
+			return
+		}
+	}
+}
+
+// MinVertex returns the lowest-labelled vertex; it panics on the empty
+// graph (programming error).
+func (g *Graph) MinVertex() Vertex {
+	if len(g.vertices) == 0 {
+		panic("graph: MinVertex on empty graph")
+	}
+	return g.vertices[0]
+}
+
+// String renders a compact description, useful in test failures.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "graph{n=%d m=%d;", g.N(), g.M())
+	for i, e := range g.edges {
+		if i > 0 {
+			sb.WriteByte(' ')
+		} else {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(e.String())
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}

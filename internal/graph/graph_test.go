@@ -1,0 +1,526 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEdgeNormalizes(t *testing.T) {
+	tests := []struct {
+		giveU, giveV Vertex
+		want         Edge
+	}{
+		{1, 2, Edge{1, 2}},
+		{2, 1, Edge{1, 2}},
+		{5, 5, Edge{5, 5}},
+		{-3, 0, Edge{-3, 0}},
+	}
+	for _, tt := range tests {
+		if got := NewEdge(tt.giveU, tt.giveV); got != tt.want {
+			t.Errorf("NewEdge(%d,%d) = %v, want %v", tt.giveU, tt.giveV, got, tt.want)
+		}
+	}
+}
+
+func TestEdgeOther(t *testing.T) {
+	e := NewEdge(3, 7)
+	if got := e.Other(3); got != 7 {
+		t.Errorf("Other(3) = %d, want 7", got)
+	}
+	if got := e.Other(7); got != 3 {
+		t.Errorf("Other(7) = %d, want 3", got)
+	}
+	if got := e.Other(9); got != NoVertex {
+		t.Errorf("Other(9) = %d, want NoVertex", got)
+	}
+}
+
+func TestEdgeLess(t *testing.T) {
+	tests := []struct {
+		a, b Edge
+		want bool
+	}{
+		{NewEdge(1, 2), NewEdge(1, 3), true},
+		{NewEdge(1, 3), NewEdge(1, 2), false},
+		{NewEdge(1, 5), NewEdge(2, 3), true},
+		{NewEdge(2, 3), NewEdge(2, 3), false},
+	}
+	for _, tt := range tests {
+		if got := tt.a.Less(tt.b); got != tt.want {
+			t.Errorf("%v.Less(%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestBuilderBasics(t *testing.T) {
+	g := NewBuilder().AddEdge(1, 2).AddEdge(2, 3).AddVertex(9).Build()
+	if g.N() != 4 {
+		t.Fatalf("N() = %d, want 4", g.N())
+	}
+	if g.M() != 2 {
+		t.Fatalf("M() = %d, want 2", g.M())
+	}
+	if !g.HasEdge(1, 2) || !g.HasEdge(2, 1) {
+		t.Error("expected edge {1,2} in both orientations")
+	}
+	if g.HasEdge(1, 3) {
+		t.Error("unexpected edge {1,3}")
+	}
+	if !g.HasVertex(9) || g.Deg(9) != 0 {
+		t.Error("expected isolated vertex 9")
+	}
+}
+
+func TestBuilderIgnoresSelfLoopsAndDuplicates(t *testing.T) {
+	g := NewBuilder().AddEdge(1, 1).AddEdge(1, 2).AddEdge(2, 1).Build()
+	if g.M() != 1 {
+		t.Fatalf("M() = %d, want 1", g.M())
+	}
+	if g.HasEdge(1, 1) {
+		t.Error("self-loop must be rejected")
+	}
+}
+
+func TestAdjSortedAndCopied(t *testing.T) {
+	g := NewBuilder().AddEdge(5, 3).AddEdge(5, 9).AddEdge(5, 1).Build()
+	adj := g.Adj(5)
+	want := []Vertex{1, 3, 9}
+	if len(adj) != len(want) {
+		t.Fatalf("Adj(5) = %v, want %v", adj, want)
+	}
+	for i := range want {
+		if adj[i] != want[i] {
+			t.Fatalf("Adj(5) = %v, want %v", adj, want)
+		}
+	}
+	adj[0] = 99
+	if g.Adj(5)[0] != 1 {
+		t.Error("Adj must return a copy")
+	}
+}
+
+func TestVerticesAndEdgesOrdered(t *testing.T) {
+	g := NewBuilder().AddEdge(4, 2).AddEdge(3, 1).AddEdge(2, 1).Build()
+	vs := g.Vertices()
+	for i := 1; i < len(vs); i++ {
+		if vs[i-1] >= vs[i] {
+			t.Fatalf("vertices not sorted: %v", vs)
+		}
+	}
+	es := g.Edges()
+	for i := 1; i < len(es); i++ {
+		if !es[i-1].Less(es[i]) {
+			t.Fatalf("edges not sorted: %v", es)
+		}
+	}
+}
+
+func TestAddPathAddCycle(t *testing.T) {
+	p := NewBuilder().AddPath(1, 2, 3, 4).Build()
+	if p.M() != 3 || !p.HasEdge(1, 2) || !p.HasEdge(3, 4) {
+		t.Errorf("AddPath produced %v", p)
+	}
+	c := NewBuilder().AddCycle(1, 2, 3, 4).Build()
+	if c.M() != 4 || !c.HasEdge(4, 1) {
+		t.Errorf("AddCycle produced %v", c)
+	}
+	short := NewBuilder().AddCycle(1, 2).Build()
+	if short.M() != 0 {
+		t.Errorf("AddCycle with <3 vertices must be a no-op, got %v", short)
+	}
+}
+
+func TestEachAdjEarlyStop(t *testing.T) {
+	g := NewBuilder().AddEdge(0, 1).AddEdge(0, 2).AddEdge(0, 3).Build()
+	var seen []Vertex
+	g.EachAdj(0, func(w Vertex) bool {
+		seen = append(seen, w)
+		return len(seen) < 2
+	})
+	if len(seen) != 2 || seen[0] != 1 || seen[1] != 2 {
+		t.Errorf("EachAdj early stop visited %v", seen)
+	}
+}
+
+func TestBFSAndDist(t *testing.T) {
+	// 1-2-3-4 with a chord 1-3.
+	g := NewBuilder().AddPath(1, 2, 3, 4).AddEdge(1, 3).Build()
+	dist := g.BFS(1)
+	want := map[Vertex]int{1: 0, 2: 1, 3: 1, 4: 2}
+	for v, d := range want {
+		if dist[v] != d {
+			t.Errorf("BFS(1)[%d] = %d, want %d", v, dist[v], d)
+		}
+	}
+	if got := g.Dist(1, 4); got != 2 {
+		t.Errorf("Dist(1,4) = %d, want 2", got)
+	}
+	if got := g.Dist(4, 4); got != 0 {
+		t.Errorf("Dist(4,4) = %d, want 0", got)
+	}
+}
+
+func TestBFSBounded(t *testing.T) {
+	g := NewBuilder().AddPath(1, 2, 3, 4, 5).Build()
+	dist := g.BFSBounded(1, 2)
+	if len(dist) != 3 {
+		t.Fatalf("BFSBounded(1,2) reached %d vertices, want 3", len(dist))
+	}
+	if _, ok := dist[4]; ok {
+		t.Error("vertex 4 must be outside radius 2")
+	}
+}
+
+func TestDistDisconnected(t *testing.T) {
+	g := NewBuilder().AddEdge(1, 2).AddEdge(3, 4).Build()
+	if got := g.Dist(1, 4); got != Infinity {
+		t.Errorf("Dist across components = %d, want Infinity", got)
+	}
+	if got := g.Dist(1, 99); got != Infinity {
+		t.Errorf("Dist to absent vertex = %d, want Infinity", got)
+	}
+}
+
+func TestShortestPathDeterministic(t *testing.T) {
+	// Two shortest paths 1-2-4 and 1-3-4; the canonical one goes through 2.
+	g := NewBuilder().AddEdge(1, 2).AddEdge(2, 4).AddEdge(1, 3).AddEdge(3, 4).Build()
+	p := g.ShortestPath(1, 4)
+	if len(p) != 3 || p[0] != 1 || p[1] != 2 || p[2] != 4 {
+		t.Errorf("ShortestPath(1,4) = %v, want [1 2 4]", p)
+	}
+	if hop := g.NextHopToward(1, 4); hop != 2 {
+		t.Errorf("NextHopToward(1,4) = %d, want 2", hop)
+	}
+}
+
+func TestShortestPathEdgeCases(t *testing.T) {
+	g := NewBuilder().AddEdge(1, 2).AddVertex(7).Build()
+	if p := g.ShortestPath(1, 1); len(p) != 1 || p[0] != 1 {
+		t.Errorf("ShortestPath(1,1) = %v", p)
+	}
+	if p := g.ShortestPath(1, 7); p != nil {
+		t.Errorf("ShortestPath to disconnected vertex = %v, want nil", p)
+	}
+	if hop := g.NextHopToward(1, 1); hop != NoVertex {
+		t.Errorf("NextHopToward(1,1) = %v, want NoVertex", hop)
+	}
+}
+
+func TestConnectedAndComponents(t *testing.T) {
+	g := NewBuilder().AddEdge(1, 2).AddEdge(3, 4).AddVertex(5).Build()
+	if g.Connected() {
+		t.Error("graph with 3 components reported connected")
+	}
+	comps := g.Components()
+	if len(comps) != 3 {
+		t.Fatalf("Components() = %v, want 3 components", comps)
+	}
+	if comps[0][0] != 1 || comps[1][0] != 3 || comps[2][0] != 5 {
+		t.Errorf("components not ordered by smallest label: %v", comps)
+	}
+	one := g.ComponentOf(2)
+	if len(one) != 2 || one[0] != 1 || one[1] != 2 {
+		t.Errorf("ComponentOf(2) = %v", one)
+	}
+	empty := NewBuilder().Build()
+	if !empty.Connected() {
+		t.Error("empty graph must count as connected")
+	}
+}
+
+func TestGirth(t *testing.T) {
+	tests := []struct {
+		name string
+		give *Graph
+		want int
+	}{
+		{"triangle", NewBuilder().AddCycle(1, 2, 3).Build(), 3},
+		{"C5", NewBuilder().AddCycle(1, 2, 3, 4, 5).Build(), 5},
+		{"tree", NewBuilder().AddPath(1, 2, 3, 4).Build(), Infinity},
+		{"C5 plus chord", NewBuilder().AddCycle(1, 2, 3, 4, 5).AddEdge(1, 3).Build(), 3},
+		{"two cycles", NewBuilder().AddCycle(1, 2, 3, 4).AddCycle(10, 11, 12, 13, 14, 15).Build(), 4},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.give.Girth(); got != tt.want {
+				t.Errorf("Girth() = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestIsTree(t *testing.T) {
+	if !NewBuilder().AddPath(1, 2, 3).Build().IsTree() {
+		t.Error("path should be a tree")
+	}
+	if NewBuilder().AddCycle(1, 2, 3).Build().IsTree() {
+		t.Error("cycle is not a tree")
+	}
+	if NewBuilder().AddEdge(1, 2).AddEdge(3, 4).Build().IsTree() {
+		t.Error("forest is not a tree")
+	}
+}
+
+func TestHasPathAvoiding(t *testing.T) {
+	g := NewBuilder().AddCycle(1, 2, 3, 4, 5).Build()
+	blockNone := func(Edge) bool { return true }
+	if !g.HasPathAvoiding(1, 3, 2, blockNone) {
+		t.Error("path 1-2-3 of length 2 should exist")
+	}
+	if g.HasPathAvoiding(1, 3, 1, blockNone) {
+		t.Error("no path of length 1 from 1 to 3")
+	}
+	noEdge12 := func(e Edge) bool { return e != NewEdge(1, 2) }
+	if g.HasPathAvoiding(1, 3, 2, noEdge12) {
+		t.Error("avoiding {1,2} the distance 1→3 is 3")
+	}
+	if !g.HasPathAvoiding(1, 3, 3, noEdge12) {
+		t.Error("1-5-4-3 should be found")
+	}
+	if !g.HasPathAvoiding(2, 2, 0, blockNone) {
+		t.Error("trivial path to self")
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := NewBuilder().AddCycle(1, 2, 3, 4).AddEdge(2, 4).Build()
+	sub := g.InducedSubgraph([]Vertex{1, 2, 4, 99})
+	if sub.N() != 3 {
+		t.Fatalf("induced N = %d, want 3 (absent vertices ignored)", sub.N())
+	}
+	if !sub.HasEdge(1, 2) || !sub.HasEdge(2, 4) || !sub.HasEdge(1, 4) {
+		t.Errorf("induced subgraph missing edges: %v", sub)
+	}
+	if sub.HasEdge(2, 3) {
+		t.Error("edge to excluded vertex must be dropped")
+	}
+}
+
+func TestEdgeInducedSubgraph(t *testing.T) {
+	g := NewBuilder().AddCycle(1, 2, 3, 4).Build()
+	sub := g.EdgeInducedSubgraph([]Edge{NewEdge(1, 2), NewEdge(3, 4), NewEdge(7, 8)})
+	if sub.M() != 2 || sub.N() != 4 {
+		t.Errorf("edge-induced subgraph = %v", sub)
+	}
+}
+
+func TestWithoutEdgesAndVertex(t *testing.T) {
+	g := NewBuilder().AddCycle(1, 2, 3, 4).Build()
+	h := g.WithoutEdges([]Edge{NewEdge(2, 1)})
+	if h.HasEdge(1, 2) || h.M() != 3 || h.N() != 4 {
+		t.Errorf("WithoutEdges = %v", h)
+	}
+	w := g.WithoutVertex(2)
+	if w.HasVertex(2) || w.N() != 3 || w.M() != 2 {
+		t.Errorf("WithoutVertex = %v", w)
+	}
+}
+
+func TestFilterEdges(t *testing.T) {
+	g := NewBuilder().AddCycle(1, 2, 3, 4).Build()
+	h := g.FilterEdges(func(e Edge) bool { return e.U != 1 })
+	if h.N() != 4 || h.M() != 2 {
+		t.Errorf("FilterEdges = %v", h)
+	}
+}
+
+func TestPermuteLabels(t *testing.T) {
+	g := NewBuilder().AddPath(1, 2, 3).Build()
+	perm := map[Vertex]Vertex{1: 30, 2: 10, 3: 20}
+	h := g.PermuteLabels(perm)
+	if !h.HasEdge(30, 10) || !h.HasEdge(10, 20) || h.HasEdge(30, 20) {
+		t.Errorf("PermuteLabels = %v", h)
+	}
+}
+
+func TestPermuteLabelsPanics(t *testing.T) {
+	g := NewBuilder().AddEdge(1, 2).Build()
+	assertPanics(t, "missing vertex", func() {
+		g.PermuteLabels(map[Vertex]Vertex{1: 5})
+	})
+	assertPanics(t, "not injective", func() {
+		g.PermuteLabels(map[Vertex]Vertex{1: 5, 2: 5})
+	})
+}
+
+func assertPanics(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}
+
+func TestEqualAndUnion(t *testing.T) {
+	a := NewBuilder().AddPath(1, 2, 3).Build()
+	b := NewBuilder().AddEdge(2, 3).AddEdge(1, 2).Build()
+	if !a.Equal(b) {
+		t.Error("identical graphs must be Equal")
+	}
+	c := NewBuilder().AddPath(1, 2, 4).Build()
+	if a.Equal(c) {
+		t.Error("different graphs must not be Equal")
+	}
+	u := a.Union(NewBuilder().AddEdge(3, 4).Build())
+	if u.N() != 4 || u.M() != 3 {
+		t.Errorf("Union = %v", u)
+	}
+}
+
+func TestIsomorphic(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b *Graph
+		want bool
+	}{
+		{
+			"relabelled path",
+			NewBuilder().AddPath(1, 2, 3, 4).Build(),
+			NewBuilder().AddPath(10, 30, 20, 40).Build(),
+			true,
+		},
+		{
+			"path vs star",
+			NewBuilder().AddPath(1, 2, 3, 4).Build(),
+			NewBuilder().AddEdge(1, 2).AddEdge(1, 3).AddEdge(1, 4).Build(),
+			false,
+		},
+		{
+			"C6 vs two triangles",
+			NewBuilder().AddCycle(1, 2, 3, 4, 5, 6).Build(),
+			NewBuilder().AddCycle(1, 2, 3).AddCycle(4, 5, 6).Build(),
+			false,
+		},
+		{
+			"empty graphs",
+			NewBuilder().Build(),
+			NewBuilder().Build(),
+			true,
+		},
+		{
+			"same degree sequence, not isomorphic",
+			// C6: degrees all 2. Triangle + triangle also all 2 — covered
+			// above. Here: C4 plus isolated edge vs path of 6 vertices.
+			NewBuilder().AddCycle(1, 2, 3, 4).AddEdge(5, 6).Build(),
+			NewBuilder().AddPath(1, 2, 3, 4, 5, 6).Build(),
+			false,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Isomorphic(tt.b); got != tt.want {
+				t.Errorf("Isomorphic = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestIsomorphicUnderRandomRelabelling(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		g := randomGraph(rng, 8, 0.35)
+		perm := randomPermutation(rng, g)
+		h := g.PermuteLabels(perm)
+		if !g.Isomorphic(h) {
+			t.Fatalf("graph must be isomorphic to its relabelling: %v vs %v", g, h)
+		}
+	}
+}
+
+func TestPropertyPermutePreservesDistances(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, 9, 0.3)
+		perm := randomPermutation(rng, g)
+		h := g.PermuteLabels(perm)
+		vs := g.Vertices()
+		for i := 0; i < 5; i++ {
+			u := vs[r.Intn(len(vs))]
+			v := vs[r.Intn(len(vs))]
+			if g.Dist(u, v) != h.Dist(perm[u], perm[v]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyBFSTriangleInequality(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, 10, 0.3)
+		vs := g.Vertices()
+		a, b, c := vs[r.Intn(len(vs))], vs[r.Intn(len(vs))], vs[r.Intn(len(vs))]
+		dab, dbc, dac := g.Dist(a, b), g.Dist(b, c), g.Dist(a, c)
+		if dab == Infinity || dbc == Infinity {
+			return true
+		}
+		return dac <= dab+dbc
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyShortestPathLengthMatchesDist(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, 10, 0.3)
+		vs := g.Vertices()
+		u, v := vs[r.Intn(len(vs))], vs[r.Intn(len(vs))]
+		p := g.ShortestPath(u, v)
+		d := g.Dist(u, v)
+		if d == Infinity {
+			return p == nil
+		}
+		if len(p) != d+1 || p[0] != u || p[len(p)-1] != v {
+			return false
+		}
+		for i := 1; i < len(p); i++ {
+			if !g.HasEdge(p[i-1], p[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomGraph returns a G(n, p) graph on labels 0..n-1.
+func randomGraph(rng *rand.Rand, n int, p float64) *Graph {
+	b := NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddVertex(Vertex(i))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				b.AddEdge(Vertex(i), Vertex(j))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// randomPermutation returns a random bijection of g's labels onto
+// themselves.
+func randomPermutation(rng *rand.Rand, g *Graph) map[Vertex]Vertex {
+	vs := g.Vertices()
+	shuffled := make([]Vertex, len(vs))
+	copy(shuffled, vs)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	perm := make(map[Vertex]Vertex, len(vs))
+	for i, v := range vs {
+		perm[v] = shuffled[i]
+	}
+	return perm
+}

@@ -1,0 +1,81 @@
+package graph
+
+import "sort"
+
+// Isomorphic reports whether g and h are isomorphic. It is a brute-force
+// backtracking check with degree-sequence pruning, intended for the small
+// graphs (n ≲ 10) used in exhaustive tests; larger inputs work but may be
+// slow.
+func (g *Graph) Isomorphic(h *Graph) bool {
+	if g.N() != h.N() || g.M() != h.M() {
+		return false
+	}
+	if g.N() == 0 {
+		return true
+	}
+	if !sameDegreeSequence(g, h) {
+		return false
+	}
+	gv := g.Vertices()
+	// Order g's vertices by decreasing degree: high-degree vertices are the
+	// most constrained, so mapping them first prunes earlier.
+	sort.Slice(gv, func(i, j int) bool {
+		di, dj := g.Deg(gv[i]), g.Deg(gv[j])
+		if di != dj {
+			return di > dj
+		}
+		return gv[i] < gv[j]
+	})
+	hv := h.Vertices()
+	mapping := make(map[Vertex]Vertex, len(gv))
+	used := make(map[Vertex]bool, len(hv))
+	return matchNext(g, h, gv, hv, mapping, used, 0)
+}
+
+func sameDegreeSequence(g, h *Graph) bool {
+	degs := func(x *Graph) []int {
+		out := make([]int, 0, x.N())
+		for _, v := range x.Vertices() {
+			out = append(out, x.Deg(v))
+		}
+		sort.Ints(out)
+		return out
+	}
+	dg, dh := degs(g), degs(h)
+	for i := range dg {
+		if dg[i] != dh[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func matchNext(g, h *Graph, gv, hv []Vertex, mapping map[Vertex]Vertex, used map[Vertex]bool, i int) bool {
+	if i == len(gv) {
+		return true
+	}
+	u := gv[i]
+	for _, cand := range hv {
+		if used[cand] || g.Deg(u) != h.Deg(cand) {
+			continue
+		}
+		ok := true
+		for _, prev := range gv[:i] {
+			if g.HasEdge(u, prev) != h.HasEdge(cand, mapping[prev]) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		mapping[u] = cand
+		used[cand] = true
+		if matchNext(g, h, gv, hv, mapping, used, i+1) {
+			return true
+		}
+		delete(mapping, u)
+		delete(used, cand)
+	}
+	return false
+}

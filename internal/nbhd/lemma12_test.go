@@ -1,0 +1,75 @@
+package nbhd
+
+import (
+	"math/rand"
+	"testing"
+
+	"klocal/internal/gen"
+	"klocal/internal/graph"
+)
+
+// TestLemma12OneConstrainedActiveComponent checks Lemma 12 directly: for
+// k ≥ ⌊n/2⌋ and any u, t, either dist(u,t) ≤ k or G_k(u) has exactly one
+// active component, and that component is constrained.
+func TestLemma12OneConstrainedActiveComponent(t *testing.T) {
+	rng := rand.New(rand.NewSource(501))
+	for trial := 0; trial < 60; trial++ {
+		n := 5 + rng.Intn(25)
+		g := gen.RandomConnected(rng, n, 0.12)
+		k := n / 2
+		if k < 1 {
+			continue
+		}
+		for _, u := range g.Vertices() {
+			nb := Extract(g, u, k)
+			// Find a destination beyond the horizon, if any.
+			var far graph.Vertex = graph.NoVertex
+			for _, v := range g.Vertices() {
+				if !nb.Contains(v) {
+					far = v
+					break
+				}
+			}
+			if far == graph.NoVertex {
+				continue // the whole graph is visible: Case 1 everywhere
+			}
+			active := 0
+			constrained := 0
+			for _, c := range nb.Components() {
+				if c.Active {
+					active++
+					if c.Constrained {
+						constrained++
+					}
+				}
+			}
+			if active != 1 || constrained != 1 {
+				t.Fatalf("Lemma 12 violated at u=%d, k=%d: %d active, %d constrained (n=%d, g=%v)",
+					u, k, active, constrained, n, g)
+			}
+		}
+	}
+}
+
+// TestLemma12OnExtremalShapes exercises the lemma's three proof cases on
+// crafted instances.
+func TestLemma12OnExtremalShapes(t *testing.T) {
+	// Case: a long path — the far side is the single constrained active
+	// component.
+	g := gen.Path(11)
+	k := 5
+	nb := Extract(g, 0, k)
+	comps := nb.Components()
+	if len(comps) != 1 || !comps[0].Active || !comps[0].Constrained {
+		t.Fatalf("path end: %+v", comps)
+	}
+	// Case: an even cycle at k = n/2 — everything visible, so every
+	// destination is within k (no far vertex to route to).
+	c := gen.Cycle(10)
+	nbc := Extract(c, 0, 5)
+	for _, v := range c.Vertices() {
+		if !nbc.Contains(v) {
+			t.Fatalf("C10 at k=5 must see everything; missing %d", v)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+// Package nbhd implements the paper's k-neighbourhood machinery: the
+// subgraph G_k(u) of all paths rooted at u with length at most k, and the
+// classification of the local components of G_k(u)\{u} into active /
+// passive, constrained (with their constraint vertices) and independent
+// components (Section 2.1 and Figure 1 of the paper).
+package nbhd
+
+import (
+	"sort"
+
+	"klocal/internal/graph"
+)
+
+// Neighborhood is G_k(u): everything node u is allowed to know.
+type Neighborhood struct {
+	Center graph.Vertex
+	K      int
+	// G is the neighbourhood subgraph itself.
+	G *graph.Graph
+	// Dist maps every vertex of G to its distance from Center (equal to
+	// the distance in the underlying network for all included vertices).
+	Dist map[graph.Vertex]int
+}
+
+// Extract computes G_k(u): the vertices within distance k of u, and the
+// edges whose nearer endpoint is within distance k−1. (An edge joining two
+// vertices both at distance exactly k lies only on paths of length > k
+// rooted at u and is therefore not part of u's knowledge.)
+func Extract(g *graph.Graph, u graph.Vertex, k int) *Neighborhood {
+	dist := g.BFSBounded(u, k)
+	b := graph.NewBuilder()
+	for v := range dist {
+		b.AddVertex(v)
+	}
+	for v, dv := range dist {
+		if dv >= k {
+			continue
+		}
+		g.EachAdj(v, func(w graph.Vertex) bool {
+			if _, ok := dist[w]; ok {
+				b.AddEdge(v, w)
+			}
+			return true
+		})
+	}
+	return &Neighborhood{Center: u, K: k, G: b.Build(), Dist: dist}
+}
+
+// Contains reports whether v is within u's knowledge.
+func (nb *Neighborhood) Contains(v graph.Vertex) bool {
+	_, ok := nb.Dist[v]
+	return ok
+}
+
+// Component is a local component of the view: a connected component of
+// view\{center}, classified per the paper.
+type Component struct {
+	// Vertices of the component, sorted by label.
+	Vertices []graph.Vertex
+	// Roots are the neighbours of the centre inside the component, sorted
+	// by label (a component may have several roots).
+	Roots []graph.Vertex
+	// Active reports whether the component reaches the knowledge horizon:
+	// it contains a vertex at distance exactly k from the centre.
+	Active bool
+	// Independent reports whether the component has a unique root.
+	Independent bool
+	// Constrained reports whether the component is active and every
+	// active path passes through some vertex other than the centre.
+	Constrained bool
+	// ConstraintVertices holds every constraint vertex (vertices other
+	// than the centre lying on all active paths of the component), sorted
+	// by label. Empty for passive or unconstrained components.
+	ConstraintVertices []graph.Vertex
+
+	vset map[graph.Vertex]bool
+}
+
+// Has reports whether v belongs to the component.
+func (c *Component) Has(v graph.Vertex) bool { return c.vset[v] }
+
+// Root returns the unique root of an independent component; for
+// multi-rooted components it returns the lowest-labelled root (the
+// canonical representative used by rank-based tie-breaks).
+func (c *Component) Root() graph.Vertex { return c.Roots[0] }
+
+// Components classifies the local components of the neighbourhood.
+// Components are ordered by their lowest-labelled root.
+func (nb *Neighborhood) Components() []*Component {
+	return classify(nb.G, nb.Center, nb.K)
+}
+
+// ClassifyView classifies the local components of an arbitrary view graph
+// around a centre with knowledge radius k. The view must contain the
+// centre; distances are measured inside the view. The preprocessing step
+// reuses this on the routing subgraph G'_k(u).
+func ClassifyView(view *graph.Graph, center graph.Vertex, k int) []*Component {
+	return classify(view, center, k)
+}
+
+func classify(view *graph.Graph, center graph.Vertex, k int) []*Component {
+	dist := view.BFS(center)
+	removed := view.WithoutVertex(center)
+	var comps []*Component
+	for _, vs := range removed.Components() {
+		c := &Component{
+			Vertices: vs,
+			vset:     make(map[graph.Vertex]bool, len(vs)),
+		}
+		for _, v := range vs {
+			c.vset[v] = true
+		}
+		view.EachAdj(center, func(w graph.Vertex) bool {
+			if c.vset[w] {
+				c.Roots = append(c.Roots, w)
+			}
+			return true
+		})
+		if len(c.Roots) == 0 {
+			// A component of view\{center} not adjacent to the centre can
+			// only arise from a malformed view; skip it rather than
+			// misclassify.
+			continue
+		}
+		sort.Slice(c.Roots, func(i, j int) bool { return c.Roots[i] < c.Roots[j] })
+		c.Independent = len(c.Roots) == 1
+		var horizon []graph.Vertex
+		for _, v := range vs {
+			if dist[v] == k {
+				horizon = append(horizon, v)
+			}
+		}
+		c.Active = len(horizon) > 0
+		if c.Active {
+			c.ConstraintVertices = constraintVertices(view, center, horizon, c, dist)
+			c.Constrained = len(c.ConstraintVertices) > 0
+		}
+		comps = append(comps, c)
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i].Roots[0] < comps[j].Roots[0] })
+	return comps
+}
+
+// constraintVertices returns the vertices w ≠ center that lie on every
+// active path of the component: every shortest path in the view from the
+// centre to a horizon vertex of the component. A vertex w lies on every
+// shortest u→z path iff removing w increases (or destroys) the u→z
+// distance.
+func constraintVertices(view *graph.Graph, center graph.Vertex, horizon []graph.Vertex, c *Component, dist map[graph.Vertex]int) []graph.Vertex {
+	var out []graph.Vertex
+	for _, w := range c.Vertices {
+		// A horizon vertex w trivially lies on every u→w path; the paper
+		// allows it (only the centre is excluded), so it is checked like
+		// any other vertex against the remaining horizon.
+		without := view.WithoutVertex(w)
+		onAll := true
+		for _, z := range horizon {
+			if z == w {
+				continue
+			}
+			if d, ok := without.BFS(center)[z]; ok && d == dist[z] {
+				onAll = false
+				break
+			}
+		}
+		if onAll {
+			out = append(out, w)
+		}
+	}
+	return out
+}

@@ -1,0 +1,319 @@
+package nbhd
+
+import (
+	"math/rand"
+	"testing"
+
+	"klocal/internal/gen"
+	"klocal/internal/graph"
+)
+
+func TestExtractPath(t *testing.T) {
+	g := gen.Path(11) // 0-1-...-10
+	nb := Extract(g, 5, 3)
+	if nb.G.N() != 7 {
+		t.Fatalf("G_3(5) has %d vertices, want 7", nb.G.N())
+	}
+	if nb.Dist[2] != 3 || nb.Dist[8] != 3 {
+		t.Errorf("frontier distances wrong: %v", nb.Dist)
+	}
+	if nb.Contains(1) || nb.Contains(9) {
+		t.Error("vertices beyond distance 3 must be excluded")
+	}
+	if !nb.G.HasEdge(2, 3) || nb.G.HasEdge(1, 2) {
+		t.Error("edge inclusion wrong at the frontier")
+	}
+}
+
+func TestExtractExcludesFrontierFrontierEdge(t *testing.T) {
+	// 0-1-2 and 0-3-4 with an edge 2-4 joining the two frontier vertices
+	// at distance 2: that edge lies only on paths of length 3 rooted at 0.
+	g := graph.NewBuilder().AddPath(0, 1, 2).AddPath(0, 3, 4).AddEdge(2, 4).Build()
+	nb := Extract(g, 0, 2)
+	if nb.G.HasEdge(2, 4) {
+		t.Error("frontier-frontier edge must not be in G_k(u)")
+	}
+	if !nb.Contains(2) || !nb.Contains(4) {
+		t.Error("frontier vertices themselves are in G_k(u)")
+	}
+}
+
+func TestExtractWholeGraph(t *testing.T) {
+	g := gen.Cycle(6)
+	nb := Extract(g, 0, 10)
+	if nb.G.N() != 6 || nb.G.M() != 6 {
+		t.Errorf("k beyond diameter must capture the whole graph: %v", nb.G)
+	}
+}
+
+func TestComponentsOnPathCentre(t *testing.T) {
+	g := gen.Path(11)
+	nb := Extract(g, 5, 3)
+	comps := nb.Components()
+	if len(comps) != 2 {
+		t.Fatalf("got %d components, want 2", len(comps))
+	}
+	for _, c := range comps {
+		if !c.Active {
+			t.Errorf("long arms must be active: %+v", c)
+		}
+		if !c.Independent {
+			t.Errorf("path arms are independent: %+v", c)
+		}
+		if !c.Constrained {
+			t.Error("independent active components are constrained")
+		}
+	}
+}
+
+func TestPassiveComponent(t *testing.T) {
+	// Centre 0 with a long arm (active) and a short arm (passive).
+	g := graph.NewBuilder().AddPath(0, 1, 2, 3, 4, 5).AddPath(0, 10, 11).Build()
+	nb := Extract(g, 0, 4)
+	comps := nb.Components()
+	if len(comps) != 2 {
+		t.Fatalf("got %d components, want 2", len(comps))
+	}
+	long, short := comps[0], comps[1]
+	if long.Roots[0] != 1 || short.Roots[0] != 10 {
+		t.Fatalf("component ordering by root wrong: %v %v", long.Roots, short.Roots)
+	}
+	if !long.Active || short.Active {
+		t.Errorf("activity wrong: long=%v short=%v", long.Active, short.Active)
+	}
+	if short.Constrained || len(short.ConstraintVertices) != 0 {
+		t.Error("passive components have no constraint vertices")
+	}
+}
+
+func TestMultiRootComponent(t *testing.T) {
+	// A triangle at the centre: neighbours 1 and 2 joined, forming one
+	// two-rooted (non-independent) component.
+	g := graph.NewBuilder().AddCycle(0, 1, 2).AddPath(2, 3, 4, 5).Build()
+	nb := Extract(g, 0, 3)
+	comps := nb.Components()
+	if len(comps) != 1 {
+		t.Fatalf("got %d components, want 1", len(comps))
+	}
+	c := comps[0]
+	if c.Independent {
+		t.Error("two-rooted component must not be independent")
+	}
+	if len(c.Roots) != 2 || c.Roots[0] != 1 || c.Roots[1] != 2 {
+		t.Errorf("roots = %v, want [1 2]", c.Roots)
+	}
+	if !c.Active {
+		t.Error("component reaches the horizon via the tail")
+	}
+	// Every path from 0 to the horizon vertex 5... horizon is at distance
+	// 3 (vertex 4? dist(0,4)=3 via 2): check constraint vertex 2.
+	found := false
+	for _, w := range c.ConstraintVertices {
+		if w == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("vertex 2 gates all active paths; constraint vertices = %v", c.ConstraintVertices)
+	}
+}
+
+func TestUnconstrainedActiveComponent(t *testing.T) {
+	// A 2k-cycle through the centre: one component, two roots, active
+	// paths on both sides, no single gating vertex.
+	g := gen.Cycle(8)
+	nb := Extract(g, 0, 4)
+	comps := nb.Components()
+	if len(comps) != 1 {
+		t.Fatalf("got %d components, want 1", len(comps))
+	}
+	c := comps[0]
+	if !c.Active {
+		t.Fatal("cycle component must be active")
+	}
+	// The single horizon vertex (antipode, distance 4) is reached by two
+	// disjoint paths, but it is itself on every active path, so it is the
+	// only constraint vertex.
+	if len(c.ConstraintVertices) != 1 || c.ConstraintVertices[0] != 4 {
+		t.Errorf("constraint vertices = %v, want [4]", c.ConstraintVertices)
+	}
+}
+
+func TestTrulyUnconstrainedComponent(t *testing.T) {
+	// Two disjoint horizon vertices in one component with disjoint paths:
+	// 0 connects to 1 and 2; 1-3, 2-4 (horizon at k=2), and 1-2 ties them
+	// into one component. No vertex lies on all active paths.
+	g := graph.NewBuilder().
+		AddEdge(0, 1).AddEdge(0, 2).AddEdge(1, 2).
+		AddPath(1, 3).AddPath(2, 4).Build()
+	nb := Extract(g, 0, 2)
+	comps := nb.Components()
+	if len(comps) != 1 {
+		t.Fatalf("got %d components, want 1", len(comps))
+	}
+	c := comps[0]
+	if !c.Active || c.Constrained || len(c.ConstraintVertices) != 0 {
+		t.Errorf("component should be active and unconstrained: %+v", c)
+	}
+}
+
+func TestFigure1Style(t *testing.T) {
+	// A small replica of Figure 1's taxonomy around centre u=0, k=3:
+	//  - B1: independent active (a path of length 3),
+	//  - B2: independent passive (a path of length 2),
+	//  - B3: two-rooted constrained active (both roots funnel through w),
+	//  - B4: two-rooted unconstrained active.
+	b := graph.NewBuilder()
+	b.AddPath(0, 1, 2, 3) // B1
+	b.AddPath(0, 10, 11)  // B2
+	b.AddEdge(0, 20)      // B3 roots 20, 21
+	b.AddEdge(0, 21)      //
+	b.AddEdge(20, 22)     // w = 22
+	b.AddEdge(21, 22)     //
+	b.AddEdge(22, 23)     // horizon via w
+	b.AddEdge(0, 30)      // B4 roots 30, 31
+	b.AddEdge(0, 31)      //
+	b.AddPath(30, 32, 33) // two disjoint deep branches
+	b.AddPath(31, 34, 35) //
+	b.AddEdge(30, 31)     // tie into one component
+	g := b.Build()
+
+	nb := Extract(g, 0, 3)
+	comps := nb.Components()
+	if len(comps) != 4 {
+		t.Fatalf("got %d components, want 4", len(comps))
+	}
+	b1, b2, b3, b4 := comps[0], comps[1], comps[2], comps[3]
+
+	if !b1.Active || !b1.Independent || !b1.Constrained {
+		t.Errorf("B1 classification wrong: %+v", b1)
+	}
+	if b2.Active || !b2.Independent {
+		t.Errorf("B2 classification wrong: %+v", b2)
+	}
+	if !b3.Active || b3.Independent || !b3.Constrained {
+		t.Errorf("B3 classification wrong: %+v", b3)
+	}
+	hasW := false
+	for _, w := range b3.ConstraintVertices {
+		if w == 22 {
+			hasW = true
+		}
+	}
+	if !hasW {
+		t.Errorf("B3 constraint vertices = %v, want to include 22", b3.ConstraintVertices)
+	}
+	if !b4.Active || b4.Independent || b4.Constrained {
+		t.Errorf("B4 classification wrong: %+v", b4)
+	}
+}
+
+func TestComponentHasAndRoot(t *testing.T) {
+	g := gen.Path(7)
+	nb := Extract(g, 3, 2)
+	comps := nb.Components()
+	left := comps[0]
+	if !left.Has(2) || left.Has(4) {
+		t.Error("Has misreports membership")
+	}
+	if left.Root() != 2 {
+		t.Errorf("Root() = %d, want 2", left.Root())
+	}
+}
+
+func TestClassifyViewMatchesNeighborhood(t *testing.T) {
+	g := gen.Lollipop(9, 4)
+	nb := Extract(g, 0, 3)
+	a := nb.Components()
+	b := ClassifyView(nb.G, 0, 3)
+	if len(a) != len(b) {
+		t.Fatalf("component counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Active != b[i].Active || len(a[i].Vertices) != len(b[i].Vertices) {
+			t.Errorf("component %d differs", i)
+		}
+	}
+}
+
+func TestPropertyComponentsPartitionBall(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		n := 6 + rng.Intn(20)
+		g := gen.RandomConnected(rng, n, 0.15)
+		u := graph.Vertex(rng.Intn(n))
+		k := 1 + rng.Intn(5)
+		nb := Extract(g, u, k)
+		comps := nb.Components()
+		seen := map[graph.Vertex]bool{u: true}
+		for _, c := range comps {
+			for _, v := range c.Vertices {
+				if seen[v] {
+					t.Fatalf("vertex %d in two components", v)
+				}
+				seen[v] = true
+			}
+		}
+		if len(seen) != nb.G.N() {
+			t.Fatalf("components cover %d of %d vertices", len(seen), nb.G.N())
+		}
+	}
+}
+
+func TestPropertyIndependentActiveIsConstrained(t *testing.T) {
+	// The paper: "Every independent active component is a constrained
+	// active component."
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 60; trial++ {
+		n := 6 + rng.Intn(25)
+		g := gen.RandomConnected(rng, n, 0.1)
+		u := graph.Vertex(rng.Intn(n))
+		k := 1 + rng.Intn(6)
+		for _, c := range Extract(g, u, k).Components() {
+			if c.Independent && c.Active && !c.Constrained {
+				t.Fatalf("independent active component not constrained: u=%d k=%d g=%v", u, k, g)
+			}
+		}
+	}
+}
+
+func TestPropertyDistMatchesGlobal(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 30; trial++ {
+		n := 6 + rng.Intn(20)
+		g := gen.RandomConnected(rng, n, 0.2)
+		u := graph.Vertex(rng.Intn(n))
+		k := 1 + rng.Intn(4)
+		nb := Extract(g, u, k)
+		for v, d := range nb.Dist {
+			if gd := g.Dist(u, v); gd != d {
+				t.Fatalf("Dist[%d]=%d but global distance is %d", v, d, gd)
+			}
+		}
+		// Distances measured inside the neighbourhood subgraph also agree
+		// (shortest paths of length ≤ k survive extraction).
+		inner := nb.G.BFS(u)
+		for v, d := range nb.Dist {
+			if inner[v] != d {
+				t.Fatalf("in-view distance to %d is %d, want %d", v, inner[v], d)
+			}
+		}
+	}
+}
+
+func TestPropertyActiveComponentSize(t *testing.T) {
+	// Active components contain at least k vertices (used by
+	// Propositions 1–3).
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 60; trial++ {
+		n := 6 + rng.Intn(25)
+		g := gen.RandomConnected(rng, n, 0.15)
+		u := graph.Vertex(rng.Intn(n))
+		k := 1 + rng.Intn(6)
+		for _, c := range Extract(g, u, k).Components() {
+			if c.Active && len(c.Vertices) < k {
+				t.Fatalf("active component with %d < k=%d vertices", len(c.Vertices), k)
+			}
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package netsim
+
+import (
+	"fmt"
+	"sort"
+
+	"klocal/internal/graph"
+)
+
+// Topology dynamics. The paper notes that "the preprocessing step need
+// not be repeated unless the network topology changes"; these methods
+// realize the change-and-rediscover cycle: mutate links, then run
+// Rediscover to flood fresh link state and rebuild every node's view and
+// routing function. They must not be called concurrently with Send.
+
+// ErrTooManyChanges means a node's link count outgrew the inbox headroom
+// reserved at construction; build a fresh Network for larger changes.
+var errTooManyChanges = fmt.Errorf("netsim: node degree outgrew the reserved inbox capacity; rebuild the network")
+
+// AddEdge inserts the link {u, v} and invalidates discovery state.
+func (nw *Network) AddEdge(u, v graph.Vertex) error {
+	if u == v {
+		return fmt.Errorf("netsim: self-loop {%d,%d}", u, v)
+	}
+	nu, ok := nw.nodes[u]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, u)
+	}
+	nv, ok := nw.nodes[v]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, v)
+	}
+	if nw.g.HasEdge(u, v) {
+		return nil
+	}
+	n := nw.g.N()
+	if n*(nw.g.Deg(u)+1)+8 > cap(nu.inbox) || n*(nw.g.Deg(v)+1)+8 > cap(nv.inbox) {
+		return errTooManyChanges
+	}
+	nw.g = nw.g.Union(graph.FromEdges([]graph.Edge{graph.NewEdge(u, v)}))
+	nu.setNeighbors(nw.g.Adj(u))
+	nv.setNeighbors(nw.g.Adj(v))
+	nw.invalidateDiscovery()
+	return nil
+}
+
+// RemoveEdge deletes the link {u, v} and invalidates discovery state.
+// Removing a cut edge leaves the network disconnected; subsequent sends
+// across the cut fail with a routing error or hop-budget exhaustion.
+func (nw *Network) RemoveEdge(u, v graph.Vertex) error {
+	nu, ok := nw.nodes[u]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, u)
+	}
+	nv, ok := nw.nodes[v]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, v)
+	}
+	if !nw.g.HasEdge(u, v) {
+		return nil
+	}
+	nw.g = nw.g.WithoutEdges([]graph.Edge{graph.NewEdge(u, v)})
+	nu.setNeighbors(nw.g.Adj(u))
+	nv.setNeighbors(nw.g.Adj(v))
+	nw.invalidateDiscovery()
+	return nil
+}
+
+// Rediscover reruns the k-hop discovery protocol after topology changes
+// and rebuilds every node's routing state. It is a no-op if discovery is
+// current.
+func (nw *Network) Rediscover() error {
+	return nw.Discover()
+}
+
+func (nw *Network) invalidateDiscovery() {
+	nw.mu.Lock()
+	nw.discovered = false
+	nw.mu.Unlock()
+	for _, nd := range nw.nodes {
+		nd.mu.Lock()
+		nd.learned = make(map[graph.Vertex][]graph.Vertex)
+		nd.seen = make(map[graph.Vertex]bool)
+		nd.router = nil
+		nd.view = nil
+		nd.mu.Unlock()
+	}
+}
+
+// setNeighbors atomically replaces the node's link list.
+func (nd *node) setNeighbors(nbrs []graph.Vertex) {
+	sorted := make([]graph.Vertex, len(nbrs))
+	copy(sorted, nbrs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	nd.mu.Lock()
+	nd.neighbors = sorted
+	nd.mu.Unlock()
+}
+
+// neighborsSnapshot returns the current link list under the node lock.
+func (nd *node) neighborsSnapshot() []graph.Vertex {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	return nd.neighbors
+}

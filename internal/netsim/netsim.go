@@ -1,0 +1,398 @@
+// Package netsim is a concurrent, message-passing network simulator: one
+// goroutine per node, channels as links. It realizes the paper's ad hoc
+// network setting operationally — each node starts knowing only its own
+// adjacency ("every node knows its own label as well as the labels of its
+// neighbours") and *discovers* its k-neighbourhood G_k(u) by running a
+// TTL-scoped link-state flooding protocol. Data messages are then routed
+// hop by hop using a k-local routing algorithm bound to each node's
+// discovered view, never to the global topology.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"klocal/internal/graph"
+	"klocal/internal/route"
+)
+
+// Errors returned by Network operations.
+var (
+	// ErrNotDiscovered means Send was called before Discover.
+	ErrNotDiscovered = errors.New("netsim: neighbourhood discovery has not run")
+	// ErrStopped means the network was already stopped.
+	ErrStopped = errors.New("netsim: network is stopped")
+	// ErrUnknownNode means an endpoint is not part of the network.
+	ErrUnknownNode = errors.New("netsim: unknown node")
+	// ErrHopBudget means a data message exceeded its hop budget (a
+	// routing loop at the chosen locality).
+	ErrHopBudget = errors.New("netsim: hop budget exhausted (routing loop)")
+)
+
+// lsa is a link-state announcement: the adjacency of origin, flooded with
+// a hop budget so it reaches exactly the nodes within distance k−1.
+type lsa struct {
+	origin graph.Vertex
+	adj    []graph.Vertex
+	ttl    int
+}
+
+// dataMsg is a routed message. It carries its own trace; the route slice
+// is owned by the message (exactly one node holds it at any time).
+type dataMsg struct {
+	s, t   graph.Vertex
+	prev   graph.Vertex
+	route  []graph.Vertex
+	budget int
+	done   chan<- deliverResult
+}
+
+type deliverResult struct {
+	route []graph.Vertex
+	err   error
+}
+
+// message is the sum type carried on node inboxes.
+type message struct {
+	lsa  *lsa
+	data *dataMsg
+}
+
+// node is one network participant.
+type node struct {
+	id        graph.Vertex
+	neighbors []graph.Vertex // sorted, known a priori
+	inbox     chan message
+
+	mu      sync.Mutex
+	learned map[graph.Vertex][]graph.Vertex // origin -> adjacency
+	seen    map[graph.Vertex]bool           // LSA origins already forwarded
+	router  route.Func                      // built after discovery
+	view    *graph.Graph
+}
+
+// Network is a running simulation. Create with New, then Start, Discover,
+// Send any number of times, and Stop.
+type Network struct {
+	g   *graph.Graph
+	k   int
+	alg route.Algorithm
+
+	nodes map[graph.Vertex]*node
+	stop  chan struct{}
+	wg    sync.WaitGroup
+
+	// inflight tracks undelivered protocol messages for quiescence
+	// detection during discovery.
+	inflight sync.WaitGroup
+
+	lsaTransmissions atomic.Int64
+	dataForwards     atomic.Int64
+
+	mu         sync.Mutex
+	started    bool
+	stopped    bool
+	discovered bool
+}
+
+// New prepares a network over topology g with locality k and the given
+// routing algorithm. Nothing runs until Start.
+func New(g *graph.Graph, k int, alg route.Algorithm) *Network {
+	nw := &Network{
+		g:     g,
+		k:     k,
+		alg:   alg,
+		nodes: make(map[graph.Vertex]*node, g.N()),
+		stop:  make(chan struct{}),
+	}
+	for _, v := range g.Vertices() {
+		// Inbox capacity: during discovery a node receives at most one
+		// copy of each origin's LSA per incident link (n·deg messages);
+		// data messages add at most a handful. The bound keeps senders
+		// from ever blocking on a busy receiver, which would deadlock
+		// symmetric floods. Two extra links of headroom are reserved for
+		// AddEdge.
+		capacity := g.N()*(g.Deg(v)+2) + 8
+		nw.nodes[v] = &node{
+			id:        v,
+			neighbors: g.Adj(v),
+			inbox:     make(chan message, capacity),
+			learned:   make(map[graph.Vertex][]graph.Vertex),
+			seen:      make(map[graph.Vertex]bool),
+		}
+	}
+	return nw
+}
+
+// Start launches one goroutine per node.
+func (nw *Network) Start() {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if nw.started || nw.stopped {
+		return
+	}
+	nw.started = true
+	for _, nd := range nw.nodes {
+		nw.wg.Add(1)
+		go nw.run(nd)
+	}
+}
+
+// Stop shuts every node down and waits for the goroutines to exit.
+func (nw *Network) Stop() {
+	nw.mu.Lock()
+	if nw.stopped {
+		nw.mu.Unlock()
+		return
+	}
+	nw.stopped = true
+	started := nw.started
+	nw.mu.Unlock()
+	close(nw.stop)
+	if started {
+		nw.wg.Wait()
+	}
+}
+
+// run is the node main loop.
+func (nw *Network) run(nd *node) {
+	defer nw.wg.Done()
+	for {
+		select {
+		case <-nw.stop:
+			return
+		case msg := <-nd.inbox:
+			switch {
+			case msg.lsa != nil:
+				nw.handleLSA(nd, msg.lsa)
+				nw.inflight.Done()
+			case msg.data != nil:
+				nw.handleData(nd, msg.data)
+			}
+		}
+	}
+}
+
+// send delivers a message to the target's inbox unless the network is
+// stopping.
+func (nw *Network) send(to graph.Vertex, msg message) {
+	select {
+	case nw.nodes[to].inbox <- msg:
+	case <-nw.stop:
+		if msg.lsa != nil {
+			nw.inflight.Done()
+		}
+	}
+}
+
+func (nw *Network) sendLSA(to graph.Vertex, l *lsa) {
+	nw.inflight.Add(1)
+	nw.lsaTransmissions.Add(1)
+	nw.send(to, message{lsa: l})
+}
+
+// handleLSA records a link-state announcement and forwards it while its
+// TTL lasts. Each node forwards each origin's announcement at most once
+// (standard flooding suppression).
+func (nw *Network) handleLSA(nd *node, l *lsa) {
+	nd.mu.Lock()
+	if _, known := nd.learned[l.origin]; !known {
+		adj := make([]graph.Vertex, len(l.adj))
+		copy(adj, l.adj)
+		nd.learned[l.origin] = adj
+	}
+	forward := !nd.seen[l.origin] && l.ttl > 0
+	nd.seen[l.origin] = true
+	nd.mu.Unlock()
+	if !forward {
+		return
+	}
+	next := &lsa{origin: l.origin, adj: l.adj, ttl: l.ttl - 1}
+	for _, nb := range nd.neighborsSnapshot() {
+		nw.sendLSA(nb, next)
+	}
+}
+
+// Discover floods every node's adjacency with TTL k−1, so each node
+// learns the adjacency of every node within distance k−1 — exactly the
+// edge set of G_k(u) — then builds its local view and routing function.
+// It blocks until the flood quiesces. Discover is idempotent.
+func (nw *Network) Discover() error {
+	nw.mu.Lock()
+	if !nw.started {
+		nw.mu.Unlock()
+		return errors.New("netsim: network not started")
+	}
+	if nw.stopped {
+		nw.mu.Unlock()
+		return ErrStopped
+	}
+	if nw.discovered {
+		nw.mu.Unlock()
+		return nil
+	}
+	nw.mu.Unlock()
+
+	for _, nd := range nw.nodes {
+		// A node's own adjacency counts as an announcement with full TTL;
+		// seeding it through its own inbox keeps all protocol logic in
+		// one place.
+		self := &lsa{origin: nd.id, adj: nd.neighborsSnapshot(), ttl: nw.k - 1}
+		nw.sendLSA(nd.id, self)
+	}
+	nw.inflight.Wait()
+
+	for _, nd := range nw.nodes {
+		nd.mu.Lock()
+		nd.view = buildView(nd, nw.k)
+		nd.router = nw.alg.Bind(nd.view, nw.k)
+		nd.mu.Unlock()
+	}
+	nw.mu.Lock()
+	nw.discovered = true
+	nw.mu.Unlock()
+	return nil
+}
+
+// buildView assembles the node's discovered k-neighbourhood from the
+// learned adjacencies: the union of announced edges, trimmed to paths of
+// length at most k rooted at the node.
+func buildView(nd *node, k int) *graph.Graph {
+	b := graph.NewBuilder()
+	b.AddVertex(nd.id)
+	for origin, adj := range nd.learned {
+		for _, w := range adj {
+			b.AddEdge(origin, w)
+		}
+	}
+	full := b.Build()
+	// The union already contains exactly G_k(u)'s edges when the flood
+	// TTL is k−1, but trimming keeps the invariant independent of the
+	// seeding details.
+	trimmed := graph.NewBuilder()
+	trimmed.AddVertex(nd.id)
+	dist := full.BFSBounded(nd.id, k)
+	for v, dv := range dist {
+		if dv >= k {
+			continue
+		}
+		full.EachAdj(v, func(w graph.Vertex) bool {
+			if _, ok := dist[w]; ok {
+				trimmed.AddEdge(v, w)
+			}
+			return true
+		})
+	}
+	return trimmed.Build()
+}
+
+// View returns the discovered k-neighbourhood of v (nil before
+// discovery). Intended for tests and inspection.
+func (nw *Network) View(v graph.Vertex) *graph.Graph {
+	nd, ok := nw.nodes[v]
+	if !ok {
+		return nil
+	}
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	return nd.view
+}
+
+// handleData makes one forwarding decision and passes the message on.
+func (nw *Network) handleData(nd *node, m *dataMsg) {
+	if nd.id == m.t {
+		m.done <- deliverResult{route: m.route}
+		return
+	}
+	if m.budget <= 0 {
+		m.done <- deliverResult{route: m.route, err: ErrHopBudget}
+		return
+	}
+	nd.mu.Lock()
+	router := nd.router
+	nd.mu.Unlock()
+	if router == nil {
+		m.done <- deliverResult{route: m.route, err: ErrNotDiscovered}
+		return
+	}
+	next, err := router(m.s, m.t, nd.id, m.prev)
+	if err != nil {
+		m.done <- deliverResult{route: m.route, err: fmt.Errorf("at node %d: %w", nd.id, err)}
+		return
+	}
+	legal := false
+	for _, nb := range nd.neighborsSnapshot() {
+		if nb == next {
+			legal = true
+			break
+		}
+	}
+	if !legal {
+		m.done <- deliverResult{route: m.route, err: fmt.Errorf("netsim: node %d chose non-neighbour %d", nd.id, next)}
+		return
+	}
+	m.prev = nd.id
+	m.route = append(m.route, next)
+	m.budget--
+	nw.dataForwards.Add(1)
+	nw.send(next, message{data: m})
+}
+
+// Send routes one message from s to t through the running network and
+// returns the traversed route (s first, t last). The hop budget is
+// 4·n·m — far beyond any legal deterministic walk — so loops surface as
+// ErrHopBudget.
+func (nw *Network) Send(s, t graph.Vertex) ([]graph.Vertex, error) {
+	nw.mu.Lock()
+	switch {
+	case nw.stopped:
+		nw.mu.Unlock()
+		return nil, ErrStopped
+	case !nw.discovered:
+		nw.mu.Unlock()
+		return nil, ErrNotDiscovered
+	}
+	nw.mu.Unlock()
+	if _, ok := nw.nodes[s]; !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownNode, s)
+	}
+	if _, ok := nw.nodes[t]; !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownNode, t)
+	}
+	done := make(chan deliverResult, 1)
+	msg := &dataMsg{
+		s:      s,
+		t:      t,
+		prev:   graph.NoVertex,
+		route:  []graph.Vertex{s},
+		budget: 4 * (nw.g.N() + 1) * (nw.g.M() + 1),
+		done:   done,
+	}
+	nw.send(s, message{data: msg})
+	select {
+	case res := <-done:
+		return res.route, res.err
+	case <-nw.stop:
+		return nil, ErrStopped
+	}
+}
+
+// Stats reports the protocol costs accumulated so far: link-state
+// transmissions (the price of k-hop discovery, growing with k and the
+// density — the trade-off behind the paper's "each node can periodically
+// acquire and update information about its neighbourhood") and data
+// forwards.
+type Stats struct {
+	LSATransmissions int64
+	DataForwards     int64
+}
+
+// Stats returns a snapshot of the protocol counters.
+func (nw *Network) Stats() Stats {
+	return Stats{
+		LSATransmissions: nw.lsaTransmissions.Load(),
+		DataForwards:     nw.dataForwards.Load(),
+	}
+}

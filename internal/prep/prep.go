@@ -1,0 +1,239 @@
+// Package prep implements the paper's k-local preprocessing step
+// (Section 5.1): identifying dormant edges on local cycles, constructing
+// the routing subgraph G'_k(u), and the global consistent-edge predicate
+// used by Lemmas 2, 3 and 5.
+//
+// Dormancy rule. The paper classifies "the edge of minimum rank on every
+// local cycle of u" as dormant. A cycle of length at most 2k through any
+// of its own vertices is entirely contained in that vertex's
+// k-neighbourhood, so the rule is equivalent, edge by edge, to: an edge
+// e = {a,b} of G_k(u) is dormant iff G_k(u) contains a path from a to b of
+// length at most 2k−1 using only edges of rank greater than rank(e). We
+// apply this criterion to every short cycle visible in G_k(u), a superset
+// of the cycles through u. For edges adjacent to u the two readings agree
+// exactly (any short cycle through an edge at u passes through u), which
+// is all the forwarding rules rely on (Lemma 2); for deeper edges our
+// reading removes only globally inconsistent edges, preserving Lemmas 3
+// and 5. DESIGN.md discusses the substitution.
+package prep
+
+import (
+	"sort"
+	"sync"
+
+	"klocal/internal/graph"
+	"klocal/internal/nbhd"
+)
+
+// Policy selects which edge of each local cycle is classified dormant.
+// The paper prescribes the minimum-rank edge; Section 6.1 suggests
+// exploring other selections to reduce Algorithm 1's dilation, which the
+// maximum-rank policy realizes as an ablation. Any globally canonical
+// selection preserves the consistency lemmas.
+type Policy int
+
+const (
+	// PolicyMinRank removes the minimum-rank edge of every local cycle
+	// (the paper's rule).
+	PolicyMinRank Policy = iota + 1
+	// PolicyMaxRank removes the maximum-rank edge instead (the
+	// Section 6.1 ablation).
+	PolicyMaxRank
+)
+
+// String names the policy for experiment output.
+func (p Policy) String() string {
+	switch p {
+	case PolicyMinRank:
+		return "min-rank"
+	case PolicyMaxRank:
+		return "max-rank"
+	default:
+		return "unknown"
+	}
+}
+
+// View is the preprocessed local view at a node: the raw k-neighbourhood
+// G_k(u), the locally identified dormant edges, and the routing subgraph
+// G'_k(u) with its classified components.
+type View struct {
+	Center graph.Vertex
+	K      int
+
+	// Raw is the unprocessed k-neighbourhood G_k(u).
+	Raw *nbhd.Neighborhood
+	// Dormant lists the edges of G_k(u) classified dormant at this node,
+	// in rank order.
+	Dormant []graph.Edge
+	// Routing is G'_k(u): the dormant-free neighbourhood re-restricted to
+	// paths of length at most k rooted at the centre.
+	Routing *graph.Graph
+	// RoutingDist maps each vertex of Routing to its distance from the
+	// centre along routing edges.
+	RoutingDist map[graph.Vertex]int
+	// Comps are the local components of G'_k(u), classified with routing
+	// distances, ordered by lowest root label.
+	Comps []*nbhd.Component
+	// ActiveRoots lists the active neighbours of the centre (roots of
+	// active components) in rank order. Its length is the centre's active
+	// degree.
+	ActiveRoots []graph.Vertex
+
+	dormantSet map[graph.Edge]bool
+}
+
+// Preprocess computes the view at u for locality k on network g with the
+// paper's minimum-rank dormancy policy.
+func Preprocess(g *graph.Graph, u graph.Vertex, k int) *View {
+	return PreprocessPolicy(g, u, k, PolicyMinRank)
+}
+
+// PreprocessPolicy computes the view under an explicit dormancy policy.
+func PreprocessPolicy(g *graph.Graph, u graph.Vertex, k int, pol Policy) *View {
+	raw := nbhd.Extract(g, u, k)
+	v := &View{
+		Center:     u,
+		K:          k,
+		Raw:        raw,
+		dormantSet: make(map[graph.Edge]bool),
+	}
+	for _, e := range raw.G.Edges() {
+		if dormantInView(raw.G, e, k, pol) {
+			v.Dormant = append(v.Dormant, e)
+			v.dormantSet[e] = true
+		}
+	}
+	pruned := raw.G.WithoutEdges(v.Dormant)
+	inner := nbhd.Extract(pruned, u, k)
+	v.Routing = inner.G
+	v.RoutingDist = inner.Dist
+	v.Comps = nbhd.ClassifyView(v.Routing, u, k)
+	for _, c := range v.Comps {
+		if c.Active {
+			v.ActiveRoots = append(v.ActiveRoots, c.Roots...)
+		}
+	}
+	sort.Slice(v.ActiveRoots, func(i, j int) bool { return v.ActiveRoots[i] < v.ActiveRoots[j] })
+	return v
+}
+
+// dormantInView reports whether e is the policy-extreme edge of some
+// cycle of length at most 2k inside view: equivalently, whether the view
+// has a path between e's endpoints of length at most 2k−1 using only
+// edges beyond e in the policy's order.
+func dormantInView(view *graph.Graph, e graph.Edge, k int, pol Policy) bool {
+	allow := func(f graph.Edge) bool { return e.Less(f) }
+	if pol == PolicyMaxRank {
+		allow = func(f graph.Edge) bool { return f.Less(e) }
+	}
+	return view.HasPathAvoiding(e.U, e.V, 2*k-1, allow)
+}
+
+// IsDormant reports whether the view classified e as dormant.
+func (v *View) IsDormant(e graph.Edge) bool { return v.dormantSet[graph.NewEdge(e.U, e.V)] }
+
+// ActiveDegree returns the number of active neighbours of the centre
+// (Propositions 1–3 bound it by 3, 2 and 1 at k ≥ n/4, n/3, n/2 given the
+// matching algorithm's preprocessing).
+func (v *View) ActiveDegree() int { return len(v.ActiveRoots) }
+
+// CompOf returns the local component of G'_k(u) containing w, or nil if w
+// is the centre or outside the routing view.
+func (v *View) CompOf(w graph.Vertex) *nbhd.Component {
+	for _, c := range v.Comps {
+		if c.Has(w) {
+			return c
+		}
+	}
+	return nil
+}
+
+// CompRootedAt returns the component having w as a root, or nil.
+func (v *View) CompRootedAt(w graph.Vertex) *nbhd.Component {
+	for _, c := range v.Comps {
+		for _, r := range c.Roots {
+			if r == w {
+				return c
+			}
+		}
+	}
+	return nil
+}
+
+// Preprocessor caches per-node views for a fixed network and locality.
+// The preprocessing step "need not be repeated unless the network topology
+// changes", so views are computed once per node. It is safe for
+// concurrent use.
+type Preprocessor struct {
+	g   *graph.Graph
+	k   int
+	pol Policy
+
+	mu    sync.Mutex
+	cache map[graph.Vertex]*View
+}
+
+// NewPreprocessor returns a caching preprocessor for network g at
+// locality k with the paper's minimum-rank policy.
+func NewPreprocessor(g *graph.Graph, k int) *Preprocessor {
+	return NewPreprocessorPolicy(g, k, PolicyMinRank)
+}
+
+// NewPreprocessorPolicy returns a caching preprocessor under an explicit
+// dormancy policy.
+func NewPreprocessorPolicy(g *graph.Graph, k int, pol Policy) *Preprocessor {
+	return &Preprocessor{
+		g:     g,
+		k:     k,
+		pol:   pol,
+		cache: make(map[graph.Vertex]*View, g.N()),
+	}
+}
+
+// K returns the locality parameter.
+func (p *Preprocessor) K() int { return p.k }
+
+// Graph returns the underlying network.
+func (p *Preprocessor) Graph() *graph.Graph { return p.g }
+
+// At returns the (cached) view at u.
+func (p *Preprocessor) At(u graph.Vertex) *View {
+	p.mu.Lock()
+	v, ok := p.cache[u]
+	p.mu.Unlock()
+	if ok {
+		return v
+	}
+	v = PreprocessPolicy(p.g, u, p.k, p.pol)
+	p.mu.Lock()
+	p.cache[u] = v
+	p.mu.Unlock()
+	return v
+}
+
+// ConsistentEdges returns the globally consistent edges of g at locality
+// k: edges that no node classifies dormant. By Lemma 3 the consistent
+// subgraph connects every vertex pair; by Lemma 5 it has girth at least
+// 2k+1.
+func ConsistentEdges(g *graph.Graph, k int) []graph.Edge {
+	var out []graph.Edge
+	for _, e := range g.Edges() {
+		inconsistent := g.HasPathAvoiding(e.U, e.V, 2*k-1, func(f graph.Edge) bool {
+			return e.Less(f)
+		})
+		if !inconsistent {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ConsistentSubgraph returns g restricted to its consistent edges (all
+// vertices kept).
+func ConsistentSubgraph(g *graph.Graph, k int) *graph.Graph {
+	keep := make(map[graph.Edge]bool)
+	for _, e := range ConsistentEdges(g, k) {
+		keep[e] = true
+	}
+	return g.FilterEdges(func(e graph.Edge) bool { return keep[e] })
+}

@@ -1,0 +1,303 @@
+package prep
+
+import (
+	"math/rand"
+	"testing"
+
+	"klocal/internal/gen"
+	"klocal/internal/graph"
+)
+
+func TestDormantOnSmallCycle(t *testing.T) {
+	// A 4-cycle with k=2: the whole cycle is local everywhere; exactly the
+	// minimum-rank edge {0,1} becomes dormant.
+	g := gen.Cycle(4)
+	v := Preprocess(g, 0, 2)
+	if len(v.Dormant) != 1 || v.Dormant[0] != graph.NewEdge(0, 1) {
+		t.Fatalf("dormant = %v, want [{0,1}]", v.Dormant)
+	}
+	if !v.IsDormant(graph.NewEdge(1, 0)) {
+		t.Error("IsDormant must normalize edge orientation")
+	}
+	if v.Routing.HasEdge(0, 1) {
+		t.Error("dormant edge must leave the routing subgraph")
+	}
+	if !v.Routing.HasEdge(0, 3) || !v.Routing.HasEdge(2, 3) {
+		t.Errorf("surviving edges missing: %v", v.Routing)
+	}
+	// Vertex 1 sits at routing distance 3 > k and drops out of G'_k(u).
+	if v.Routing.HasVertex(1) {
+		t.Errorf("vertex 1 should be beyond routing depth: %v", v.Routing)
+	}
+}
+
+func TestNoDormantOnLongCycle(t *testing.T) {
+	// A cycle longer than 2k has no local cycles: nothing is dormant.
+	g := gen.Cycle(9)
+	v := Preprocess(g, 0, 4)
+	if len(v.Dormant) != 0 {
+		t.Fatalf("dormant = %v, want none", v.Dormant)
+	}
+	if v.ActiveDegree() != 2 {
+		t.Errorf("active degree = %d, want 2", v.ActiveDegree())
+	}
+}
+
+func TestRoutingViewDepthRestriction(t *testing.T) {
+	// Figure 9's effect: after removing a dormant edge, vertices whose
+	// routing distance exceeds k drop out of G'_k(u) even though they were
+	// in G_k(u). Take a triangle {0,1,2} with a long tail on 1: the edge
+	// {0,1} is dormant (minimum rank on the triangle), so 1 is reachable
+	// only via 2 and the tail shifts one hop further.
+	g := graph.NewBuilder().AddCycle(0, 1, 2).AddPath(1, 3, 4, 5, 6).Build()
+	k := 3
+	v := Preprocess(g, 0, k)
+	if !v.IsDormant(graph.NewEdge(0, 1)) {
+		t.Fatalf("triangle's minimum-rank edge should be dormant; got %v", v.Dormant)
+	}
+	// Raw view reaches vertex 4 (0-1-3-4, depth 3); in the routing view 1
+	// is only reachable as 0-2-1, so the tail shifts: 3 stays (depth 3
+	// via 0-2-1-3) but 4 moves to depth 4 and drops out.
+	if !v.Raw.Contains(4) {
+		t.Error("raw view should contain vertex 4")
+	}
+	if v.Routing.HasVertex(4) {
+		t.Error("routing view must drop vertices beyond routing depth k")
+	}
+	if !v.Routing.HasVertex(3) {
+		t.Error("routing view should still reach vertex 3 via 2-1")
+	}
+	if v.RoutingDist[1] != 2 {
+		t.Errorf("routing distance to 1 = %d, want 2", v.RoutingDist[1])
+	}
+}
+
+func TestLemma2AdjacentRoutingEdgesConsistent(t *testing.T) {
+	// Every edge adjacent to u in G'_k(u) is globally consistent.
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 40; trial++ {
+		n := 6 + rng.Intn(20)
+		g := gen.RandomConnected(rng, n, 0.2)
+		k := 1 + rng.Intn(5)
+		consistent := make(map[graph.Edge]bool)
+		for _, e := range ConsistentEdges(g, k) {
+			consistent[e] = true
+		}
+		for _, u := range g.Vertices() {
+			v := Preprocess(g, u, k)
+			v.Routing.EachAdj(u, func(w graph.Vertex) bool {
+				if !consistent[graph.NewEdge(u, w)] {
+					t.Fatalf("inconsistent routing edge {%d,%d} at u=%d k=%d in %v", u, w, u, k, g)
+				}
+				return true
+			})
+		}
+	}
+}
+
+func TestLemma2Converse_AdjacentConsistentEdgesKept(t *testing.T) {
+	// A consistent edge adjacent to u is never dormant at u, so it stays a
+	// routing edge (it is at depth 1, inside the depth restriction).
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 40; trial++ {
+		n := 6 + rng.Intn(20)
+		g := gen.RandomConnected(rng, n, 0.2)
+		k := 1 + rng.Intn(5)
+		consistent := ConsistentEdges(g, k)
+		for _, e := range consistent {
+			for _, u := range []graph.Vertex{e.U, e.V} {
+				v := Preprocess(g, u, k)
+				if !v.Routing.HasEdge(e.U, e.V) {
+					t.Fatalf("consistent edge %v missing from G'_k(%d), k=%d, g=%v", e, u, k, g)
+				}
+			}
+		}
+	}
+}
+
+func TestLemma3ConsistentSubgraphConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 60; trial++ {
+		n := 4 + rng.Intn(30)
+		g := gen.RandomConnected(rng, n, 0.25)
+		k := 1 + rng.Intn(6)
+		sub := ConsistentSubgraph(g, k)
+		if !sub.Connected() {
+			t.Fatalf("consistent subgraph disconnected: k=%d g=%v", k, g)
+		}
+	}
+}
+
+func TestLemma5ConsistentGirth(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	for trial := 0; trial < 60; trial++ {
+		n := 4 + rng.Intn(30)
+		g := gen.RandomConnected(rng, n, 0.25)
+		k := 1 + rng.Intn(6)
+		sub := ConsistentSubgraph(g, k)
+		if girth := sub.Girth(); girth <= 2*k {
+			t.Fatalf("consistent girth %d <= 2k=%d: g=%v", girth, 2*k, g)
+		}
+	}
+}
+
+func TestProposition1ActiveDegreeAtMost3(t *testing.T) {
+	// k >= n/4 implies active degree <= 3.
+	rng := rand.New(rand.NewSource(25))
+	for trial := 0; trial < 40; trial++ {
+		n := 8 + rng.Intn(20)
+		g := gen.RandomConnected(rng, n, 0.2)
+		k := (n + 3) / 4
+		for _, u := range g.Vertices() {
+			if d := Preprocess(g, u, k).ActiveDegree(); d > 3 {
+				t.Fatalf("active degree %d > 3 at u=%d, k=%d, n=%d: %v", d, u, k, n, g)
+			}
+		}
+	}
+}
+
+func TestProposition2ActiveDegreeAtMost2(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	for trial := 0; trial < 40; trial++ {
+		n := 8 + rng.Intn(20)
+		g := gen.RandomConnected(rng, n, 0.2)
+		k := (n + 2) / 3
+		for _, u := range g.Vertices() {
+			if d := Preprocess(g, u, k).ActiveDegree(); d > 2 {
+				t.Fatalf("active degree %d > 2 at u=%d, k=%d, n=%d: %v", d, u, k, n, g)
+			}
+		}
+	}
+}
+
+func TestProposition3ActiveDegreeAtMost1(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	for trial := 0; trial < 40; trial++ {
+		n := 8 + rng.Intn(20)
+		g := gen.RandomConnected(rng, n, 0.2)
+		k := (n + 1) / 2
+		for _, u := range g.Vertices() {
+			if d := Preprocess(g, u, k).ActiveDegree(); d > 1 {
+				t.Fatalf("active degree %d > 1 at u=%d, k=%d, n=%d: %v", d, u, k, n, g)
+			}
+		}
+	}
+}
+
+func TestActiveRootsSortedAndMatchComponents(t *testing.T) {
+	rng := rand.New(rand.NewSource(28))
+	for trial := 0; trial < 30; trial++ {
+		n := 6 + rng.Intn(20)
+		g := gen.RandomConnected(rng, n, 0.2)
+		k := 1 + rng.Intn(5)
+		u := graph.Vertex(rng.Intn(n))
+		v := Preprocess(g, u, k)
+		for i := 1; i < len(v.ActiveRoots); i++ {
+			if v.ActiveRoots[i-1] >= v.ActiveRoots[i] {
+				t.Fatalf("active roots not sorted: %v", v.ActiveRoots)
+			}
+		}
+		for _, r := range v.ActiveRoots {
+			c := v.CompRootedAt(r)
+			if c == nil || !c.Active {
+				t.Fatalf("active root %d has no active component", r)
+			}
+			if v.CompOf(r) != c {
+				t.Fatalf("CompOf and CompRootedAt disagree for %d", r)
+			}
+		}
+	}
+}
+
+func TestCompOfCenterIsNil(t *testing.T) {
+	g := gen.Path(5)
+	v := Preprocess(g, 2, 2)
+	if v.CompOf(2) != nil {
+		t.Error("the centre belongs to no local component")
+	}
+	if v.CompRootedAt(99) != nil {
+		t.Error("unknown vertex must have no component")
+	}
+}
+
+func TestFig17DormantEdgeDetected(t *testing.T) {
+	f, err := gen.NewFig17(40, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every node that sees the small cycle classifies {s,d} dormant; in
+	// particular s itself.
+	v := Preprocess(f.G, f.S, f.K)
+	if !v.IsDormant(graph.NewEdge(f.S, f.D)) {
+		t.Errorf("{s,d} not dormant at s: dormant=%v", v.Dormant)
+	}
+	if v.ActiveDegree() != 1 {
+		t.Errorf("s should have a single active neighbour, got %v", v.ActiveRoots)
+	}
+	// The big cycle stays fully consistent.
+	cons := ConsistentSubgraph(f.G, f.K)
+	if cons.HasEdge(f.S, f.D) {
+		t.Error("{s,d} must be globally inconsistent")
+	}
+	if cons.M() != f.G.M()-1 {
+		t.Errorf("exactly one edge should be inconsistent, got %d of %d", cons.M(), f.G.M())
+	}
+}
+
+func TestPreprocessorCachesAndIsConcurrencySafe(t *testing.T) {
+	g := gen.Cycle(12)
+	p := NewPreprocessor(g, 5)
+	if p.K() != 5 || p.Graph() != g {
+		t.Error("accessors wrong")
+	}
+	a := p.At(0)
+	b := p.At(0)
+	if a != b {
+		t.Error("views must be cached")
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 12; i++ {
+			p.At(graph.Vertex(i))
+		}
+	}()
+	for i := 11; i >= 0; i-- {
+		p.At(graph.Vertex(i))
+	}
+	<-done
+}
+
+func TestConsistentEdgesTreeIsEverything(t *testing.T) {
+	g := gen.RandomTree(rand.New(rand.NewSource(29)), 20)
+	if got := len(ConsistentEdges(g, 3)); got != g.M() {
+		t.Errorf("trees have no cycles: %d consistent of %d", got, g.M())
+	}
+}
+
+func TestConsistencyMatchesLocalDormancy(t *testing.T) {
+	// An edge is globally inconsistent iff some node classifies it
+	// dormant (the equivalence DESIGN.md relies on).
+	rng := rand.New(rand.NewSource(30))
+	for trial := 0; trial < 20; trial++ {
+		n := 6 + rng.Intn(12)
+		g := gen.RandomConnected(rng, n, 0.25)
+		k := 1 + rng.Intn(4)
+		consistent := make(map[graph.Edge]bool)
+		for _, e := range ConsistentEdges(g, k) {
+			consistent[e] = true
+		}
+		dormantSomewhere := make(map[graph.Edge]bool)
+		for _, u := range g.Vertices() {
+			for _, e := range Preprocess(g, u, k).Dormant {
+				dormantSomewhere[e] = true
+			}
+		}
+		for _, e := range g.Edges() {
+			if consistent[e] == dormantSomewhere[e] {
+				t.Fatalf("edge %v: consistent=%v dormantSomewhere=%v (k=%d, g=%v)",
+					e, consistent[e], dormantSomewhere[e], k, g)
+			}
+		}
+	}
+}

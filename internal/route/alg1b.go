@@ -1,0 +1,164 @@
+package route
+
+import (
+	"sort"
+
+	"klocal/internal/graph"
+	"klocal/internal/prep"
+)
+
+// Algorithm1B returns the Appendix A refinement of Algorithm 1
+// (Theorem 6): identical except that Rule U2 pre-emptively applies an
+// imminent S2/US2 reversal (Rules U2b–U2f), reducing the dilation bound
+// from 7 to 6. See doc.go for how the pre-emption test is realized.
+func Algorithm1B() Algorithm {
+	return Algorithm1BPolicy(prep.PolicyMinRank)
+}
+
+// Algorithm1BPolicy is Algorithm 1B under an explicit dormant-edge policy
+// (the Section 6.1 ablation).
+func Algorithm1BPolicy(pol prep.Policy) Algorithm {
+	name := "Algorithm1B"
+	if pol != prep.PolicyMinRank {
+		name += "[" + pol.String() + "]"
+	}
+	return Algorithm{
+		Name:             name,
+		OriginAware:      true,
+		PredecessorAware: true,
+		MinK:             MinK1,
+		Bind: func(g *graph.Graph, k int) Func {
+			p := prep.NewPreprocessorPolicy(g, k, pol)
+			return func(s, t, u, v graph.Vertex) (graph.Vertex, error) {
+				return stepAware(p, s, t, u, v, anticipateU2)
+			}
+		},
+	}
+}
+
+// anticipateU2 implements Rules U2b–U2f. Called at u in Case 3 with
+// active degree 2, message received from an active root: if u can prove
+// locally that forwarding into the component containing the origin would
+// send the message down a forced path that Rule S2 (at s) or Rule US2 (at
+// the vertex carrying s's passive branch) immediately bounces back to u,
+// the reversal is applied at u instead. Returns NoVertex to keep the
+// plain U2 decision.
+func anticipateU2(view *prep.View, s, _, u, v graph.Vertex, roots []graph.Vertex, activeIdx int) graph.Vertex {
+	// Case U2a: the origin is not on u's routing horizon chart, or sits
+	// exactly at the horizon — no anticipation is possible.
+	ds, ok := view.RoutingDist[s]
+	if !ok || ds >= view.K || s == u {
+		return graph.NoVertex
+	}
+	target := roots[1-activeIdx]
+	comp := view.CompRootedAt(target)
+	if comp == nil || !comp.Has(s) {
+		// The message is moving away from the origin; S2/US2 cannot be
+		// imminent on this side.
+		return graph.NoVertex
+	}
+	if simulatesBounce(view, s, target) {
+		return v
+	}
+	return graph.NoVertex
+}
+
+// simBranch is a branch of the routing view around a simulated node: a
+// connected component of G'_k(u) minus that node.
+type simBranch struct {
+	roots  []graph.Vertex
+	active bool
+	hasS   bool
+}
+
+// simulatesBounce walks the anticipated trajectory inside u's routing
+// view, starting with the hop u→first. It follows only forced U2 steps
+// (exactly two active branches) and reports whether the walk provably
+// terminates in an S2/US2 reversal back along its own footsteps; any
+// unprovable or diverging situation aborts with false, leaving Rule U2
+// unchanged (Rules U2b/U2d/U2f).
+//
+// Branch activity is judged from u's chart: a branch is active for the
+// simulated node if it reaches u's knowledge horizon or has visible depth
+// at least k. The horizon case is the paper's constraint-vertex chain in
+// operational form: on a forced path, depth accumulates hop by hop, so a
+// horizon-reaching branch extends at least k from every chain vertex.
+func simulatesBounce(view *prep.View, s, first graph.Vertex) bool {
+	prev, cur := view.Center, first
+	for step := 0; step < 4*view.K+4; step++ {
+		if view.RoutingDist[cur] >= view.K {
+			return false // cannot see past the horizon
+		}
+		branches := simBranches(view, cur, s)
+		var actRoots []graph.Vertex
+		sPassive := false
+		for _, br := range branches {
+			if br.active {
+				actRoots = append(actRoots, br.roots...)
+			} else if br.hasS {
+				sPassive = true
+			}
+		}
+		sort.Slice(actRoots, func(i, j int) bool { return actRoots[i] < actRoots[j] })
+		if cur == s || sPassive {
+			// Terminal: Rule S2 (cur == s) or US2 (s hangs in a passive
+			// branch of cur) is anticipated. Either bounces exactly when
+			// the arrival is the higher-rank of two active roots.
+			if len(actRoots) != 2 {
+				return false
+			}
+			return prev == actRoots[1]
+		}
+		if len(actRoots) != 2 {
+			return false // the trajectory is not a forced U2 chain
+		}
+		var next graph.Vertex
+		switch prev {
+		case actRoots[0]:
+			next = actRoots[1]
+		case actRoots[1]:
+			next = actRoots[0]
+		default:
+			return false
+		}
+		prev, cur = cur, next
+	}
+	return false
+}
+
+// simBranches classifies the branches around cur within u's routing view.
+func simBranches(view *prep.View, cur, s graph.Vertex) []simBranch {
+	without := view.Routing.WithoutVertex(cur)
+	distCur := view.Routing.BFS(cur)
+	var out []simBranch
+	for _, vs := range without.Components() {
+		br := simBranch{}
+		vset := make(map[graph.Vertex]bool, len(vs))
+		for _, v := range vs {
+			vset[v] = true
+			if v == s {
+				br.hasS = true
+			}
+			if view.RoutingDist[v] == view.K || distCur[v] >= view.K {
+				br.active = true
+			}
+			if v == view.Center {
+				// The branch holding u extends through u's other
+				// component, which reaches the horizon by construction.
+				br.active = true
+			}
+		}
+		view.Routing.EachAdj(cur, func(w graph.Vertex) bool {
+			if vset[w] {
+				br.roots = append(br.roots, w)
+			}
+			return true
+		})
+		if len(br.roots) == 0 {
+			continue
+		}
+		sort.Slice(br.roots, func(i, j int) bool { return br.roots[i] < br.roots[j] })
+		out = append(out, br)
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package route
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"klocal/internal/graph"
+	"klocal/internal/nbhd"
+)
+
+// TreeRightHand returns the naive right-hand rule that motivates
+// Algorithm 1 (Figure 7): deliver if the destination is visible,
+// otherwise forward to the successor of the incoming port in the circular
+// rank order of all neighbours. It guarantees delivery on trees for any
+// k ≥ 1 but is defeated by cycles longer than 2k.
+func TreeRightHand() Algorithm {
+	return Algorithm{
+		Name:             "RightHandRule",
+		OriginAware:      false,
+		PredecessorAware: true,
+		MinK:             func(int) int { return 0 },
+		Bind: func(g *graph.Graph, k int) Func {
+			return func(_, t, u, v graph.Vertex) (graph.Vertex, error) {
+				view := nbhd.Extract(g, u, k)
+				if view.Contains(t) {
+					if hop := view.G.NextHopToward(u, t); hop != graph.NoVertex {
+						return hop, nil
+					}
+				}
+				adj := g.Adj(u)
+				if len(adj) == 0 {
+					return graph.NoVertex, fmt.Errorf("%w: isolated node", ErrNoRoute)
+				}
+				if v == graph.NoVertex {
+					return adj[0], nil
+				}
+				i := sort.Search(len(adj), func(i int) bool { return adj[i] >= v })
+				if i == len(adj) || adj[i] != v {
+					return adj[0], nil
+				}
+				return adj[(i+1)%len(adj)], nil
+			}
+		},
+	}
+}
+
+// ShortestPathOracle returns the centralized baseline: a router with full
+// topology knowledge that always forwards along a shortest path. It is
+// the "routing table" comparator for the dilation experiments.
+func ShortestPathOracle() Algorithm {
+	return Algorithm{
+		Name:             "ShortestPathOracle",
+		OriginAware:      false,
+		PredecessorAware: false,
+		MinK:             func(int) int { return 0 },
+		Bind: func(g *graph.Graph, _ int) Func {
+			return func(_, t, u, _ graph.Vertex) (graph.Vertex, error) {
+				hop := g.NextHopToward(u, t)
+				if hop == graph.NoVertex {
+					return graph.NoVertex, fmt.Errorf("%w: destination unreachable", ErrNoRoute)
+				}
+				return hop, nil
+			}
+		},
+	}
+}
+
+// RandomWalk returns the randomized reference discussed in Section 3
+// (Chen et al.): forward to a uniformly random neighbour, delivering when
+// the destination becomes visible. Expected route length on adversarial
+// instances is Θ(n²), the benchmark's contrast to the deterministic
+// bounds. The returned routing function serializes its RNG and is safe
+// for concurrent use.
+func RandomWalk(seed int64) Algorithm {
+	return Algorithm{
+		Name:             "RandomWalk",
+		OriginAware:      false,
+		PredecessorAware: false,
+		Randomized:       true,
+		MinK:             func(int) int { return 0 },
+		Bind: func(g *graph.Graph, k int) Func {
+			var mu sync.Mutex
+			rng := rand.New(rand.NewSource(seed))
+			return func(_, t, u, _ graph.Vertex) (graph.Vertex, error) {
+				view := nbhd.Extract(g, u, k)
+				if view.Contains(t) {
+					if hop := view.G.NextHopToward(u, t); hop != graph.NoVertex {
+						return hop, nil
+					}
+				}
+				adj := g.Adj(u)
+				if len(adj) == 0 {
+					return graph.NoVertex, fmt.Errorf("%w: isolated node", ErrNoRoute)
+				}
+				mu.Lock()
+				hop := adj[rng.Intn(len(adj))]
+				mu.Unlock()
+				return hop, nil
+			}
+		},
+	}
+}

@@ -1,0 +1,51 @@
+package route
+
+// Reconstruction of the figure-only forwarding rules.
+//
+// The paper specifies Algorithm 1's forwarding decisions through Figures
+// 10–12 and the 1B refinement through Figures 15–16, which are not
+// machine-readable. The tables implemented in decideActive were derived
+// from the prose constraints and validated against every quantitative
+// claim (delivery on exhaustive small graphs, dilation bounds, the exact
+// extremal route lengths of Figures 13 and 17):
+//
+//  1. Lemma 1 forces every local routing function at an uninformed node to
+//     be a circular permutation of its neighbours; ranks give the unique
+//     canonical choice, so Rule U uses the circular permutation
+//     a1→a2→…→ad→a1 of the active neighbours in rank order, entering at
+//     a1 from passive components (Algorithm 2's Case 3 states the passive
+//     entry explicitly).
+//
+//  2. Figure 10's red arrow plus Case 2's text fix the origin's first
+//     send at a1. Lemma 7's Case 1 requires that "Rules S2 and US2
+//     initially forward the message in the opposite direction from that
+//     in which the reversal occurs" and that S/US rules are the only
+//     reversal points on the repeating cycle; the Figure 13 trace
+//     ("clockwise around the cycle back to node s, then counter-clockwise
+//     …") pins S2 to: a1→a2, a2→a2 (reversal on the higher-rank
+//     arrival). Figure 12's caption fixes the US entry (from the passive
+//     component containing s, forward to a1); Lemma 7 Cases 1a/1b use the
+//     same reversal shape for US2/US3, giving the general S/US table:
+//     circular by rank with the highest-rank arrival reversed.
+//
+//  3. Lemma 4 identifies S1/U1/US1 as plain reversals at active degree 1,
+//     which both tables produce degenerately.
+//
+//  4. Appendix A's Rules U2b–U2f ("u can determine the imminent
+//     application of Rule S2/US2 and applies this rule pre-emptively")
+//     are realized as a local simulation (simulatesBounce): from u, walk
+//     the would-be trajectory inside u's own routing view through forced
+//     U2 nodes only, and check whether it terminates at s (S2) or at a
+//     vertex carrying s in a passive branch (US2) with the arrival on the
+//     higher-rank side — the rank(c) vs rank(d) test of Cases U2b/c and
+//     U2d/e. The constraint-vertex chains in the paper's preconditions
+//     are exactly what makes such a walk well-defined from u's partial
+//     knowledge; the simulation aborts (keeping plain U2, Rule U2f)
+//     whenever the structure is not a provable forced chain. On the
+//     Figure 17 construction this reproduces the paper's route length
+//     n+2k−6 exactly, with the 3-edge arc of Lemma 16's set I never
+//     traversed, while plain Algorithm 1 takes n+2k.
+//
+// The empirical validation lives in route_test.go (exhaustive graphs up
+// to n=7 for every admissible (s,t) pair, randomized families with
+// adversarial relabelling, and the extremal constructions).

@@ -1,0 +1,96 @@
+package route
+
+import (
+	"errors"
+	"testing"
+
+	"klocal/internal/graph"
+)
+
+// Direct unit tests of the S/U/US rule tables (decideActive), pinning
+// the reconstruction documented in doc.go.
+
+func TestDecideActiveURules(t *testing.T) {
+	roots3 := []graph.Vertex{10, 20, 30}
+	tests := []struct {
+		name  string
+		roots []graph.Vertex
+		from  arrival
+		idx   int
+		want  graph.Vertex
+	}{
+		{"U1 reversal", roots3[:1], arrivalActive, 0, 10},
+		{"U2 swap a1->a2", roots3[:2], arrivalActive, 0, 20},
+		{"U2 swap a2->a1", roots3[:2], arrivalActive, 1, 10},
+		{"U3 circular a1->a2", roots3, arrivalActive, 0, 20},
+		{"U3 circular a2->a3", roots3, arrivalActive, 1, 30},
+		{"U3 circular a3->a1", roots3, arrivalActive, 2, 10},
+		{"passive entry", roots3, arrivalPassive, -1, 10},
+		{"first send", roots3, arrivalFirst, -1, 10},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := decideActive(rulesU, tt.roots, tt.from, tt.idx)
+			if err != nil || got != tt.want {
+				t.Errorf("got %d err=%v, want %d", got, err, tt.want)
+			}
+		})
+	}
+}
+
+func TestDecideActiveSRules(t *testing.T) {
+	roots3 := []graph.Vertex{10, 20, 30}
+	tests := []struct {
+		name  string
+		roots []graph.Vertex
+		from  arrival
+		idx   int
+		want  graph.Vertex
+	}{
+		{"first send S", roots3, arrivalFirst, -1, 10},
+		{"S1 reversal", roots3[:1], arrivalActive, 0, 10},
+		{"S2 pass a1->a2", roots3[:2], arrivalActive, 0, 20},
+		{"S2 reversal a2->a2", roots3[:2], arrivalActive, 1, 20},
+		{"S3 a1->a2", roots3, arrivalActive, 0, 20},
+		{"S3 a2->a3", roots3, arrivalActive, 1, 30},
+		{"S3 reversal a3->a3", roots3, arrivalActive, 2, 30},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := decideActive(rulesS, tt.roots, tt.from, tt.idx)
+			if err != nil || got != tt.want {
+				t.Errorf("got %d err=%v, want %d", got, err, tt.want)
+			}
+		})
+	}
+}
+
+func TestDecideActiveUSRules(t *testing.T) {
+	roots := []graph.Vertex{5, 6, 7}
+	// US mirrors S for active arrivals; the s-passive arrival enters at a1.
+	got, err := decideActive(rulesUS, roots, arrivalSPassive, -1)
+	if err != nil || got != 5 {
+		t.Errorf("US s-passive entry: got %d err=%v", got, err)
+	}
+	got, err = decideActive(rulesUS, roots, arrivalActive, 2)
+	if err != nil || got != 7 {
+		t.Errorf("US3 reversal: got %d err=%v", got, err)
+	}
+	got, err = decideActive(rulesUS, roots[:2], arrivalActive, 1)
+	if err != nil || got != 6 {
+		t.Errorf("US2 reversal: got %d err=%v", got, err)
+	}
+}
+
+func TestDecideActiveErrors(t *testing.T) {
+	if _, err := decideActive(rulesU, nil, arrivalActive, 0); !errors.Is(err, ErrNoRoute) {
+		t.Errorf("no active components: err=%v", err)
+	}
+	roots4 := []graph.Vertex{1, 2, 3, 4}
+	if _, err := decideActive(rulesU, roots4, arrivalActive, 0); !errors.Is(err, ErrLocalityTooSmall) {
+		t.Errorf("degree 4: err=%v", err)
+	}
+	if _, err := decideActive(ruleKind(99), []graph.Vertex{1, 2}, arrivalActive, 0); err == nil {
+		t.Error("unknown rule kind must error")
+	}
+}

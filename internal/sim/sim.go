@@ -1,0 +1,165 @@
+// Package sim drives routing functions over networks: it executes the
+// sequence of forwarding decisions for a single message, detects
+// livelock using the paper's own criteria, and computes route metrics
+// (length, dilation).
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"klocal/internal/graph"
+)
+
+// Func is the routing-function signature sim drives; it is structurally
+// identical to route.Func, kept separate so sim stays independent of the
+// algorithm implementations.
+type Func func(s, t, u, v graph.Vertex) (graph.Vertex, error)
+
+// Outcome classifies the end of a simulated route.
+type Outcome int
+
+const (
+	// Delivered means the message reached the destination.
+	Delivered Outcome = iota + 1
+	// Looped means the routing function revisited a decision state, so
+	// the deterministic walk can never terminate (Observation 1).
+	Looped
+	// Errored means the routing function returned an error or an illegal
+	// hop (a non-neighbour).
+	Errored
+	// Exhausted means the step budget ran out before any of the above
+	// (only possible for randomized algorithms, whose walks have no
+	// repeating-state guarantee).
+	Exhausted
+)
+
+// String renders the outcome for reports.
+func (o Outcome) String() string {
+	switch o {
+	case Delivered:
+		return "delivered"
+	case Looped:
+		return "looped"
+	case Errored:
+		return "errored"
+	case Exhausted:
+		return "exhausted"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Result describes a simulated route.
+type Result struct {
+	Outcome Outcome
+	// Route is the walk, starting at s; for Delivered it ends at t.
+	Route []graph.Vertex
+	// Err carries the routing function's error when Outcome == Errored.
+	Err error
+	// Dist is dist(s, t) in the network.
+	Dist int
+}
+
+// Len returns the route length in edges.
+func (r *Result) Len() int {
+	if len(r.Route) == 0 {
+		return 0
+	}
+	return len(r.Route) - 1
+}
+
+// Dilation returns Len()/Dist. It returns 0 for s == t and +Inf-like
+// MaxDilation for undelivered messages.
+func (r *Result) Dilation() float64 {
+	if r.Dist == 0 {
+		return 0
+	}
+	if r.Outcome != Delivered {
+		return MaxDilation
+	}
+	return float64(r.Len()) / float64(r.Dist)
+}
+
+// MaxDilation is the sentinel dilation of an undelivered message.
+const MaxDilation = 1e18
+
+// ErrIllegalHop is wrapped into Result.Err when a routing function
+// forwards to a non-neighbour.
+var ErrIllegalHop = errors.New("sim: routing function returned a non-neighbour")
+
+// Options tune a simulation run.
+type Options struct {
+	// MaxSteps bounds the walk; 0 means the default 4·n·deg budget (far
+	// above any deterministic non-looping walk, which Observation 1
+	// bounds by 2·m).
+	MaxSteps int
+	// DetectLoops enables decision-state repetition detection. It must
+	// be disabled for randomized algorithms. Default on (see Run).
+	DetectLoops bool
+	// PredecessorAware selects the loop-detection state space: directed
+	// edges for predecessor-aware functions, nodes for oblivious ones.
+	PredecessorAware bool
+}
+
+// Run simulates routing a message from s to t on g with the bound routing
+// function f. The predecessor-awareness of the algorithm determines the
+// livelock criterion:
+//
+//   - predecessor-aware: the decision at u depends only on (u, v) (plus
+//     the fixed s, t), so revisiting a directed edge repeats forever;
+//   - predecessor-oblivious: the decision depends only on u, so
+//     revisiting any node repeats forever.
+func Run(g *graph.Graph, f Func, s, t graph.Vertex, opts Options) *Result {
+	res := &Result{Dist: g.Dist(s, t), Route: []graph.Vertex{s}}
+	if s == t {
+		res.Outcome = Delivered
+		return res
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 4 * (g.N() + 1) * (g.M() + 1)
+	}
+	type dirEdge struct{ from, to graph.Vertex }
+	seenEdges := make(map[dirEdge]bool)
+	seenNodes := make(map[graph.Vertex]bool)
+
+	u, v := s, graph.NoVertex
+	for step := 0; step < maxSteps; step++ {
+		next, err := f(s, t, u, v)
+		if err != nil {
+			res.Outcome = Errored
+			res.Err = err
+			return res
+		}
+		if !g.HasEdge(u, next) {
+			res.Outcome = Errored
+			res.Err = fmt.Errorf("%w: %d -> %d", ErrIllegalHop, u, next)
+			return res
+		}
+		if opts.DetectLoops {
+			if opts.PredecessorAware {
+				e := dirEdge{from: u, to: next}
+				if seenEdges[e] {
+					res.Outcome = Looped
+					return res
+				}
+				seenEdges[e] = true
+			} else {
+				if seenNodes[u] {
+					res.Outcome = Looped
+					return res
+				}
+				seenNodes[u] = true
+			}
+		}
+		res.Route = append(res.Route, next)
+		u, v = next, u
+		if u == t {
+			res.Outcome = Delivered
+			return res
+		}
+	}
+	res.Outcome = Exhausted
+	return res
+}

@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"klocal/internal/gen"
+	"klocal/internal/graph"
+)
+
+// follow returns a Func that forwards according to a fixed next-hop map
+// keyed by (u, v).
+type hop struct{ u, v graph.Vertex }
+
+func follow(m map[hop]graph.Vertex) Func {
+	return func(_, _, u, v graph.Vertex) (graph.Vertex, error) {
+		next, ok := m[hop{u, v}]
+		if !ok {
+			return graph.NoVertex, errors.New("no decision")
+		}
+		return next, nil
+	}
+}
+
+func TestRunDeliversStraightLine(t *testing.T) {
+	g := gen.Path(4)
+	f := func(_, _, u, _ graph.Vertex) (graph.Vertex, error) { return u + 1, nil }
+	res := Run(g, f, 0, 3, Options{DetectLoops: true, PredecessorAware: true})
+	if res.Outcome != Delivered || res.Len() != 3 || res.Dist != 3 {
+		t.Errorf("result = %+v", res)
+	}
+	if d := res.Dilation(); d != 1 {
+		t.Errorf("dilation = %v, want 1", d)
+	}
+}
+
+func TestRunSelfDelivery(t *testing.T) {
+	g := gen.Path(3)
+	called := false
+	f := func(_, _, _, _ graph.Vertex) (graph.Vertex, error) {
+		called = true
+		return 0, nil
+	}
+	res := Run(g, f, 1, 1, Options{})
+	if res.Outcome != Delivered || res.Len() != 0 || called {
+		t.Errorf("s == t must deliver immediately without invoking f: %+v", res)
+	}
+	if res.Dilation() != 0 {
+		t.Errorf("dilation of the empty route must be 0")
+	}
+}
+
+func TestRunDetectsDirectedEdgeLoop(t *testing.T) {
+	g := gen.Cycle(4)
+	// Always go clockwise: revisits directed edges after one lap.
+	f := func(_, _, u, _ graph.Vertex) (graph.Vertex, error) {
+		return (u + 1) % 4, nil
+	}
+	res := Run(g, f, 0, 99, Options{DetectLoops: true, PredecessorAware: true})
+	// t=99 is absent, but Run only errors through f; here the walk loops.
+	if res.Outcome != Looped {
+		t.Errorf("outcome = %v, want Looped", res.Outcome)
+	}
+	if res.Len() > 8 {
+		t.Errorf("loop detection took %d steps, expected within two laps", res.Len())
+	}
+}
+
+func TestRunNodeLoopForObliviousAlgorithms(t *testing.T) {
+	g := gen.Cycle(4)
+	f := func(_, _, u, _ graph.Vertex) (graph.Vertex, error) {
+		return (u + 1) % 4, nil
+	}
+	res := Run(g, f, 0, 99, Options{DetectLoops: true, PredecessorAware: false})
+	if res.Outcome != Looped || res.Len() > 4 {
+		t.Errorf("node-level loop detection failed: %+v", res)
+	}
+}
+
+func TestRunBouncingIsNotALoopUntilStateRepeats(t *testing.T) {
+	// A predecessor-aware walk may traverse an edge once in each direction
+	// without looping.
+	g := gen.Path(3)
+	m := map[hop]graph.Vertex{
+		{1, graph.NoVertex}: 0, // away from t first
+		{0, 1}:              1, // bounce at the end
+		{1, 0}:              2, // then to t
+	}
+	res := Run(g, follow(m), 1, 2, Options{DetectLoops: true, PredecessorAware: true})
+	if res.Outcome != Delivered || res.Len() != 3 {
+		t.Errorf("result = %+v route=%v", res, res.Route)
+	}
+	if d := res.Dilation(); d != 3 {
+		t.Errorf("dilation = %v, want 3", d)
+	}
+}
+
+func TestRunErrorsOnIllegalHop(t *testing.T) {
+	g := gen.Path(3)
+	f := func(_, _, _, _ graph.Vertex) (graph.Vertex, error) { return 99, nil }
+	res := Run(g, f, 0, 2, Options{})
+	if res.Outcome != Errored || !errors.Is(res.Err, ErrIllegalHop) {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+func TestRunPropagatesFunctionError(t *testing.T) {
+	g := gen.Path(3)
+	sentinel := errors.New("boom")
+	f := func(_, _, _, _ graph.Vertex) (graph.Vertex, error) { return graph.NoVertex, sentinel }
+	res := Run(g, f, 0, 2, Options{})
+	if res.Outcome != Errored || !errors.Is(res.Err, sentinel) {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+func TestRunExhaustsBudget(t *testing.T) {
+	g := gen.Cycle(6)
+	f := func(_, _, u, _ graph.Vertex) (graph.Vertex, error) {
+		return graph.Vertex((int(u) + 1) % 6), nil
+	}
+	res := Run(g, f, 0, 3, Options{MaxSteps: 2})
+	if res.Outcome != Exhausted {
+		t.Errorf("outcome = %v, want Exhausted", res.Outcome)
+	}
+}
+
+func TestUndeliveredDilationIsMax(t *testing.T) {
+	g := gen.Cycle(6)
+	f := func(_, _, u, _ graph.Vertex) (graph.Vertex, error) {
+		return graph.Vertex((int(u) + 1) % 6), nil
+	}
+	res := Run(g, f, 0, 3, Options{MaxSteps: 1})
+	if res.Dilation() != MaxDilation {
+		t.Errorf("dilation = %v, want MaxDilation", res.Dilation())
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	tests := []struct {
+		give Outcome
+		want string
+	}{
+		{Delivered, "delivered"},
+		{Looped, "looped"},
+		{Errored, "errored"},
+		{Exhausted, "exhausted"},
+		{Outcome(42), "Outcome(42)"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("String(%d) = %q, want %q", int(tt.give), got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+// Package stateful implements routing with message-carried state — the
+// relaxation the paper's Section 6.3 discusses. The paper's model is
+// memoryless and stateless; allowing the message to carry state buys
+// delivery at locality k = 1, at a memory price this package makes
+// explicit and measurable:
+//
+//   - DFSRouter: depth-first traversal with the visited set and path
+//     stack carried in the message — Θ(n log n) bits, delivery on every
+//     connected graph with a route of at most 2m edges.
+//
+// Together with georoute.FaceRoute (Θ(log n) bits on plane embeddings)
+// and the paper's stateless algorithms (0 bits, locality Ω(n)), this
+// spans the locality-versus-memory trade-off that Section 6.3 poses as
+// an open question; the exper package measures it.
+package stateful
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"klocal/internal/graph"
+)
+
+// ErrStuck is returned when a traversal exhausts its options without
+// reaching the destination (impossible on connected graphs).
+var ErrStuck = errors.New("stateful: traversal exhausted without delivery")
+
+// Result describes a stateful route.
+type Result struct {
+	// Route is the walk from s, ending at t iff Delivered.
+	Route []graph.Vertex
+	// Delivered reports success.
+	Delivered bool
+	// PeakStateBits is the maximum message overhead carried at any hop.
+	PeakStateBits int
+}
+
+// Len returns the route length in edges.
+func (r *Result) Len() int {
+	if len(r.Route) == 0 {
+		return 0
+	}
+	return len(r.Route) - 1
+}
+
+// dfsState is the message overhead of DFSRoute: the DFS stack (current
+// path back to s) and the visited set.
+type dfsState struct {
+	stack   []graph.Vertex
+	visited map[graph.Vertex]bool
+}
+
+// bits estimates the state size: each stored vertex label costs
+// ⌈log₂ n⌉ bits.
+func (st *dfsState) bits(n int) int {
+	if n < 2 {
+		return 0
+	}
+	perVertex := int(math.Ceil(math.Log2(float64(n))))
+	return (len(st.stack) + len(st.visited)) * perVertex
+}
+
+// DFSRoute routes from s to t with a 1-local depth-first traversal: at
+// each node the message, knowing only the node's adjacency and its own
+// carried state, visits the lowest-labelled unvisited neighbour, or
+// backtracks. It guarantees delivery on every connected graph and its
+// route has at most 2(n−1) edges (each DFS-tree edge twice).
+func DFSRoute(g *graph.Graph, s, t graph.Vertex) (*Result, error) {
+	if !g.HasVertex(s) || !g.HasVertex(t) {
+		return nil, fmt.Errorf("stateful: unknown endpoint")
+	}
+	res := &Result{Route: []graph.Vertex{s}}
+	if s == t {
+		res.Delivered = true
+		return res, nil
+	}
+	st := &dfsState{visited: map[graph.Vertex]bool{s: true}}
+	st.stack = append(st.stack, s)
+	u := s
+	n := g.N()
+	for len(st.stack) > 0 {
+		if bits := st.bits(n); bits > res.PeakStateBits {
+			res.PeakStateBits = bits
+		}
+		// 1-locality: u sees its neighbours' labels, nothing else.
+		if g.HasEdge(u, t) {
+			res.Route = append(res.Route, t)
+			res.Delivered = true
+			return res, nil
+		}
+		next := graph.NoVertex
+		g.EachAdj(u, func(w graph.Vertex) bool {
+			if !st.visited[w] {
+				next = w
+				return false
+			}
+			return true
+		})
+		if next != graph.NoVertex {
+			st.visited[next] = true
+			st.stack = append(st.stack, next)
+			res.Route = append(res.Route, next)
+			u = next
+			continue
+		}
+		// Backtrack along the carried path.
+		st.stack = st.stack[:len(st.stack)-1]
+		if len(st.stack) == 0 {
+			break
+		}
+		u = st.stack[len(st.stack)-1]
+		res.Route = append(res.Route, u)
+	}
+	return res, ErrStuck
+}

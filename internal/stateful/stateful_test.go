@@ -1,0 +1,113 @@
+package stateful
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"klocal/internal/gen"
+	"klocal/internal/graph"
+)
+
+func TestDFSRouteDeliversExhaustively(t *testing.T) {
+	for n := 2; n <= 5; n++ {
+		gen.ConnectedGraphs(n, func(g *graph.Graph) bool {
+			for _, s := range g.Vertices() {
+				for _, dst := range g.Vertices() {
+					res, err := DFSRoute(g, s, dst)
+					if err != nil || !res.Delivered {
+						t.Fatalf("DFS failed %d->%d on %v: %v", s, dst, g, err)
+					}
+					if res.Len() > 2*g.N() {
+						t.Fatalf("DFS route %d exceeds 2n on %v", res.Len(), g)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func TestDFSRouteDeliversRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 40; trial++ {
+		n := 5 + rng.Intn(40)
+		g := gen.RandomConnected(rng, n, 0.1)
+		vs := g.Vertices()
+		s := vs[rng.Intn(len(vs))]
+		dst := vs[rng.Intn(len(vs))]
+		res, err := DFSRoute(g, s, dst)
+		if err != nil || !res.Delivered {
+			t.Fatalf("DFS failed %d->%d: %v", s, dst, err)
+		}
+		// Every hop must be an edge.
+		for i := 1; i < len(res.Route); i++ {
+			if !g.HasEdge(res.Route[i-1], res.Route[i]) {
+				t.Fatalf("non-edge hop %d-%d", res.Route[i-1], res.Route[i])
+			}
+		}
+	}
+}
+
+func TestDFSRouteSelfAndErrors(t *testing.T) {
+	g := gen.Path(4)
+	res, err := DFSRoute(g, 2, 2)
+	if err != nil || !res.Delivered || res.Len() != 0 {
+		t.Errorf("self route: %+v err=%v", res, err)
+	}
+	if _, err := DFSRoute(g, 0, 99); err == nil {
+		t.Error("unknown endpoint must error")
+	}
+	disconnected := graph.NewBuilder().AddEdge(0, 1).AddEdge(2, 3).Build()
+	if _, err := DFSRoute(disconnected, 0, 3); !errors.Is(err, ErrStuck) {
+		t.Errorf("disconnected route: err=%v, want ErrStuck", err)
+	}
+}
+
+func TestDFSRouteStateBitsScaling(t *testing.T) {
+	// The paper's trade-off: DFS buys k=1 locality with Θ(n log n) bits.
+	rng := rand.New(rand.NewSource(62))
+	g1 := gen.RandomConnected(rng, 16, 0.05)
+	g2 := gen.RandomConnected(rng, 128, 0.05)
+	// Route to the farthest vertex so the traversal covers real ground.
+	far := func(g *graph.Graph) (graph.Vertex, graph.Vertex) {
+		s := g.Vertices()[0]
+		best, bestD := s, -1
+		for v, d := range g.BFS(s) {
+			if d > bestD {
+				best, bestD = v, d
+			}
+		}
+		return s, best
+	}
+	s1, t1 := far(g1)
+	s2, t2 := far(g2)
+	r1, err := DFSRoute(g1, s1, t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := DFSRoute(g2, s2, t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.PeakStateBits <= 0 || r2.PeakStateBits <= r1.PeakStateBits {
+		t.Errorf("state bits should grow with n: %d (n=16) vs %d (n=128)", r1.PeakStateBits, r2.PeakStateBits)
+	}
+	// Upper bound: at most 2n vertex labels stored.
+	if max := 2 * 128 * int(math.Ceil(math.Log2(128))); r2.PeakStateBits > max {
+		t.Errorf("state bits %d exceed 2n·log n = %d", r2.PeakStateBits, max)
+	}
+}
+
+func TestDFSRouteOnTreeIsEulerLike(t *testing.T) {
+	g := gen.Spider(3, 4)
+	// Route from one arm tip to another: DFS backtracks through the hub.
+	res, err := DFSRoute(g, 4, 12)
+	if err != nil || !res.Delivered {
+		t.Fatalf("spider route failed: %v", err)
+	}
+	if res.Len() > 2*(g.N()-1) {
+		t.Errorf("tree DFS route %d exceeds 2(n-1)", res.Len())
+	}
+}

@@ -1,0 +1,131 @@
+// Package trace renders routes and topologies as plain text, for the
+// CLI tools and for eyeballing counterexamples: hop-by-hop annotations
+// against the destination distance, and an ASCII raster for embedded
+// (geometric) networks.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"klocal/internal/geom"
+	"klocal/internal/graph"
+)
+
+// RenderRoute formats a walk hop by hop, annotating each node with its
+// remaining distance to the destination so detours and reversals are
+// visible at a glance.
+func RenderRoute(g *graph.Graph, route []graph.Vertex, t graph.Vertex) string {
+	if len(route) == 0 {
+		return "(empty route)\n"
+	}
+	distToT := g.BFS(t)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "route with %d hops toward %d:\n", len(route)-1, t)
+	prevDist := -1
+	for i, v := range route {
+		d, ok := distToT[v]
+		distStr := "∞"
+		if ok {
+			distStr = fmt.Sprint(d)
+		}
+		marker := " "
+		switch {
+		case i == 0:
+			marker = "s"
+		case v == t:
+			marker = "t"
+		case ok && prevDist >= 0 && d > prevDist:
+			marker = "↩" // moving away from the destination
+		}
+		fmt.Fprintf(&sb, "  %3d. %s node %-6d dist(t)=%s\n", i, marker, v, distStr)
+		if ok {
+			prevDist = d
+		}
+	}
+	return sb.String()
+}
+
+// RenderEmbedding rasters an embedded graph into a width×height character
+// grid: vertices as their last label digit, route vertices highlighted
+// with '#', origin 'S' and destination 'T'. Edges are not drawn (the
+// raster is for topology shape, not precision).
+func RenderEmbedding(e *geom.Embedding, route []graph.Vertex, width, height int) string {
+	if width < 8 {
+		width = 8
+	}
+	if height < 4 {
+		height = 4
+	}
+	minX, minY := 1e18, 1e18
+	maxX, maxY := -1e18, -1e18
+	for _, p := range e.Pos {
+		if p.X < minX {
+			minX = p.X
+		}
+		if p.Y < minY {
+			minY = p.Y
+		}
+		if p.X > maxX {
+			maxX = p.X
+		}
+		if p.Y > maxY {
+			maxY = p.Y
+		}
+	}
+	if maxX-minX < 1e-9 {
+		maxX = minX + 1
+	}
+	if maxY-minY < 1e-9 {
+		maxY = minY + 1
+	}
+	cells := make([][]byte, height)
+	for r := range cells {
+		cells[r] = []byte(strings.Repeat(".", width))
+	}
+	place := func(p geom.Point) (int, int) {
+		c := int((p.X - minX) / (maxX - minX) * float64(width-1))
+		r := int((maxY - p.Y) / (maxY - minY) * float64(height-1))
+		return r, c
+	}
+	for v, p := range e.Pos {
+		r, c := place(p)
+		cells[r][c] = byte('0' + (int(v)%10+10)%10)
+	}
+	onRoute := make(map[graph.Vertex]bool, len(route))
+	for _, v := range route {
+		onRoute[v] = true
+	}
+	for v := range onRoute {
+		r, c := place(e.Pos[v])
+		cells[r][c] = '#'
+	}
+	if len(route) > 0 {
+		r, c := place(e.Pos[route[0]])
+		cells[r][c] = 'S'
+		r, c = place(e.Pos[route[len(route)-1]])
+		cells[r][c] = 'T'
+	}
+	var sb strings.Builder
+	for _, row := range cells {
+		sb.Write(row)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// RenderAdjacency prints a compact adjacency listing, useful when a test
+// failure needs a human-readable topology dump.
+func RenderAdjacency(g *graph.Graph) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "n=%d m=%d\n", g.N(), g.M())
+	for _, v := range g.Vertices() {
+		fmt.Fprintf(&sb, "  %d:", v)
+		g.EachAdj(v, func(w graph.Vertex) bool {
+			fmt.Fprintf(&sb, " %d", w)
+			return true
+		})
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

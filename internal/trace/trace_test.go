@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"klocal/internal/gen"
+	"klocal/internal/geom"
+	"klocal/internal/graph"
+)
+
+func TestRenderRouteAnnotations(t *testing.T) {
+	g := gen.Path(6)
+	// A route that first moves away from t=5, then turns around.
+	route := []graph.Vertex{2, 1, 0, 1, 2, 3, 4, 5}
+	out := RenderRoute(g, route, 5)
+	if !strings.Contains(out, "route with 7 hops toward 5") {
+		t.Errorf("header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "↩") {
+		t.Errorf("away-moves must be marked:\n%s", out)
+	}
+	if !strings.Contains(out, "s node 2") {
+		t.Errorf("origin marker missing:\n%s", out)
+	}
+	if !strings.Contains(out, "t node 5") {
+		t.Errorf("destination marker missing:\n%s", out)
+	}
+}
+
+func TestRenderRouteEmpty(t *testing.T) {
+	g := gen.Path(3)
+	if out := RenderRoute(g, nil, 2); !strings.Contains(out, "empty route") {
+		t.Errorf("empty route rendering: %q", out)
+	}
+}
+
+func TestRenderRouteUnreachable(t *testing.T) {
+	g := graph.NewBuilder().AddEdge(0, 1).AddEdge(2, 3).Build()
+	out := RenderRoute(g, []graph.Vertex{0, 1}, 3)
+	if !strings.Contains(out, "∞") {
+		t.Errorf("unreachable distance must render as ∞:\n%s", out)
+	}
+}
+
+func TestRenderEmbedding(t *testing.T) {
+	g := graph.NewBuilder().AddPath(0, 1, 2).Build()
+	pos := map[graph.Vertex]geom.Point{
+		0: {X: 0, Y: 0}, 1: {X: 0.5, Y: 0.5}, 2: {X: 1, Y: 1},
+	}
+	e, err := geom.NewEmbedding(g, pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderEmbedding(e, []graph.Vertex{0, 1, 2}, 20, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 10 {
+		t.Fatalf("expected 10 rows, got %d", len(lines))
+	}
+	for _, l := range lines {
+		if len(l) != 20 {
+			t.Fatalf("row width %d, want 20: %q", len(l), l)
+		}
+	}
+	if !strings.Contains(out, "S") || !strings.Contains(out, "T") || !strings.Contains(out, "#") {
+		t.Errorf("route markers missing:\n%s", out)
+	}
+	// Origin at bottom-left, destination at top-right.
+	if lines[9][0] != 'S' {
+		t.Errorf("S not at bottom-left:\n%s", out)
+	}
+	if lines[0][19] != 'T' {
+		t.Errorf("T not at top-right:\n%s", out)
+	}
+}
+
+func TestRenderEmbeddingMinimumSizes(t *testing.T) {
+	g := graph.NewBuilder().AddEdge(0, 1).Build()
+	pos := map[graph.Vertex]geom.Point{0: {X: 0, Y: 0}, 1: {X: 0, Y: 0.0000000001}}
+	e, err := geom.NewEmbedding(g, pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderEmbedding(e, nil, 1, 1)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 4 || len(lines[0]) < 8 {
+		t.Errorf("minimum raster size not enforced: %dx%d", len(lines[0]), len(lines))
+	}
+}
+
+func TestRenderAdjacency(t *testing.T) {
+	g := gen.Cycle(4)
+	out := RenderAdjacency(g)
+	if !strings.Contains(out, "n=4 m=4") {
+		t.Errorf("header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "0: 1 3") {
+		t.Errorf("adjacency of 0 missing:\n%s", out)
+	}
+}

@@ -1,0 +1,181 @@
+// Package verify is the bulk validation harness behind cmd/verify: it
+// checks an algorithm's delivery guarantee over exhaustive or randomized
+// graph populations, fanning the work out over parallel workers. The
+// paper's positive theorems are ∀-statements over graphs; this package
+// is how a user re-establishes them at whatever scale they can afford.
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"klocal/internal/gen"
+	"klocal/internal/graph"
+	"klocal/internal/route"
+	"klocal/internal/sim"
+)
+
+// Config selects what to verify.
+type Config struct {
+	// Algorithm under test.
+	Algorithm route.Algorithm
+	// K is the locality parameter; 0 means the algorithm's own threshold
+	// T(n) per graph.
+	K int
+	// Workers bounds parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// MaxFailures stops the run early once that many failures are
+	// recorded (0 = collect all).
+	MaxFailures int
+	// RequireShortest additionally demands route length == distance
+	// (Algorithm 3 and table schemes).
+	RequireShortest bool
+}
+
+// Failure is one defeated instance.
+type Failure struct {
+	G       *graph.Graph
+	S, T    graph.Vertex
+	Outcome sim.Outcome
+	Err     error
+}
+
+// Report aggregates a verification run.
+type Report struct {
+	Graphs        int
+	Pairs         int
+	Delivered     int
+	WorstDilation float64
+	Failures      []Failure
+}
+
+// OK reports whether every routed pair was delivered (and shortest, if
+// required).
+func (r *Report) OK() bool { return len(r.Failures) == 0 && r.Delivered == r.Pairs }
+
+// String summarizes the report.
+func (r *Report) String() string {
+	return fmt.Sprintf("graphs=%d pairs=%d delivered=%d worstDilation=%.3f failures=%d",
+		r.Graphs, r.Pairs, r.Delivered, r.WorstDilation, len(r.Failures))
+}
+
+// checkGraph routes every ordered pair of g and merges into the report
+// under mu.
+func checkGraph(cfg Config, g *graph.Graph, rep *Report, mu *sync.Mutex) {
+	k := cfg.K
+	if k == 0 {
+		k = cfg.Algorithm.MinK(g.N())
+		if k == 0 {
+			k = 1
+		}
+	}
+	f := cfg.Algorithm.Bind(g, k)
+	local := Report{Graphs: 1}
+	for _, s := range g.Vertices() {
+		for _, t := range g.Vertices() {
+			if s == t {
+				continue
+			}
+			local.Pairs++
+			res := sim.Run(g, sim.Func(f), s, t, sim.Options{
+				DetectLoops:      !cfg.Algorithm.Randomized,
+				PredecessorAware: cfg.Algorithm.PredecessorAware,
+			})
+			bad := res.Outcome != sim.Delivered ||
+				(cfg.RequireShortest && res.Len() != res.Dist)
+			if bad {
+				local.Failures = append(local.Failures, Failure{
+					G: g, S: s, T: t, Outcome: res.Outcome, Err: res.Err,
+				})
+				continue
+			}
+			local.Delivered++
+			if d := res.Dilation(); d > local.WorstDilation {
+				local.WorstDilation = d
+			}
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	rep.Graphs += local.Graphs
+	rep.Pairs += local.Pairs
+	rep.Delivered += local.Delivered
+	if local.WorstDilation > rep.WorstDilation {
+		rep.WorstDilation = local.WorstDilation
+	}
+	rep.Failures = append(rep.Failures, local.Failures...)
+}
+
+// overBudget reports whether the failure budget is exhausted.
+func overBudget(cfg Config, rep *Report, mu *sync.Mutex) bool {
+	if cfg.MaxFailures == 0 {
+		return false
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	return len(rep.Failures) >= cfg.MaxFailures
+}
+
+// runPool drains the graph channel with cfg.Workers workers.
+func runPool(cfg Config, graphs <-chan *graph.Graph) *Report {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rep := &Report{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for g := range graphs {
+				if overBudget(cfg, rep, &mu) {
+					continue // drain without working
+				}
+				checkGraph(cfg, g, rep, &mu)
+			}
+		}()
+	}
+	wg.Wait()
+	return rep
+}
+
+// Exhaustive verifies the algorithm over every connected labelled graph
+// on n vertices (n ≤ 8), all ordered pairs each.
+func Exhaustive(cfg Config, n int) (*Report, error) {
+	if n < 1 || n > 8 {
+		return nil, fmt.Errorf("verify: exhaustive mode supports 1 <= n <= 8, got %d", n)
+	}
+	graphs := make(chan *graph.Graph, 64)
+	go func() {
+		defer close(graphs)
+		gen.ConnectedGraphs(n, func(g *graph.Graph) bool {
+			graphs <- g
+			return true
+		})
+	}()
+	return runPool(cfg, graphs), nil
+}
+
+// RandomSample verifies the algorithm over `count` random connected
+// graphs with adversarially permuted labels, sizes drawn from
+// [minN, maxN].
+func RandomSample(cfg Config, seed int64, count, minN, maxN int) (*Report, error) {
+	if minN < 2 || maxN < minN {
+		return nil, fmt.Errorf("verify: need 2 <= minN <= maxN")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	graphs := make(chan *graph.Graph, 16)
+	go func() {
+		defer close(graphs)
+		for i := 0; i < count; i++ {
+			n := minN + rng.Intn(maxN-minN+1)
+			g := gen.RandomConnected(rng, n, rng.Float64()*0.25)
+			graphs <- g.PermuteLabels(gen.RandomLabelPermutation(rng, g))
+		}
+	}()
+	return runPool(cfg, graphs), nil
+}

@@ -1,0 +1,101 @@
+package verify
+
+import (
+	"testing"
+
+	"klocal/internal/route"
+)
+
+func TestExhaustiveAlgorithm1SmallN(t *testing.T) {
+	rep, err := Exhaustive(Config{Algorithm: route.Algorithm1()}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("Algorithm 1 exhaustive n=5 failed: %s (first failure: %+v)",
+			rep, rep.Failures[0])
+	}
+	if rep.Graphs != 728 {
+		t.Errorf("graphs = %d, want 728 connected labelled graphs on 5 vertices", rep.Graphs)
+	}
+	if rep.Pairs != 728*20 {
+		t.Errorf("pairs = %d, want 728·20", rep.Pairs)
+	}
+	if rep.WorstDilation >= 7 {
+		t.Errorf("dilation %v >= 7", rep.WorstDilation)
+	}
+}
+
+func TestExhaustiveAlgorithm3Shortest(t *testing.T) {
+	rep, err := Exhaustive(Config{Algorithm: route.Algorithm3(), RequireShortest: true}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("Algorithm 3 shortest check failed: %s", rep)
+	}
+	if rep.WorstDilation > 1+1e-9 {
+		t.Errorf("dilation %v > 1", rep.WorstDilation)
+	}
+}
+
+func TestExhaustiveDetectsSubThresholdFailures(t *testing.T) {
+	// At n = 5, k = 1 is below Algorithm 2's threshold ⌊(n+1)/3⌋ = 2, so
+	// Theorem 2 guarantees a defeating graph inside the exhaustive
+	// population. (Algorithm 1's bound ⌊(n+1)/4⌋ is 1 there — vacuous —
+	// and it indeed delivers everywhere at k = 1 on n = 5.)
+	rep, err := Exhaustive(Config{Algorithm: route.Algorithm2(), K: 1, MaxFailures: 5}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Error("k=1 < T(5) cannot deliver everywhere; the verifier missed the failures")
+	}
+	if len(rep.Failures) > 5+64 {
+		// The early-stop is cooperative (per worker), so slight overshoot
+		// is fine; gross overshoot means the budget does not work.
+		t.Errorf("failure budget ignored: %d failures", len(rep.Failures))
+	}
+}
+
+func TestExhaustiveRejectsBigN(t *testing.T) {
+	if _, err := Exhaustive(Config{Algorithm: route.Algorithm3()}, 9); err == nil {
+		t.Error("expected error for n > 8")
+	}
+}
+
+func TestRandomSampleAllAlgorithms(t *testing.T) {
+	for _, alg := range []route.Algorithm{
+		route.Algorithm1(), route.Algorithm1B(), route.Algorithm2(), route.Algorithm3(),
+	} {
+		rep, err := RandomSample(Config{Algorithm: alg, Workers: 4}, 7, 12, 8, 18)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.OK() {
+			t.Fatalf("%s random sample failed: %s (first: %+v)", alg.Name, rep, rep.Failures[0])
+		}
+		if rep.Graphs != 12 {
+			t.Errorf("%s: graphs = %d, want 12", alg.Name, rep.Graphs)
+		}
+	}
+}
+
+func TestRandomSampleValidation(t *testing.T) {
+	if _, err := RandomSample(Config{Algorithm: route.Algorithm3()}, 1, 1, 1, 5); err == nil {
+		t.Error("expected error for minN < 2")
+	}
+	if _, err := RandomSample(Config{Algorithm: route.Algorithm3()}, 1, 1, 10, 5); err == nil {
+		t.Error("expected error for maxN < minN")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep := &Report{Graphs: 2, Pairs: 10, Delivered: 10, WorstDilation: 1.5}
+	if got := rep.String(); got == "" {
+		t.Error("empty report string")
+	}
+	if !rep.OK() {
+		t.Error("fully delivered report must be OK")
+	}
+}

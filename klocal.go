@@ -1,0 +1,394 @@
+// Package klocal is a library for k-local routing on connected undirected
+// graphs, reproducing Bose, Carmi and Durocher, "Bounding the Locality of
+// Distributed Routing Algorithms" (PODC 2009).
+//
+// A k-local routing algorithm makes distributed forwarding decisions
+// using only the destination, optionally the origin (origin-aware) and
+// incoming port (predecessor-aware), and the k-neighbourhood G_k(u) of
+// the current node. The paper's tight feasibility thresholds are:
+//
+//	T(n)                  origin-aware   origin-oblivious
+//	predecessor-aware     n/4            n/3
+//	predecessor-oblivious n/2            n/2
+//
+// This package exposes the four matching algorithms (Algorithm1,
+// Algorithm1B, Algorithm2, Algorithm3), the graph substrate and
+// generators, a single-message simulator, a concurrent message-passing
+// network simulator with k-hop neighbourhood discovery, the lower-bound
+// adversaries, and the experiment harness regenerating every table and
+// quantitative figure of the paper.
+//
+// Quick start:
+//
+//	g := klocal.RandomConnected(rand.New(rand.NewSource(1)), 24, 0.1)
+//	alg := klocal.Algorithm1()
+//	k := alg.MinK(g.N())
+//	res := klocal.Route(alg, g, k, s, t)
+//	fmt.Println(res.Outcome, res.Route)
+package klocal
+
+import (
+	"math/rand"
+
+	"klocal/internal/adversary"
+	"klocal/internal/digraph"
+	"klocal/internal/diroute"
+	"klocal/internal/exper"
+	"klocal/internal/flood"
+	"klocal/internal/gen"
+	"klocal/internal/geom"
+	"klocal/internal/georoute"
+	"klocal/internal/graph"
+	"klocal/internal/nbhd"
+	"klocal/internal/netsim"
+	"klocal/internal/prep"
+	"klocal/internal/route"
+	"klocal/internal/sim"
+	"klocal/internal/stateful"
+	"klocal/internal/tables"
+	"klocal/internal/trace"
+	"klocal/internal/verify"
+)
+
+// Core graph types.
+type (
+	// Graph is an immutable undirected simple graph with unique integer
+	// vertex labels.
+	Graph = graph.Graph
+	// Vertex is a node label.
+	Vertex = graph.Vertex
+	// Edge is an undirected edge.
+	Edge = graph.Edge
+	// Builder accumulates vertices and edges into a Graph.
+	Builder = graph.Builder
+)
+
+// NoVertex is the sentinel for "no vertex" (the paper's ⊥).
+const NoVertex = graph.NoVertex
+
+// Infinity is the distance between disconnected vertices.
+const Infinity = graph.Infinity
+
+// NewBuilder returns an empty graph builder.
+func NewBuilder() *Builder { return graph.NewBuilder() }
+
+// NewEdge returns the normalized edge {u, v}.
+func NewEdge(u, v Vertex) Edge { return graph.NewEdge(u, v) }
+
+// FromEdges builds a graph from an edge list.
+func FromEdges(edges []Edge, isolated ...Vertex) *Graph { return graph.FromEdges(edges, isolated...) }
+
+// Routing types.
+type (
+	// Algorithm is a routing algorithm; bind it to a network and locality
+	// with Bind, or use Route.
+	Algorithm = route.Algorithm
+	// RoutingFunc is the paper's routing function f(s, t, u, v, G_k(u)),
+	// bound to a fixed network and locality.
+	RoutingFunc = route.Func
+	// Result describes one simulated route.
+	Result = sim.Result
+	// Outcome classifies how a route ended.
+	Outcome = sim.Outcome
+	// Neighborhood is the k-neighbourhood G_k(u).
+	Neighborhood = nbhd.Neighborhood
+	// LocalComponent is a classified local component of a view.
+	LocalComponent = nbhd.Component
+	// View is the preprocessed local view G'_k(u) with dormant edges
+	// removed.
+	View = prep.View
+	// Network is the concurrent message-passing simulator with k-hop
+	// neighbourhood discovery.
+	Network = netsim.Network
+	// Instance is a routing problem: a graph with an origin and a
+	// destination.
+	Instance = gen.Instance
+)
+
+// Route outcomes.
+const (
+	// Delivered means the message reached its destination.
+	Delivered = sim.Delivered
+	// Looped means the deterministic walk revisited a decision state.
+	Looped = sim.Looped
+	// Errored means the routing function failed.
+	Errored = sim.Errored
+	// Exhausted means the step budget ran out (randomized walks only).
+	Exhausted = sim.Exhausted
+)
+
+// The paper's algorithms and baselines.
+var (
+	// Algorithm1 is the (n/4)-local origin-aware predecessor-aware
+	// algorithm of Theorem 5 (dilation < 7).
+	Algorithm1 = route.Algorithm1
+	// Algorithm1B is Appendix A's refinement of Algorithm 1 (Theorem 6,
+	// dilation < 6).
+	Algorithm1B = route.Algorithm1B
+	// Algorithm2 is the (n/3)-local origin-oblivious predecessor-aware
+	// algorithm of Theorem 7 (dilation < 3, optimal).
+	Algorithm2 = route.Algorithm2
+	// Algorithm3 is the (n/2)-local fully oblivious shortest-path
+	// algorithm of Theorem 8.
+	Algorithm3 = route.Algorithm3
+	// TreeRightHand is the naive right-hand rule (Figure 7 motivation).
+	TreeRightHand = route.TreeRightHand
+	// ShortestPathOracle is the centralized routing-table baseline.
+	ShortestPathOracle = route.ShortestPathOracle
+	// RandomWalk is the randomized reference baseline.
+	RandomWalk = route.RandomWalk
+)
+
+// Threshold functions T(n).
+var (
+	// MinK1 is ⌈n/4⌉, the threshold of Algorithms 1 and 1B.
+	MinK1 = route.MinK1
+	// MinK2 is ⌈n/3⌉, the threshold of Algorithm 2.
+	MinK2 = route.MinK2
+	// MinK3 is ⌊n/2⌋, the threshold of Algorithm 3.
+	MinK3 = route.MinK3
+)
+
+// Route binds alg to (g, k) and simulates a single message from s to t,
+// using the loop-detection criterion matching the algorithm's awareness.
+func Route(alg Algorithm, g *Graph, k int, s, t Vertex) *Result {
+	return sim.Run(g, sim.Func(alg.Bind(g, k)), s, t, sim.Options{
+		DetectLoops:      !alg.Randomized,
+		PredecessorAware: alg.PredecessorAware,
+	})
+}
+
+// ExtractNeighborhood computes G_k(u), everything node u may know.
+func ExtractNeighborhood(g *Graph, u Vertex, k int) *Neighborhood {
+	return nbhd.Extract(g, u, k)
+}
+
+// Preprocess computes the routing view G'_k(u) (dormant edges removed,
+// components classified).
+func Preprocess(g *Graph, u Vertex, k int) *View { return prep.Preprocess(g, u, k) }
+
+// ConsistentSubgraph returns g restricted to its globally consistent
+// edges at locality k (Lemmas 3 and 5: connected, girth > 2k).
+func ConsistentSubgraph(g *Graph, k int) *Graph { return prep.ConsistentSubgraph(g, k) }
+
+// NewNetwork prepares a concurrent message-passing network over g at
+// locality k routing with alg. Call Start, Discover, Send..., Stop.
+func NewNetwork(g *Graph, k int, alg Algorithm) *Network { return netsim.New(g, k, alg) }
+
+// Generators.
+var (
+	// Path, Cycle, Star, Spider, Complete, Grid, Theta, Lollipop and
+	// Caterpillar build the standard topologies used by the experiments.
+	Path        = gen.Path
+	Cycle       = gen.Cycle
+	Star        = gen.Star
+	Spider      = gen.Spider
+	Complete    = gen.Complete
+	Grid        = gen.Grid
+	Theta       = gen.Theta
+	Lollipop    = gen.Lollipop
+	Caterpillar = gen.Caterpillar
+	Barbell     = gen.Barbell
+	Hypercube   = gen.Hypercube
+	Wheel       = gen.Wheel
+	BinaryTree  = gen.BinaryTree
+	// RandomTree and RandomConnected build randomized topologies.
+	RandomTree      = gen.RandomTree
+	RandomConnected = gen.RandomConnected
+	// RandomLabelPermutation is the adversarial relabelling.
+	RandomLabelPermutation = gen.RandomLabelPermutation
+	// ConnectedGraphs enumerates every connected labelled graph on up to
+	// 8 vertices.
+	ConnectedGraphs = gen.ConnectedGraphs
+)
+
+// Paper constructions.
+var (
+	// NewTheorem1Family, NewTheorem2Family and NewTheorem3Family build
+	// the counterexample families of Figures 3–5.
+	NewTheorem1Family = gen.NewTheorem1Family
+	NewTheorem2Family = gen.NewTheorem2Family
+	NewTheorem3Family = gen.NewTheorem3Family
+	// NewFig7, NewFig13 and NewFig17 build the extremal constructions.
+	NewFig7  = gen.NewFig7
+	NewFig13 = gen.NewFig13
+	NewFig17 = gen.NewFig17
+)
+
+// Lower-bound adversaries.
+var (
+	// ReplayTheorem1, ReplayTheorem2 and ReplayTheorem3 replay the
+	// strategy enumerations of the impossibility proofs (Tables 3/4).
+	ReplayTheorem1 = adversary.ReplayTheorem1
+	ReplayTheorem2 = adversary.ReplayTheorem2
+	ReplayTheorem3 = adversary.ReplayTheorem3
+	// DilationPath builds Theorem 4's extremal instance; the route of any
+	// successful k-local algorithm on it has length ≥ 2n−3k−1.
+	DilationPath = adversary.DilationPath
+	// LowerBoundDilation is (2n−3k−1)/(k+1) → 2n/k − 3.
+	LowerBoundDilation = adversary.LowerBoundDilation
+	// CircularPermutations enumerates Lemma 1's forced strategy set.
+	CircularPermutations = adversary.CircularPermutations
+	// ExhaustiveTheorem1 and ExhaustiveTheorem2 drop the Lemma 1
+	// reduction and check every d^d hub function against the witness
+	// graphs — computational proofs of the lower bounds.
+	ExhaustiveTheorem1 = adversary.ExhaustiveTheorem1
+	ExhaustiveTheorem2 = adversary.ExhaustiveTheorem2
+	ExhaustiveTheorem3 = adversary.ExhaustiveTheorem3
+)
+
+// Experiments (one per paper table/figure; see cmd/tables).
+var (
+	Fig1   = exper.Fig1
+	Table1 = exper.Table1
+	Table2 = exper.Table2
+	Table3 = exper.Table3
+	Table4 = exper.Table4
+	Fig7   = exper.Fig7
+	Fig13  = exper.Fig13
+	Fig17  = exper.Fig17
+	Sweep  = exper.Sweep
+)
+
+// NewRand returns a deterministic RNG for experiment reproducibility.
+func NewRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Dormant-edge policies (the Section 6.1 ablation).
+type (
+	// DormantPolicy selects which edge of each local cycle preprocessing
+	// removes.
+	DormantPolicy = prep.Policy
+)
+
+// Dormant-edge policy values and the policy-parameterized algorithm
+// constructors.
+const (
+	// PolicyMinRank is the paper's rule; PolicyMaxRank the ablation.
+	PolicyMinRank = prep.PolicyMinRank
+	PolicyMaxRank = prep.PolicyMaxRank
+)
+
+var (
+	// Algorithm1Policy, Algorithm1BPolicy and Algorithm2Policy build the
+	// algorithms under an explicit dormancy policy.
+	Algorithm1Policy  = route.Algorithm1Policy
+	Algorithm1BPolicy = route.Algorithm1BPolicy
+	Algorithm2Policy  = route.Algorithm2Policy
+)
+
+// Position-based routing (the paper's Section 3 world).
+type (
+	// Point is a planar location.
+	Point = geom.Point
+	// Embedding is a straight-line graph embedding with its rotation
+	// system.
+	Embedding = geom.Embedding
+	// FaceResult is the outcome of a FACE-1 face-routing run.
+	FaceResult = georoute.FaceResult
+	// GeoTrap is a plane instance defeating greedy and compass routing.
+	GeoTrap = georoute.Trap
+)
+
+var (
+	// NewEmbedding, RandomPoints, UnitDiskGraph, GabrielGraph,
+	// GabrielSubgraph and RelativeNeighborhoodGraph build the geometric
+	// substrate.
+	NewEmbedding              = geom.NewEmbedding
+	RandomPoints              = geom.RandomPoints
+	UnitDiskGraph             = geom.UnitDiskGraph
+	GabrielGraph              = geom.GabrielGraph
+	GabrielSubgraph           = geom.GabrielSubgraph
+	RelativeNeighborhoodGraph = geom.RelativeNeighborhoodGraph
+	// GreedyRouting, CompassRouting, GreedyCompassRouting and
+	// FaceRouting are the Section 3 algorithms; FaceRoute runs FACE-1
+	// directly; GreedyTrap builds the defeating instance.
+	GreedyRouting        = georoute.Greedy
+	CompassRouting       = georoute.Compass
+	GreedyCompassRouting = georoute.GreedyCompass
+	FaceRouting          = georoute.FaceRouteAlgorithm
+	FaceRoute            = georoute.FaceRoute
+	GreedyTrap           = georoute.GreedyTrap
+)
+
+// Memory-relaxed routing and the baselines of the introduction.
+type (
+	// StatefulResult is a stateful (message-memory) route.
+	StatefulResult = stateful.Result
+	// FloodResult is a flooding run.
+	FloodResult = flood.Result
+	// FullTables and TreeInterval are the table-driven schemes.
+	FullTables   = tables.FullTables
+	TreeInterval = tables.TreeInterval
+)
+
+var (
+	// DFSRoute routes with Θ(n log n) message bits at locality 1
+	// (Section 6.3's memory relaxation).
+	DFSRoute = stateful.DFSRoute
+	// Flood and FloodIterativeDeepening are the introduction's strawman.
+	Flood                   = flood.Flood
+	FloodIterativeDeepening = flood.IterativeDeepening
+	// BuildFullTables and BuildTreeInterval construct the table schemes;
+	// KLocalBits accounts a k-local algorithm's implicit memory.
+	BuildFullTables   = tables.BuildFullTables
+	BuildTreeInterval = tables.BuildTreeInterval
+	KLocalBits        = tables.KLocalBits
+	// MemoryDilation and RandomWalkQuadratic are the corresponding
+	// experiments.
+	MemoryDilation      = exper.MemoryDilation
+	RandomWalkQuadratic = exper.RandomWalkQuadratic
+)
+
+// Directed graphs (Section 6.2).
+type (
+	// Digraph is a simple directed graph; Arc a directed edge.
+	Digraph = digraph.Digraph
+	// Arc is a directed edge of a Digraph.
+	Arc = digraph.Arc
+	// OrbitResult is a stateless successor-rule route on a balanced
+	// digraph; RotorResult a rotor-router route.
+	OrbitResult = diroute.OrbitResult
+	// RotorResult is a rotor-router route with node-memory accounting.
+	RotorResult = diroute.RotorResult
+)
+
+var (
+	// NewDigraphBuilder, Circulant and RandomEulerian build directed
+	// substrates.
+	NewDigraphBuilder = digraph.NewBuilder
+	Circulant         = digraph.Circulant
+	RandomEulerian    = digraph.RandomEulerian
+	// Orbits decomposes a balanced digraph's arcs into successor-rule
+	// closed walks; OrbitRoute routes statelessly along one of them;
+	// RotorRoute trades node memory for guaranteed delivery;
+	// StatelessDefeat finds a pair the stateless rule cannot serve.
+	Orbits          = diroute.Orbits
+	OrbitRoute      = diroute.OrbitRoute
+	RotorRoute      = diroute.RotorRoute
+	StatelessDefeat = diroute.StatelessDefeat
+)
+
+// Bulk verification (cmd/verify's engine).
+type (
+	// VerifyConfig selects what the bulk verifier checks.
+	VerifyConfig = verify.Config
+	// VerifyReport aggregates a verification run.
+	VerifyReport = verify.Report
+)
+
+var (
+	// VerifyExhaustive checks an algorithm over every connected labelled
+	// graph of a size; VerifyRandomSample over random populations.
+	VerifyExhaustive   = verify.Exhaustive
+	VerifyRandomSample = verify.RandomSample
+)
+
+// Tracing and rendering helpers.
+var (
+	// RenderRoute annotates a walk hop by hop against the destination
+	// distance; RenderEmbedding rasters an embedded network;
+	// RenderAdjacency dumps a topology.
+	RenderRoute     = trace.RenderRoute
+	RenderEmbedding = trace.RenderEmbedding
+	RenderAdjacency = trace.RenderAdjacency
+)
