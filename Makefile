@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: tier1 race build test vet
+
+tier1: vet build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The fault-tolerant discovery protocol and the injector are the most
+# concurrency-heavy code in the tree; run them under the race detector.
+race:
+	$(GO) test -race -count=1 ./internal/netsim/... ./internal/fault/...

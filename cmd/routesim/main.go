@@ -5,17 +5,29 @@
 //
 //	routesim [-graph random] [-n 24] [-k 0] [-alg alg1] [-s 0] [-t -1]
 //	         [-seed 1] [-p 0.1] [-distributed]
+//	         [-loss 0.2] [-crash 3,7] [-faultseed 1] [-degrade]
 //
 // With -k 0 the algorithm's own threshold T(n) is used; -t -1 picks the
 // vertex farthest from s. -distributed routes through the concurrent
 // message-passing simulator (with k-hop discovery) instead of the
 // single-threaded walk.
+//
+// The fault flags inject deterministic faults into the distributed
+// simulator (and imply -distributed): -loss drops each transmission
+// independently with the given probability, -crash takes a
+// comma-separated list of vertices to crash before discovery, and
+// -faultseed picks the injector's random stream. -degrade skips the
+// single-message run and instead prints the loss × locality degradation
+// sweep (delivery rate, discovery overhead, and stretch versus the
+// fault-free baseline).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strconv"
 	"strings"
 
 	"klocal"
@@ -39,6 +51,10 @@ func run() error {
 		seed        = flag.Int64("seed", 1, "random seed")
 		p           = flag.Float64("p", 0.1, "extra-edge probability for -graph random")
 		distributed = flag.Bool("distributed", false, "route through the concurrent network simulator")
+		loss        = flag.Float64("loss", 0, "per-transmission drop probability (implies -distributed)")
+		crashList   = flag.String("crash", "", "comma-separated vertices to crash before discovery (implies -distributed)")
+		faultSeed   = flag.Uint64("faultseed", 1, "seed for the deterministic fault injector")
+		degrade     = flag.Bool("degrade", false, "print the loss × locality degradation sweep instead of routing")
 	)
 	flag.Parse()
 
@@ -96,14 +112,52 @@ func run() error {
 			kk = 1
 		}
 	}
+
+	if *degrade {
+		res, err := klocal.Degrade(*seed, *n, alg, []float64{0, 0.05, 0.1, 0.2}, []int{kk}, 20)
+		if err != nil {
+			return err
+		}
+		res.Render(os.Stdout)
+		return nil
+	}
+
+	var crashes []klocal.Crash
+	for _, field := range strings.Split(*crashList, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		v, err := strconv.Atoi(field)
+		if err != nil {
+			return fmt.Errorf("bad -crash entry %q: %w", field, err)
+		}
+		crashes = append(crashes, klocal.Crash{Node: klocal.Vertex(v)})
+	}
+	faulty := *loss > 0 || len(crashes) > 0
+	if faulty && !*distributed {
+		fmt.Println("(fault flags imply -distributed)")
+		*distributed = true
+	}
+
 	s := klocal.Vertex(*sFlag)
 	if !g.HasVertex(s) {
 		return fmt.Errorf("origin %d not in the graph", s)
+	}
+	crashed := make(map[klocal.Vertex]bool, len(crashes))
+	for _, c := range crashes {
+		crashed[c.Node] = true
+	}
+	if crashed[s] {
+		return fmt.Errorf("origin %d is crashed by -crash", s)
 	}
 	t := klocal.Vertex(*tFlag)
 	if *tFlag < 0 {
 		best, bestD := s, -1
 		for v, d := range g.BFS(s) {
+			if crashed[v] {
+				continue
+			}
 			if d > bestD || (d == bestD && v < best) {
 				best, bestD = v, d
 			}
@@ -119,17 +173,30 @@ func run() error {
 	fmt.Printf("routing %d -> %d (dist %d)\n", s, t, g.Dist(s, t))
 
 	if *distributed {
-		nw := klocal.NewNetwork(g, kk, alg)
+		plan := klocal.FaultPlan{Seed: *faultSeed, Loss: *loss, Crashes: crashes}
+		nw := klocal.NewFaultyNetwork(g, kk, alg, plan)
 		nw.Start()
 		defer nw.Stop()
 		if err := nw.Discover(); err != nil {
 			return err
 		}
-		route, err := nw.Send(s, t)
-		if err != nil {
-			return err
+		if faulty {
+			st := nw.Stats()
+			fmt.Printf("faults: loss=%.2f crashed=%v seed=%d; discovery %d rounds, %d control msgs (%d retransmissions, %d drops, %d deaths)\n",
+				*loss, keys(crashed), *faultSeed, st.DiscoveryRounds, st.ControlMessages(), st.LSARetransmissions, st.Dropped, st.DeadDeclared)
 		}
-		fmt.Printf("delivered in %d hops (distributed): %s\n", len(route)-1, trace(route))
+		res := nw.SendDetailed(s, t)
+		if res.Err != nil {
+			if len(res.Events) > 0 {
+				fmt.Print(klocal.RenderRouteEvents(g, res.Route, t, res.Events))
+			}
+			return res.Err
+		}
+		fmt.Printf("delivered in %d hops (distributed, %d link retries): %s\n",
+			len(res.Route)-1, res.Retries, trace(res.Route))
+		if len(res.Events) > 0 {
+			fmt.Print(klocal.RenderRouteEvents(g, res.Route, t, res.Events))
+		}
 		return nil
 	}
 
@@ -141,6 +208,15 @@ func run() error {
 	fmt.Println("route:", trace(res.Route))
 	fmt.Print(klocal.RenderRoute(g, res.Route, t))
 	return nil
+}
+
+func keys(set map[klocal.Vertex]bool) []klocal.Vertex {
+	out := make([]klocal.Vertex, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 func trace(route []klocal.Vertex) string {

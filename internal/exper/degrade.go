@@ -1,0 +1,174 @@
+package exper
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"klocal/internal/fault"
+	"klocal/internal/gen"
+	"klocal/internal/graph"
+	"klocal/internal/netsim"
+	"klocal/internal/route"
+)
+
+// DegradeCell is one (loss rate, locality k) measurement of the
+// degradation sweep: delivery and stretch over sampled pairs, and the
+// discovery traffic next to its fault-free baseline.
+type DegradeCell struct {
+	Loss float64
+	K    int
+	// Pairs counts the sampled pairs the fault-free baseline delivered
+	// (k below the algorithm's threshold loses pairs already on perfect
+	// channels; those say nothing about fault tolerance). Delivered is
+	// how many of them the lossy network still delivered.
+	Pairs     int
+	Delivered int
+	// MeanStretch is the mean ratio of lossy route length to fault-free
+	// route length over delivered pairs.
+	MeanStretch float64
+	// ControlMsgs and BaselineMsgs total the discovery traffic
+	// (announcements + retransmissions + acks) of the lossy run and of
+	// the fault-free baseline at the same k.
+	ControlMsgs  int64
+	BaselineMsgs int64
+	// DataRetries counts link-layer data retransmissions.
+	DataRetries int64
+}
+
+// DeliveryRate is the fraction of baseline-deliverable pairs delivered.
+func (c DegradeCell) DeliveryRate() float64 {
+	if c.Pairs == 0 {
+		return 0
+	}
+	return float64(c.Delivered) / float64(c.Pairs)
+}
+
+// Overhead is the discovery traffic relative to the fault-free baseline
+// at the same locality (1.0 = no overhead).
+func (c DegradeCell) Overhead() float64 {
+	if c.BaselineMsgs == 0 {
+		return 0
+	}
+	return float64(c.ControlMsgs) / float64(c.BaselineMsgs)
+}
+
+// DegradeResult is the loss × locality degradation sweep on the paper's
+// structural graph families.
+type DegradeResult struct {
+	N         int
+	Algorithm string
+	Families  []string
+	Cells     []DegradeCell
+}
+
+// degradeFamilies is the structural workload of the robustness sweep:
+// the families the paper's lower-bound machinery is built from, at a
+// size where discovery traffic is still cheap to baseline.
+func degradeFamilies(n int) (names []string, graphs []*graph.Graph) {
+	names = []string{"path", "cycle", "spider", "lollipop"}
+	graphs = []*graph.Graph{
+		gen.Path(n),
+		gen.Cycle(n),
+		gen.Spider(4, (n-1)/4),
+		gen.Lollipop(n-n/3, n/3),
+	}
+	return names, graphs
+}
+
+// Degrade sweeps message-loss rate × locality k on the paper graph
+// families, routing `pairs` sampled pairs per graph through the
+// message-passing simulator, and reports delivery rate, discovery
+// message overhead, and stretch — all relative to a fault-free baseline
+// at the same k. Every run derives from seed, so the sweep is
+// reproducible.
+func Degrade(seed int64, n int, alg route.Algorithm, losses []float64, ks []int, pairs int) (*DegradeResult, error) {
+	names, graphs := degradeFamilies(n)
+	res := &DegradeResult{N: n, Algorithm: alg.Name, Families: names}
+
+	type pair struct{ s, t graph.Vertex }
+	for _, k := range ks {
+		// Fault-free baseline at this k: route lengths per pair and the
+		// perfect-channel discovery cost.
+		rng := rand.New(rand.NewSource(seed))
+		var baselineMsgs int64
+		samples := make([][]pair, len(graphs))
+		baseHops := make([][]int, len(graphs))
+		for gi, g := range graphs {
+			vs := g.Vertices()
+			for i := 0; i < pairs; i++ {
+				s := vs[rng.Intn(len(vs))]
+				t := vs[rng.Intn(len(vs))]
+				if s != t {
+					samples[gi] = append(samples[gi], pair{s, t})
+				}
+			}
+			nw := netsim.New(g, k, alg)
+			nw.Start()
+			if err := nw.Discover(); err != nil {
+				nw.Stop()
+				return nil, fmt.Errorf("baseline discovery (k=%d): %w", k, err)
+			}
+			baselineMsgs += nw.Stats().ControlMessages()
+			baseHops[gi] = make([]int, len(samples[gi]))
+			for pi, p := range samples[gi] {
+				r, err := nw.Send(p.s, p.t)
+				if err != nil {
+					baseHops[gi][pi] = -1 // undeliverable even fault-free
+					continue
+				}
+				baseHops[gi][pi] = len(r) - 1
+			}
+			nw.Stop()
+		}
+
+		for _, loss := range losses {
+			cell := DegradeCell{Loss: loss, K: k, BaselineMsgs: baselineMsgs}
+			var stretchSum float64
+			for gi, g := range graphs {
+				nw := netsim.NewFaulty(g, k, alg, fault.Plan{Seed: uint64(seed), Loss: loss})
+				nw.Start()
+				if err := nw.Discover(); err != nil {
+					nw.Stop()
+					return nil, fmt.Errorf("lossy discovery (k=%d, loss=%.2f): %w", k, loss, err)
+				}
+				for pi, p := range samples[gi] {
+					if baseHops[gi][pi] < 0 {
+						continue
+					}
+					cell.Pairs++
+					r, err := nw.Send(p.s, p.t)
+					if err != nil {
+						continue
+					}
+					cell.Delivered++
+					if baseHops[gi][pi] > 0 {
+						stretchSum += float64(len(r)-1) / float64(baseHops[gi][pi])
+					} else {
+						stretchSum += 1
+					}
+				}
+				st := nw.Stats()
+				cell.ControlMsgs += st.ControlMessages()
+				cell.DataRetries += st.DataRetries
+				nw.Stop()
+			}
+			if cell.Delivered > 0 {
+				cell.MeanStretch = stretchSum / float64(cell.Delivered)
+			}
+			res.Cells = append(res.Cells, cell)
+		}
+	}
+	return res, nil
+}
+
+// Render prints the degradation sweep as a delivery/overhead table.
+func (r *DegradeResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Degradation sweep — %s, n = %d, families: %v\n", r.Algorithm, r.N, r.Families)
+	fmt.Fprintf(w, "%-4s %-6s %-12s %-9s %-10s %-10s %s\n",
+		"k", "loss", "delivered", "rate", "stretch", "overhead", "data retries")
+	for _, c := range r.Cells {
+		fmt.Fprintf(w, "%-4d %-6.2f %5d/%-6d %-9.3f %-10.3f %-10.3f %d\n",
+			c.K, c.Loss, c.Delivered, c.Pairs, c.DeliveryRate(), c.MeanStretch, c.Overhead(), c.DataRetries)
+	}
+}

@@ -1,0 +1,201 @@
+package fault
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZeroPlanInjectsNothing(t *testing.T) {
+	in := Compile(Plan{})
+	if in.Enabled() {
+		t.Fatal("zero plan must compile to a disabled injector")
+	}
+	for attempt := 1; attempt <= 3; attempt++ {
+		for key := uint64(0); key < 100; key++ {
+			d := in.Deliver(1, 2, ClassLSA, key, attempt, 0)
+			if d.Drop || d.Duplicate || d.Delay != 0 {
+				t.Fatalf("zero plan perturbed key %d: %+v", key, d)
+			}
+		}
+	}
+	if in.Down(3, 0) {
+		t.Fatal("zero plan must crash nobody")
+	}
+}
+
+func TestDecisionsAreDeterministic(t *testing.T) {
+	p := Plan{Seed: 7, Loss: 0.3, Dup: 0.2, MaxDelay: 3}
+	a, b := Compile(p), Compile(p)
+	for key := uint64(0); key < 500; key++ {
+		for attempt := 1; attempt <= 2; attempt++ {
+			da := a.Deliver(4, 9, ClassAck, key, attempt, 5)
+			db := b.Deliver(4, 9, ClassAck, key, attempt, 5)
+			if da != db {
+				t.Fatalf("same plan, same transmission, different fate: %+v vs %+v", da, db)
+			}
+		}
+	}
+}
+
+func TestSeedChangesDecisions(t *testing.T) {
+	a := Compile(Plan{Seed: 1, Loss: 0.5})
+	b := Compile(Plan{Seed: 2, Loss: 0.5})
+	diff := 0
+	for key := uint64(0); key < 200; key++ {
+		if a.Deliver(0, 1, ClassLSA, key, 1, 0).Drop != b.Deliver(0, 1, ClassLSA, key, 1, 0).Drop {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds should produce different drop patterns")
+	}
+}
+
+func TestLossRateIsApproximatelyHonoured(t *testing.T) {
+	for _, rate := range []float64{0.1, 0.2, 0.5} {
+		in := Compile(Plan{Seed: 11, Loss: rate})
+		const trials = 20000
+		drops := 0
+		for key := uint64(0); key < trials; key++ {
+			if in.Deliver(2, 3, ClassLSA, key, 1, 0).Drop {
+				drops++
+			}
+		}
+		got := float64(drops) / trials
+		if math.Abs(got-rate) > 0.02 {
+			t.Errorf("loss %.2f: observed %.3f over %d trials", rate, got, trials)
+		}
+	}
+}
+
+func TestAttemptsAreIndependent(t *testing.T) {
+	// A transmission dropped on attempt 1 must get an independent roll
+	// on attempt 2 — otherwise retransmission could never help.
+	in := Compile(Plan{Seed: 5, Loss: 0.5})
+	var survivedRetry int
+	var droppedFirst int
+	for key := uint64(0); key < 2000; key++ {
+		if in.Deliver(1, 2, ClassLSA, key, 1, 0).Drop {
+			droppedFirst++
+			if !in.Deliver(1, 2, ClassLSA, key, 2, 0).Drop {
+				survivedRetry++
+			}
+		}
+	}
+	if droppedFirst == 0 {
+		t.Fatal("expected some first-attempt drops at 50% loss")
+	}
+	frac := float64(survivedRetry) / float64(droppedFirst)
+	if frac < 0.4 || frac > 0.6 {
+		t.Errorf("retry survival %.3f, want ~0.5 (independent attempts)", frac)
+	}
+}
+
+func TestBlackoutWindow(t *testing.T) {
+	in := Compile(Plan{Blackouts: []Blackout{{U: 1, V: 2, From: 3, To: 6}}})
+	for round := 0; round < 10; round++ {
+		inWindow := round >= 3 && round < 6
+		if got := in.Deliver(1, 2, ClassLSA, 9, 1, round).Drop; got != inWindow {
+			t.Errorf("round %d: drop=%v, want %v", round, got, inWindow)
+		}
+		// Blackouts are bidirectional.
+		if got := in.Deliver(2, 1, ClassData, 9, 1, round).Drop; got != inWindow {
+			t.Errorf("round %d reverse: drop=%v, want %v", round, got, inWindow)
+		}
+		// Other links are unaffected.
+		if in.Deliver(1, 3, ClassLSA, 9, 1, round).Drop {
+			t.Errorf("round %d: blackout leaked onto link 1-3", round)
+		}
+	}
+}
+
+func TestCrashWindows(t *testing.T) {
+	in := Compile(Plan{Crashes: []Crash{
+		{Node: 4, From: 0, To: 0}, // permanent
+		{Node: 7, From: 2, To: 5}, // crash-and-restart
+	}})
+	for round := 0; round < 8; round++ {
+		if !in.Down(4, round) {
+			t.Errorf("round %d: node 4 should be permanently down", round)
+		}
+		want := round >= 2 && round < 5
+		if got := in.Down(7, round); got != want {
+			t.Errorf("round %d: node 7 down=%v, want %v", round, got, want)
+		}
+		if in.Down(1, round) {
+			t.Errorf("round %d: node 1 should be up", round)
+		}
+	}
+}
+
+func TestDataIsNeverDuplicated(t *testing.T) {
+	in := Compile(Plan{Seed: 3, Dup: 1.0})
+	for key := uint64(0); key < 100; key++ {
+		if in.Deliver(0, 1, ClassData, key, 1, 0).Duplicate {
+			t.Fatal("data traffic must not be duplicated (single-owner messages)")
+		}
+		if !in.Deliver(0, 1, ClassLSA, key, 1, 0).Duplicate {
+			t.Fatal("control traffic should duplicate at rate 1.0")
+		}
+	}
+}
+
+func TestDelayIsBounded(t *testing.T) {
+	in := Compile(Plan{Seed: 9, MaxDelay: 4})
+	sawPositive := false
+	for key := uint64(0); key < 500; key++ {
+		d := in.Deliver(0, 1, ClassLSA, key, 1, 0).Delay
+		if d < 0 || d > 4 {
+			t.Fatalf("delay %d outside [0, 4]", d)
+		}
+		if d > 0 {
+			sawPositive = true
+		}
+	}
+	if !sawPositive {
+		t.Error("MaxDelay=4 never delayed anything")
+	}
+}
+
+func TestBackoffScheduleIsExponentialAndCapped(t *testing.T) {
+	p := Plan{BackoffCap: 8}
+	want := []int{1, 2, 4, 8, 8, 8}
+	for i, w := range want {
+		if got := p.Backoff(i + 1); got != w {
+			t.Errorf("backoff(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+	if (Plan{}).Attempts() != DefaultMaxAttempts {
+		t.Errorf("default attempts = %d", (Plan{}).Attempts())
+	}
+}
+
+func TestLastScheduledRound(t *testing.T) {
+	p := Plan{
+		Blackouts: []Blackout{{U: 0, V: 1, From: 2, To: 9}},
+		Crashes:   []Crash{{Node: 3, From: 4, To: 12}},
+	}
+	if got := p.LastScheduledRound(); got != 12 {
+		t.Errorf("last scheduled round = %d, want 12", got)
+	}
+	if (Plan{}).LastScheduledRound() != 0 {
+		t.Error("zero plan has no schedule")
+	}
+}
+
+func TestDropIndices(t *testing.T) {
+	in := DropIndices(ClassLSA, 2, 4)
+	var drops []int
+	for i := 1; i <= 5; i++ {
+		// Interleave another class: it must not consume LSA indices.
+		if in.Deliver(0, 1, ClassAck, 0, 1, 0).Drop {
+			t.Fatal("ack dropped by an LSA index dropper")
+		}
+		if in.Deliver(0, 1, ClassLSA, 0, 1, 0).Drop {
+			drops = append(drops, i)
+		}
+	}
+	if len(drops) != 2 || drops[0] != 2 || drops[1] != 4 {
+		t.Errorf("dropped LSA indices %v, want [2 4]", drops)
+	}
+}

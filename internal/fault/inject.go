@@ -1,0 +1,38 @@
+package fault
+
+import (
+	"sync/atomic"
+
+	"klocal/internal/graph"
+)
+
+// DropIndices returns an injector that drops exactly the transmissions
+// of the given class whose 1-based global send index (in transmission
+// order, counting only that class) appears in idx. Everything else is
+// delivered perfectly. It is intended for tests that must lose one
+// specific message — e.g. the deadlock regression that drops a single
+// LSA during discovery.
+func DropIndices(class Class, idx ...uint64) Injector {
+	set := make(map[uint64]bool, len(idx))
+	for _, i := range idx {
+		set[i] = true
+	}
+	return &indexDropper{class: class, drop: set}
+}
+
+type indexDropper struct {
+	class Class
+	drop  map[uint64]bool
+	seen  atomic.Uint64
+}
+
+func (d *indexDropper) Deliver(_, _ graph.Vertex, class Class, _ uint64, _, _ int) Decision {
+	if class != d.class {
+		return Decision{}
+	}
+	n := d.seen.Add(1)
+	return Decision{Drop: d.drop[n]}
+}
+
+func (d *indexDropper) Down(graph.Vertex, int) bool { return false }
+func (d *indexDropper) Enabled() bool               { return true }

@@ -15,7 +15,8 @@ import (
 
 // ErrTooManyChanges means a node's link count outgrew the inbox headroom
 // reserved at construction; build a fresh Network for larger changes.
-var errTooManyChanges = fmt.Errorf("netsim: node degree outgrew the reserved inbox capacity; rebuild the network")
+// Callers can match it with errors.Is.
+var ErrTooManyChanges = fmt.Errorf("netsim: node degree outgrew the reserved inbox capacity; rebuild the network")
 
 // AddEdge inserts the link {u, v} and invalidates discovery state.
 func (nw *Network) AddEdge(u, v graph.Vertex) error {
@@ -34,19 +35,19 @@ func (nw *Network) AddEdge(u, v graph.Vertex) error {
 		return nil
 	}
 	n := nw.g.N()
-	if n*(nw.g.Deg(u)+1)+8 > cap(nu.inbox) || n*(nw.g.Deg(v)+1)+8 > cap(nv.inbox) {
-		return errTooManyChanges
+	if 4*n*(nw.g.Deg(u)+1)+32 > cap(nu.inbox) || 4*n*(nw.g.Deg(v)+1)+32 > cap(nv.inbox) {
+		return ErrTooManyChanges
 	}
 	nw.g = nw.g.Union(graph.FromEdges([]graph.Edge{graph.NewEdge(u, v)}))
 	nu.setNeighbors(nw.g.Adj(u))
 	nv.setNeighbors(nw.g.Adj(v))
-	nw.invalidateDiscovery()
+	nw.InvalidateDiscovery()
 	return nil
 }
 
 // RemoveEdge deletes the link {u, v} and invalidates discovery state.
-// Removing a cut edge leaves the network disconnected; subsequent sends
-// across the cut fail with a routing error or hop-budget exhaustion.
+// Removing a cut edge leaves the network disconnected; after
+// rediscovery, sends across the cut fail with ErrPartitioned.
 func (nw *Network) RemoveEdge(u, v graph.Vertex) error {
 	nu, ok := nw.nodes[u]
 	if !ok {
@@ -62,7 +63,7 @@ func (nw *Network) RemoveEdge(u, v graph.Vertex) error {
 	nw.g = nw.g.WithoutEdges([]graph.Edge{graph.NewEdge(u, v)})
 	nu.setNeighbors(nw.g.Adj(u))
 	nv.setNeighbors(nw.g.Adj(v))
-	nw.invalidateDiscovery()
+	nw.InvalidateDiscovery()
 	return nil
 }
 
@@ -70,19 +71,33 @@ func (nw *Network) RemoveEdge(u, v graph.Vertex) error {
 // and rebuilds every node's routing state. It is a no-op if discovery is
 // current.
 func (nw *Network) Rediscover() error {
+	nw.mu.Lock()
+	if nw.discovered {
+		nw.mu.Unlock()
+		return nil
+	}
+	nw.mu.Unlock()
 	return nw.Discover()
 }
 
-func (nw *Network) invalidateDiscovery() {
+// InvalidateDiscovery marks every node's discovered state stale so the
+// next Discover or Rediscover rebuilds it. Topology mutations call it
+// automatically; call it manually after Crash or Restart to make the
+// surviving nodes re-detect the live topology.
+func (nw *Network) InvalidateDiscovery() {
 	nw.mu.Lock()
 	nw.discovered = false
 	nw.mu.Unlock()
 	for _, nd := range nw.nodes {
 		nd.mu.Lock()
-		nd.learned = make(map[graph.Vertex][]graph.Vertex)
-		nd.seen = make(map[graph.Vertex]bool)
+		nd.learned = make(map[graph.Vertex]*lsaRec)
+		nd.pending = make(map[graph.Vertex]map[graph.Vertex]*xfer)
+		nd.deadNbrs = make(map[graph.Vertex]bool)
 		nd.router = nil
 		nd.view = nil
+		nd.viewComplete = false
+		// ownSeq is stable storage: it survives so re-announcements
+		// supersede anything still circulating from the previous epoch.
 		nd.mu.Unlock()
 	}
 }
@@ -95,11 +110,4 @@ func (nd *node) setNeighbors(nbrs []graph.Vertex) {
 	nd.mu.Lock()
 	nd.neighbors = sorted
 	nd.mu.Unlock()
-}
-
-// neighborsSnapshot returns the current link list under the node lock.
-func (nd *node) neighborsSnapshot() []graph.Vertex {
-	nd.mu.Lock()
-	defer nd.mu.Unlock()
-	return nd.neighbors
 }

@@ -6,8 +6,10 @@ package trace
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
+	"klocal/internal/fault"
 	"klocal/internal/geom"
 	"klocal/internal/graph"
 )
@@ -41,6 +43,64 @@ func RenderRoute(g *graph.Graph, route []graph.Vertex, t graph.Vertex) string {
 		fmt.Fprintf(&sb, "  %3d. %s node %-6d dist(t)=%s\n", i, marker, v, distStr)
 		if ok {
 			prevDist = d
+		}
+	}
+	return sb.String()
+}
+
+// RenderRouteEvents is RenderRoute with the fault events a lossy network
+// reported for the walk interleaved at the hops where they fired, so a
+// trace shows where a link dropped the message, where the sender
+// retransmitted, and where a dead next hop forced the typed failure.
+func RenderRouteEvents(g *graph.Graph, route []graph.Vertex, t graph.Vertex, events []fault.Event) string {
+	if len(route) == 0 {
+		return "(empty route)\n"
+	}
+	byHop := make(map[int][]fault.Event, len(events))
+	for _, e := range events {
+		byHop[e.Hop] = append(byHop[e.Hop], e)
+	}
+	distToT := g.BFS(t)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "route with %d hops toward %d (%d fault events):\n",
+		len(route)-1, t, len(events))
+	prevDist := -1
+	for i, v := range route {
+		d, ok := distToT[v]
+		distStr := "∞"
+		if ok {
+			distStr = fmt.Sprint(d)
+		}
+		marker := " "
+		switch {
+		case i == 0:
+			marker = "s"
+		case v == t:
+			marker = "t"
+		case ok && prevDist >= 0 && d > prevDist:
+			marker = "↩"
+		}
+		fmt.Fprintf(&sb, "  %3d. %s node %-6d dist(t)=%s\n", i, marker, v, distStr)
+		for _, e := range byHop[i] {
+			fmt.Fprintf(&sb, "        ✗ %s %d->%d (attempt %d)\n", e.Kind, e.From, e.To, e.Attempt)
+		}
+		if ok {
+			prevDist = d
+		}
+	}
+	// Events past the last route index (e.g. the failing transmissions
+	// of an undelivered message) still deserve a line.
+	var tail []int
+	for hop := range byHop {
+		if hop >= len(route) {
+			tail = append(tail, hop)
+		}
+	}
+	sort.Ints(tail)
+	for _, hop := range tail {
+		for _, e := range byHop[hop] {
+			fmt.Fprintf(&sb, "  beyond route: hop %d %s %d->%d (attempt %d)\n",
+				hop, e.Kind, e.From, e.To, e.Attempt)
 		}
 	}
 	return sb.String()

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"klocal/internal/fault"
 	"klocal/internal/gen"
 	"klocal/internal/geom"
 	"klocal/internal/graph"
@@ -96,5 +97,42 @@ func TestRenderAdjacency(t *testing.T) {
 	}
 	if !strings.Contains(out, "0: 1 3") {
 		t.Errorf("adjacency of 0 missing:\n%s", out)
+	}
+}
+
+func TestRenderRouteEvents(t *testing.T) {
+	g := gen.Path(6)
+	route := []graph.Vertex{0, 1, 2, 3}
+	events := []fault.Event{
+		{Kind: "drop", From: 1, To: 2, Hop: 1, Attempt: 1},
+		{Kind: "retransmit", From: 1, To: 2, Hop: 1, Attempt: 2},
+		{Kind: "node-down", From: 3, To: 4, Hop: 5, Attempt: 1},
+	}
+	out := RenderRouteEvents(g, route, 3, events)
+	if !strings.Contains(out, "3 fault events") {
+		t.Errorf("event count missing:\n%s", out)
+	}
+	if !strings.Contains(out, "drop 1->2 (attempt 1)") {
+		t.Errorf("drop event missing:\n%s", out)
+	}
+	if !strings.Contains(out, "retransmit 1->2 (attempt 2)") {
+		t.Errorf("retransmit event missing:\n%s", out)
+	}
+	if !strings.Contains(out, "beyond route: hop 5 node-down 3->4") {
+		t.Errorf("beyond-route event missing:\n%s", out)
+	}
+	// The drop line must appear after hop 1's node line and before hop 2's.
+	h1 := strings.Index(out, "node 1")
+	drop := strings.Index(out, "drop 1->2")
+	h2 := strings.Index(out, "node 2")
+	if !(h1 < drop && drop < h2) {
+		t.Errorf("events not interleaved at their hop:\n%s", out)
+	}
+}
+
+func TestRenderRouteEventsEmpty(t *testing.T) {
+	g := gen.Path(3)
+	if out := RenderRouteEvents(g, nil, 2, nil); !strings.Contains(out, "empty route") {
+		t.Errorf("empty route rendering: %q", out)
 	}
 }

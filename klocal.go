@@ -34,6 +34,7 @@ import (
 	"klocal/internal/digraph"
 	"klocal/internal/diroute"
 	"klocal/internal/exper"
+	"klocal/internal/fault"
 	"klocal/internal/flood"
 	"klocal/internal/gen"
 	"klocal/internal/geom"
@@ -100,9 +101,35 @@ type (
 	// Network is the concurrent message-passing simulator with k-hop
 	// neighbourhood discovery.
 	Network = netsim.Network
+	// NetworkStats is the protocol-cost snapshot of a Network.
+	NetworkStats = netsim.Stats
+	// SendResult is the detailed outcome of one routed message,
+	// including link-layer retries and the fault events encountered.
+	SendResult = netsim.SendResult
+	// FaultPlan configures the deterministic fault injector: loss,
+	// duplication, delay, blackout windows, crashes — all derived from
+	// one seed.
+	FaultPlan = fault.Plan
+	// FaultEvent is one fault occurrence on the data path.
+	FaultEvent = fault.Event
+	// Blackout is a scheduled per-link outage window.
+	Blackout = fault.Blackout
+	// Crash is a scheduled node outage (permanent or crash-and-restart).
+	Crash = fault.Crash
 	// Instance is a routing problem: a graph with an origin and a
 	// destination.
 	Instance = gen.Instance
+)
+
+// Typed data-path errors of the faulty network, matchable with errors.Is.
+var (
+	// ErrPartitioned means the destination is provably outside the live
+	// component.
+	ErrPartitioned = netsim.ErrPartitioned
+	// ErrNodeDown means the origin, destination, or next hop is crashed.
+	ErrNodeDown = netsim.ErrNodeDown
+	// ErrLinkDown means a link exhausted its retransmission budget.
+	ErrLinkDown = netsim.ErrLinkDown
 )
 
 // Route outcomes.
@@ -174,6 +201,13 @@ func ConsistentSubgraph(g *Graph, k int) *Graph { return prep.ConsistentSubgraph
 // NewNetwork prepares a concurrent message-passing network over g at
 // locality k routing with alg. Call Start, Discover, Send..., Stop.
 func NewNetwork(g *Graph, k int, alg Algorithm) *Network { return netsim.New(g, k, alg) }
+
+// NewFaultyNetwork is NewNetwork under a fault plan: every link-level
+// and node-level fault is drawn deterministically from the plan's seed,
+// and discovery runs the loss-tolerant ack/retransmit protocol.
+func NewFaultyNetwork(g *Graph, k int, alg Algorithm, plan FaultPlan) *Network {
+	return netsim.NewFaulty(g, k, alg, plan)
+}
 
 // Generators.
 var (
@@ -388,7 +422,15 @@ var (
 	// RenderRoute annotates a walk hop by hop against the destination
 	// distance; RenderEmbedding rasters an embedded network;
 	// RenderAdjacency dumps a topology.
-	RenderRoute     = trace.RenderRoute
-	RenderEmbedding = trace.RenderEmbedding
-	RenderAdjacency = trace.RenderAdjacency
+	RenderRoute = trace.RenderRoute
+	// RenderRouteEvents is RenderRoute with a lossy network's fault
+	// events interleaved at the hops where they fired.
+	RenderRouteEvents = trace.RenderRouteEvents
+	RenderEmbedding   = trace.RenderEmbedding
+	RenderAdjacency   = trace.RenderAdjacency
 )
+
+// Degrade sweeps message-loss rate × locality k on the paper graph
+// families and reports delivery rate, discovery message overhead, and
+// stretch versus the fault-free baseline.
+var Degrade = exper.Degrade
