@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 race build test vet
+.PHONY: tier1 race build test vet bench
 
 tier1: vet build test
 
@@ -13,7 +13,18 @@ build:
 test:
 	$(GO) test ./...
 
-# The fault-tolerant discovery protocol and the injector are the most
-# concurrency-heavy code in the tree; run them under the race detector.
+# The concurrency-heavy code paths: the fault-tolerant discovery
+# protocol and injector, the traffic engine and its metric shards, the
+# sharded preprocessing cache, and the shared routing closures the
+# engine's workers route through.
 race:
-	$(GO) test -race -count=1 ./internal/netsim/... ./internal/fault/...
+	$(GO) test -race -count=1 \
+		./internal/netsim/... ./internal/fault/... \
+		./internal/engine/... ./internal/metrics/... ./internal/prep/...
+	$(GO) test -race -count=1 -run Concurrent ./internal/route/...
+
+# Traffic-engine benchmarks (throughput vs workers, cache cold vs warm,
+# workload shapes); the JSON event stream lands in BENCH_engine.json.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkEngine' -benchmem -count=1 -json . \
+		| tee BENCH_engine.json | grep -o '"Output":".*msgs/sec.*"' || true

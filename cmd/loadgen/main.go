@@ -1,0 +1,181 @@
+// Command loadgen stress-tests the routing algorithms under realistic
+// traffic: it generates a workload of (s, t) requests, routes them
+// concurrently through the traffic engine's worker pool, and prints a
+// metrics report (delivery rate, throughput, latency/hop/stretch
+// histograms, view-cache activity).
+//
+// Usage:
+//
+//	loadgen [-algo alg2] [-workload zipf] [-n 100000] [-workers 8]
+//	        [-duration 0] [-report text]
+//	        [-graph lollipop] [-size 48] [-k 0] [-seed 1] [-p 0.1]
+//	        [-zipf-skew 1.2] [-queue 0] [-cache-cap 0] [-prewarm]
+//
+// Workloads: uniform (random pairs), zipf (skewed destinations),
+// allpairs (exhaustive coverage), adversarial (the Theorem 4 dilation
+// path from internal/adversary — overrides -graph/-size with the
+// extremal instance).
+//
+// -n bounds the request count, -duration the wall time; with both set
+// the run stops at whichever comes first. -k 0 uses the algorithm's own
+// threshold T(n). -report json emits the raw merged report.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"klocal"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		algName   = flag.String("algo", "alg2", "algorithm: alg1|alg1b|alg2|alg3|righthand|oracle|randomwalk")
+		workload  = flag.String("workload", "zipf", "workload: uniform|zipf|allpairs|adversarial")
+		n         = flag.Int("n", 100000, "number of requests (0 = unbounded, needs -duration)")
+		workers   = flag.Int("workers", 0, "routing workers (0 = GOMAXPROCS)")
+		duration  = flag.Duration("duration", 0, "wall-clock bound for the run (0 = none)")
+		report    = flag.String("report", "text", "report format: text|json")
+		graphKind = flag.String("graph", "lollipop", "topology: lollipop|cycle|path|grid|spider|wheel|barbell|complete|random|tree")
+		size      = flag.Int("size", 48, "number of nodes")
+		k         = flag.Int("k", 0, "locality parameter (0 = algorithm threshold)")
+		seed      = flag.Int64("seed", 1, "seed for graph generation and the workload")
+		p         = flag.Float64("p", 0.1, "extra-edge probability for -graph random")
+		zipfSkew  = flag.Float64("zipf-skew", klocal.ZipfSkew, "Zipf exponent for -workload zipf")
+		queue     = flag.Int("queue", 0, "request queue depth (0 = 4×workers)")
+		cacheCap  = flag.Int("cache-cap", 0, "max cached preprocessed views (0 = unbounded)")
+		prewarm   = flag.Bool("prewarm", false, "precompute every vertex's view before routing")
+	)
+	flag.Parse()
+
+	var alg klocal.Algorithm
+	switch *algName {
+	case "alg1":
+		alg = klocal.Algorithm1()
+	case "alg1b":
+		alg = klocal.Algorithm1B()
+	case "alg2":
+		alg = klocal.Algorithm2()
+	case "alg3":
+		alg = klocal.Algorithm3()
+	case "righthand":
+		alg = klocal.TreeRightHand()
+	case "oracle":
+		alg = klocal.ShortestPathOracle()
+	case "randomwalk":
+		alg = klocal.RandomWalk(*seed)
+	default:
+		return fmt.Errorf("unknown -algo %q", *algName)
+	}
+
+	rng := klocal.NewRand(*seed)
+	var g *klocal.Graph
+	var w klocal.TrafficWorkload
+	if *workload == "adversarial" {
+		kk := *k
+		if kk == 0 {
+			kk = alg.MinK(*size)
+			if kk == 0 {
+				kk = (*size + 3) / 4
+			}
+		}
+		var err error
+		g, w, err = klocal.AdversarialWorkload(*size, kk)
+		if err != nil {
+			return err
+		}
+		*k = kk
+	} else {
+		switch *graphKind {
+		case "lollipop":
+			g = klocal.Lollipop(*size-*size/3, *size/3)
+		case "cycle":
+			g = klocal.Cycle(*size)
+		case "path":
+			g = klocal.Path(*size)
+		case "grid":
+			side := 1
+			for side*side < *size {
+				side++
+			}
+			g = klocal.Grid(side, side)
+		case "spider":
+			g = klocal.Spider(4, (*size-1)/4)
+		case "wheel":
+			g = klocal.Wheel(*size)
+		case "barbell":
+			c := (*size - 2) / 2
+			g = klocal.Barbell(c, *size-2*c)
+		case "complete":
+			g = klocal.Complete(*size)
+		case "random":
+			g = klocal.RandomConnected(rng, *size, *p)
+		case "tree":
+			g = klocal.RandomTree(rng, *size)
+		default:
+			return fmt.Errorf("unknown -graph %q", *graphKind)
+		}
+		var err error
+		if *workload == "zipf" {
+			w = klocal.ZipfWorkload(rng, g, *zipfSkew)
+		} else if w, err = klocal.NewTrafficWorkload(*workload, rng, g); err != nil {
+			return err
+		}
+	}
+
+	opts := klocal.SnapshotOptions{Cache: klocal.CacheOptions{Capacity: *cacheCap}}
+	if *prewarm {
+		opts.Prewarm = -1
+	}
+	warmStart := time.Now()
+	snap, err := klocal.NewSnapshotOpts(g, *k, alg, opts)
+	if err != nil {
+		return err
+	}
+	if *prewarm {
+		fmt.Fprintf(os.Stderr, "prewarmed %d views in %v\n",
+			snap.CacheStats().Size, time.Since(warmStart).Round(time.Millisecond))
+	}
+
+	if *report == "text" {
+		fmt.Printf("loadgen: %s on %s n=%d m=%d, k=%d (threshold %d), workload %s, %d requests",
+			alg.Name, *graphKind, g.N(), g.M(), snap.K(), alg.MinK(g.N()), w.Name, *n)
+		if *duration > 0 {
+			fmt.Printf(", duration %v", *duration)
+		}
+		fmt.Println()
+	}
+
+	eng := klocal.NewEngine(snap, klocal.EngineConfig{Workers: *workers, QueueDepth: *queue})
+	start := time.Now()
+	if err := eng.RunWorkload(w, *n, *duration); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	rep := eng.Report()
+	switch *report {
+	case "json":
+		return rep.WriteJSON(os.Stdout)
+	case "text":
+		rep.WriteText(os.Stdout)
+		fmt.Printf("elapsed                  %v\n", elapsed.Round(time.Millisecond))
+		if rep.Gauge("delivery_rate") == 1.0 {
+			fmt.Println("delivery: ALL messages delivered")
+		} else {
+			fmt.Printf("delivery: INCOMPLETE (%0.4f)\n", rep.Gauge("delivery_rate"))
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown -report %q (text|json)", *report)
+	}
+}

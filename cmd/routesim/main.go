@@ -6,11 +6,20 @@
 //	routesim [-graph random] [-n 24] [-k 0] [-alg alg1] [-s 0] [-t -1]
 //	         [-seed 1] [-p 0.1] [-distributed]
 //	         [-loss 0.2] [-crash 3,7] [-faultseed 1] [-degrade]
+//	         [-pairs 1] [-workers 0]
 //
 // With -k 0 the algorithm's own threshold T(n) is used; -t -1 picks the
 // vertex farthest from s. -distributed routes through the concurrent
 // message-passing simulator (with k-hop discovery) instead of the
 // single-threaded walk.
+//
+// With -pairs > 1 routesim routes a batch of uniformly sampled (s, t)
+// pairs instead of one: fault-free batches go through the traffic
+// engine's worker pool (-workers goroutines, 0 = GOMAXPROCS) and print a
+// metrics report plus the worst-stretch route's trace; with fault flags
+// set, the batch is replayed through the faulty distributed simulator
+// and reports delivery/retry statistics under the same fault plan
+// (-s/-t are ignored in batch mode).
 //
 // The fault flags inject deterministic faults into the distributed
 // simulator (and imply -distributed): -loss drops each transmission
@@ -25,6 +34,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"sort"
 	"strconv"
@@ -55,6 +65,8 @@ func run() error {
 		crashList   = flag.String("crash", "", "comma-separated vertices to crash before discovery (implies -distributed)")
 		faultSeed   = flag.Uint64("faultseed", 1, "seed for the deterministic fault injector")
 		degrade     = flag.Bool("degrade", false, "print the loss × locality degradation sweep instead of routing")
+		pairs       = flag.Int("pairs", 1, "route a batch of this many sampled (s, t) pairs instead of one")
+		workers     = flag.Int("workers", 0, "engine workers for batch mode (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -140,6 +152,11 @@ func run() error {
 		*distributed = true
 	}
 
+	if *pairs > 1 {
+		plan := klocal.FaultPlan{Seed: *faultSeed, Loss: *loss, Crashes: crashes}
+		return runBatch(g, alg, kk, *graphKind, *pairs, *workers, rng, faulty, plan)
+	}
+
 	s := klocal.Vertex(*sFlag)
 	if !g.HasVertex(s) {
 		return fmt.Errorf("origin %d not in the graph", s)
@@ -207,6 +224,83 @@ func run() error {
 	}
 	fmt.Println("route:", trace(res.Route))
 	fmt.Print(klocal.RenderRoute(g, res.Route, t))
+	return nil
+}
+
+// runBatch routes a batch of sampled pairs: through the traffic engine
+// when fault-free, or replayed through the faulty distributed simulator
+// when fault flags are set.
+func runBatch(g *klocal.Graph, alg klocal.Algorithm, k int, graphKind string, pairs, workers int, rng *rand.Rand, faulty bool, plan klocal.FaultPlan) error {
+	fmt.Printf("batch: %s on %s n=%d m=%d, k=%d, %d uniform pairs\n",
+		alg.Name, graphKind, g.N(), g.M(), k, pairs)
+	reqs := klocal.TakeRequests(klocal.UniformWorkload(rng, g), pairs)
+
+	if faulty {
+		fmt.Printf("faults: loss=%.2f crashes=%d seed=%d (batch replayed through the distributed simulator)\n",
+			plan.Loss, len(plan.Crashes), plan.Seed)
+		nw := klocal.NewFaultyNetwork(g, k, alg, plan)
+		nw.Start()
+		defer nw.Stop()
+		if err := nw.Discover(); err != nil {
+			return err
+		}
+		delivered, failed, hops, retries := 0, 0, 0, 0
+		worst := 0.0
+		for _, req := range reqs {
+			res := nw.SendDetailed(req.S, req.T)
+			if res.Err != nil {
+				failed++
+				continue
+			}
+			delivered++
+			h := len(res.Route) - 1
+			hops += h
+			retries += res.Retries
+			if d := g.Dist(req.S, req.T); d > 0 {
+				if stretch := float64(h) / float64(d); stretch > worst {
+					worst = stretch
+				}
+			}
+		}
+		st := nw.Stats()
+		fmt.Printf("delivered %d/%d (%.4f), failed %d\n",
+			delivered, len(reqs), float64(delivered)/float64(len(reqs)), failed)
+		if delivered > 0 {
+			fmt.Printf("mean hops %.2f, worst stretch %.3f, %d link retries\n",
+				float64(hops)/float64(delivered), worst, retries)
+		}
+		fmt.Printf("protocol: %d control msgs, %d retransmissions, %d drops\n",
+			st.ControlMessages(), st.LSARetransmissions, st.Dropped)
+		return nil
+	}
+
+	snap, err := klocal.NewSnapshot(g, k, alg)
+	if err != nil {
+		return err
+	}
+	resps, rep, err := klocal.RouteAll(snap, reqs, klocal.EngineConfig{Workers: workers})
+	if err != nil {
+		return err
+	}
+	rep.WriteText(os.Stdout)
+
+	// Reuse the single-message trace rendering on the worst-stretch
+	// delivered route of the batch.
+	worstIdx, worstStretch := -1, 0.0
+	for i, r := range resps {
+		if r.Result.Outcome != klocal.Delivered || r.Result.Dist == 0 {
+			continue
+		}
+		if d := r.Result.Dilation(); worstIdx < 0 || d > worstStretch {
+			worstIdx, worstStretch = i, d
+		}
+	}
+	if worstIdx >= 0 {
+		r := resps[worstIdx]
+		fmt.Printf("\nworst-stretch route (%d -> %d, dist %d, stretch %.3f): %s\n",
+			r.S, r.T, r.Result.Dist, worstStretch, trace(r.Result.Route))
+		fmt.Print(klocal.RenderRoute(g, r.Result.Route, r.T))
+	}
 	return nil
 }
 

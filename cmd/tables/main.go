@@ -4,6 +4,10 @@
 // Usage:
 //
 //	tables [-n 40] [-seed 1] [-graphs 5] [-sweep] [-sweep-n 13]
+//	       [-parallel] [-workers 0]
+//
+// -parallel routes the sweep's pair evaluations through the traffic
+// engine's worker pool (identical results, concurrent wall clock).
 package main
 
 import (
@@ -23,11 +27,13 @@ func main() {
 
 func run() error {
 	var (
-		n      = flag.Int("n", 40, "network size for Tables 1-4")
-		seed   = flag.Int64("seed", 1, "random seed for the workload graphs")
-		graphs = flag.Int("graphs", 5, "random graphs in the positive-side workload")
-		sweep  = flag.Bool("sweep", false, "also run the locality sweep (slow)")
-		sweepN = flag.Int("sweep-n", 13, "network size for the sweep")
+		n        = flag.Int("n", 40, "network size for Tables 1-4")
+		seed     = flag.Int64("seed", 1, "random seed for the workload graphs")
+		graphs   = flag.Int("graphs", 5, "random graphs in the positive-side workload")
+		sweep    = flag.Bool("sweep", false, "also run the locality sweep (slow)")
+		sweepN   = flag.Int("sweep-n", 13, "network size for the sweep")
+		parallel = flag.Bool("parallel", false, "route the sweep through the traffic engine's worker pool")
+		workers  = flag.Int("workers", 0, "engine workers for -parallel (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -97,7 +103,15 @@ func run() error {
 
 	if *sweep {
 		fmt.Fprintln(out)
-		klocal.Sweep(rng, *sweepN, 3, 20).Render(out)
+		if *parallel {
+			res, err := klocal.SweepParallel(rng, *sweepN, 3, 20, *workers)
+			if err != nil {
+				return err
+			}
+			res.Render(out)
+		} else {
+			klocal.Sweep(rng, *sweepN, 3, 20).Render(out)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,295 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"klocal/internal/graph"
+	"klocal/internal/metrics"
+	"klocal/internal/sim"
+)
+
+// Request is one routing task: deliver a message from S to T.
+type Request struct {
+	S, T graph.Vertex
+}
+
+// Response is the outcome of one routed request.
+type Response struct {
+	Request
+	// Index is the submission index (batch position for RouteBatch).
+	Index int
+	// Worker identifies the worker that routed the request.
+	Worker int
+	// Result is the full simulation result.
+	Result *sim.Result
+	// Latency is the wall time the worker spent routing the request.
+	Latency time.Duration
+}
+
+// Config tunes an Engine.
+type Config struct {
+	// Workers is the routing worker-pool size (0 = GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the request queue; Submit blocks while the queue
+	// is full, which is the engine's backpressure (0 = 4 × Workers).
+	QueueDepth int
+	// MaxSteps bounds each walk (0 = sim's default budget).
+	MaxSteps int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	return c
+}
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("engine: closed")
+
+type task struct {
+	req   Request
+	index int
+}
+
+// Engine routes requests concurrently over one Snapshot using a fixed
+// worker pool. Requests enter through a bounded queue (Submit blocks when
+// it is full); every worker records into its own metrics shard, so the
+// hot path takes no shared locks beyond the snapshot's sharded view
+// cache. An Engine is a single session: use it, Close it, read Report.
+type Engine struct {
+	snap *Snapshot
+	cfg  Config
+
+	tasks chan task
+	out   chan Response
+	wg    sync.WaitGroup
+
+	mu     sync.RWMutex
+	closed bool
+
+	nextIdx atomic.Int64
+	shards  []*metrics.Shard
+	started time.Time
+	elapsed time.Duration
+}
+
+// New starts an engine over snap. The returned engine is running: submit
+// requests, consume Results, then Close.
+func New(snap *Snapshot, cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		snap:    snap,
+		cfg:     cfg,
+		tasks:   make(chan task, cfg.QueueDepth),
+		out:     make(chan Response, cfg.QueueDepth),
+		shards:  make([]*metrics.Shard, cfg.Workers),
+		started: time.Now(),
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		e.shards[w] = metrics.NewShard()
+		e.wg.Add(1)
+		go e.worker(w)
+	}
+	return e
+}
+
+// Config returns the engine's effective (defaulted) configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Snapshot returns the snapshot the engine routes over.
+func (e *Engine) Snapshot() *Snapshot { return e.snap }
+
+// worker routes tasks until the queue closes, recording into its own
+// metric shard.
+func (e *Engine) worker(w int) {
+	defer e.wg.Done()
+	sh := e.shards[w]
+	for tk := range e.tasks {
+		start := time.Now()
+		res := e.snap.Route(tk.req.S, tk.req.T, e.cfg.MaxSteps)
+		lat := time.Since(start)
+
+		sh.Count("requests", 1)
+		sh.Observe("latency_ns", lat.Nanoseconds())
+		switch res.Outcome {
+		case sim.Delivered:
+			sh.Count("delivered", 1)
+			sh.Observe("hops", int64(res.Len()))
+			if res.Dist > 0 {
+				// Stretch recorded in milli-units so the log-scale
+				// buckets resolve the 1.0–7.0 range the theorems bound.
+				sh.Observe("stretch_milli", int64(res.Dilation()*1000+0.5))
+			}
+		case sim.Looped:
+			sh.Count("looped", 1)
+		case sim.Errored:
+			sh.Count("errored", 1)
+		case sim.Exhausted:
+			sh.Count("exhausted", 1)
+		}
+
+		e.out <- Response{Request: tk.req, Index: tk.index, Worker: w, Result: res, Latency: lat}
+	}
+}
+
+// Submit enqueues one request, blocking while the queue is full
+// (backpressure). It fails with ErrClosed after Close.
+func (e *Engine) Submit(req Request) error {
+	idx := int(e.nextIdx.Add(1) - 1)
+	return e.submit(task{req: req, index: idx})
+}
+
+func (e *Engine) submit(tk task) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return ErrClosed
+	}
+	// Sending under RLock is safe: Close waits for in-flight senders,
+	// and workers keep draining until the queue closes, so every
+	// blocked send completes.
+	e.tasks <- tk
+	return nil
+}
+
+// Results streams responses as workers finish them (completion order,
+// not submission order). The channel closes after Close once every
+// in-flight request has been reported.
+func (e *Engine) Results() <-chan Response { return e.out }
+
+// Close stops intake, waits for in-flight requests to finish, and closes
+// Results. Idempotent.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	close(e.tasks)
+	e.mu.Unlock()
+	e.wg.Wait()
+	e.elapsed = time.Since(e.started)
+	close(e.out)
+}
+
+// RouteBatch submits every request and returns responses in request
+// order. It requires exclusive use of the engine (no concurrent Submit
+// or Results consumers) and may be called repeatedly before Close.
+func (e *Engine) RouteBatch(reqs []Request) ([]Response, error) {
+	out := make([]Response, len(reqs))
+	var collect sync.WaitGroup
+	collect.Add(1)
+	go func() {
+		defer collect.Done()
+		for i := 0; i < len(reqs); i++ {
+			r, ok := <-e.out
+			if !ok {
+				return
+			}
+			out[r.Index] = r
+		}
+	}()
+	var submitErr error
+	for i, req := range reqs {
+		if err := e.submit(task{req: req, index: i}); err != nil {
+			submitErr = err
+			break
+		}
+	}
+	if submitErr != nil {
+		// Intake failed mid-batch; drain what was accepted.
+		e.Close()
+	}
+	collect.Wait()
+	if submitErr != nil {
+		return nil, submitErr
+	}
+	return out, nil
+}
+
+// RunWorkload draws requests from w and routes them, discarding
+// individual responses (the metrics shards keep the aggregates). It
+// stops after n requests, or when d elapses (whichever comes first;
+// n ≤ 0 means unbounded, d ≤ 0 means no deadline — at least one bound
+// must be set). The engine is closed when RunWorkload returns; read
+// Report next.
+func (e *Engine) RunWorkload(w Workload, n int, d time.Duration) error {
+	if n <= 0 && d <= 0 {
+		return fmt.Errorf("engine: RunWorkload needs a request count or a duration")
+	}
+	var drain sync.WaitGroup
+	drain.Add(1)
+	go func() {
+		defer drain.Done()
+		for range e.out {
+		}
+	}()
+	deadline := time.Time{}
+	if d > 0 {
+		deadline = time.Now().Add(d)
+	}
+	var err error
+	for i := 0; n <= 0 || i < n; i++ {
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			break
+		}
+		if err = e.Submit(w.Next()); err != nil {
+			break
+		}
+	}
+	e.Close()
+	drain.Wait()
+	return err
+}
+
+// Report merges the per-worker metric shards into one report, attaching
+// derived gauges (delivery rate, throughput, stretch percentiles scaled
+// back to ratios, cache activity). It closes the engine first if the
+// caller has not.
+func (e *Engine) Report() *metrics.Report {
+	e.Close()
+	merged := metrics.MergeShards(e.shards...)
+	rep := merged.Snapshot()
+	rep.Name = fmt.Sprintf("%s k=%d n=%d workers=%d",
+		e.snap.alg.Name, e.snap.k, e.snap.g.N(), e.cfg.Workers)
+
+	reqs := rep.Counter("requests")
+	if reqs > 0 {
+		rep.Put("delivery_rate", float64(rep.Counter("delivered"))/float64(reqs))
+		if secs := e.elapsed.Seconds(); secs > 0 {
+			rep.Put("throughput_rps", float64(reqs)/secs)
+		}
+	}
+	if h, ok := rep.Histograms["stretch_milli"]; ok {
+		rep.Put("stretch_max", float64(h.Max)/1000)
+		rep.Put("stretch_p99", h.P99/1000)
+		rep.Put("stretch_mean", h.Mean/1000)
+	}
+	if cs := e.snap.CacheStats(); cs.Hits+cs.Misses > 0 {
+		rep.Put("cache_hit_rate", cs.HitRate())
+		rep.Put("cache_size", float64(cs.Size))
+		rep.Put("cache_evictions", float64(cs.Evictions))
+	}
+	return rep
+}
+
+// RouteAll is the one-shot convenience: route reqs over snap with cfg,
+// returning ordered responses and the merged metrics report.
+func RouteAll(snap *Snapshot, reqs []Request, cfg Config) ([]Response, *metrics.Report, error) {
+	e := New(snap, cfg)
+	out, err := e.RouteBatch(reqs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, e.Report(), nil
+}

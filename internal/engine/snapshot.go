@@ -1,0 +1,118 @@
+// Package engine is the high-throughput traffic layer: it routes batches
+// of (s, t) requests concurrently over any of the paper's algorithms.
+//
+// The pieces:
+//
+//   - Snapshot: an immutable binding of (network, locality, algorithm)
+//     whose per-vertex preprocessing lives behind a sharded,
+//     lazily-populated, size-bounded cache (prep.Preprocessor), so the
+//     paper's "preprocessing need not be repeated" observation is
+//     realized once per source vertex instead of once per message.
+//
+//   - Engine: a worker-pool executor with a bounded request queue
+//     (Submit blocks when full — backpressure, never unbounded memory)
+//     and per-worker metric shards merged into a metrics.Report.
+//
+//   - Workload: pluggable deterministic request generators — uniform
+//     random pairs, Zipf-skewed destinations, all-pairs, and the paper's
+//     adversarial constructions from internal/adversary.
+package engine
+
+import (
+	"fmt"
+
+	"klocal/internal/graph"
+	"klocal/internal/prep"
+	"klocal/internal/route"
+	"klocal/internal/sim"
+)
+
+// Snapshot is an immutable view of a network bound to one algorithm at
+// one locality. It is safe for concurrent use: the graph never mutates,
+// the routing function is shared (see route's goroutine-safety
+// contracts), and preprocessing is cached behind the sharded view cache.
+// Build a new Snapshot when the topology changes.
+type Snapshot struct {
+	g   *graph.Graph
+	k   int
+	alg route.Algorithm
+	f   route.Func
+	pre *prep.Preprocessor // nil for algorithms without preprocessing
+}
+
+// SnapshotOptions tune snapshot construction.
+type SnapshotOptions struct {
+	// Cache tunes the sharded view cache of preprocessed algorithms.
+	Cache prep.CacheOptions
+	// Prewarm computes every vertex's view at construction using this
+	// many goroutines (0 = no prewarm, <0 = GOMAXPROCS).
+	Prewarm int
+}
+
+// NewSnapshot binds alg to (g, k) with default cache options and no
+// prewarm. k = 0 means the algorithm's own threshold T(n) (minimum 1).
+func NewSnapshot(g *graph.Graph, k int, alg route.Algorithm) (*Snapshot, error) {
+	return NewSnapshotOpts(g, k, alg, SnapshotOptions{})
+}
+
+// NewSnapshotOpts binds alg to (g, k) under explicit options.
+func NewSnapshotOpts(g *graph.Graph, k int, alg route.Algorithm, opts SnapshotOptions) (*Snapshot, error) {
+	if g == nil || g.N() == 0 {
+		return nil, fmt.Errorf("engine: empty network")
+	}
+	if k == 0 {
+		k = alg.MinK(g.N())
+		if k == 0 {
+			k = 1
+		}
+	}
+	if k < 0 {
+		return nil, fmt.Errorf("engine: negative locality %d", k)
+	}
+	s := &Snapshot{g: g, k: k, alg: alg}
+	if alg.BindCached != nil {
+		s.pre = prep.NewPreprocessorOpts(g, k, alg.Policy, opts.Cache)
+		s.f = alg.BindCached(s.pre)
+	} else {
+		s.f = alg.Bind(g, k)
+	}
+	if opts.Prewarm != 0 && s.pre != nil {
+		w := opts.Prewarm
+		if w < 0 {
+			w = 0 // prep interprets ≤0 as GOMAXPROCS
+		}
+		s.pre.Prewarm(w)
+	}
+	return s, nil
+}
+
+// Graph returns the underlying immutable network.
+func (s *Snapshot) Graph() *graph.Graph { return s.g }
+
+// K returns the locality parameter the snapshot is bound at.
+func (s *Snapshot) K() int { return s.k }
+
+// Algorithm returns the bound algorithm descriptor.
+func (s *Snapshot) Algorithm() route.Algorithm { return s.alg }
+
+// Func returns the shared bound routing function.
+func (s *Snapshot) Func() route.Func { return s.f }
+
+// CacheStats reports the view-cache activity, or the zero value for
+// algorithms without preprocessing.
+func (s *Snapshot) CacheStats() prep.CacheStats {
+	if s.pre == nil {
+		return prep.CacheStats{}
+	}
+	return s.pre.Stats()
+}
+
+// Route routes one message on the snapshot (the engine's per-request
+// body, also usable standalone).
+func (s *Snapshot) Route(src, dst graph.Vertex, maxSteps int) *sim.Result {
+	return sim.Run(s.g, sim.Func(s.f), src, dst, sim.Options{
+		MaxSteps:         maxSteps,
+		DetectLoops:      !s.alg.Randomized,
+		PredecessorAware: s.alg.PredecessorAware,
+	})
+}

@@ -1,0 +1,143 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"klocal/internal/adversary"
+	"klocal/internal/gen"
+	"klocal/internal/graph"
+)
+
+func TestUniformDeterministicAndValid(t *testing.T) {
+	g := gen.Cycle(20)
+	a := Take(Uniform(rand.New(rand.NewSource(7)), g), 1000)
+	b := Take(Uniform(rand.New(rand.NewSource(7)), g), 1000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at request %d: %+v vs %+v", i, a[i], b[i])
+		}
+		if a[i].S == a[i].T {
+			t.Fatalf("request %d has s == t", i)
+		}
+		if !g.HasVertex(a[i].S) || !g.HasVertex(a[i].T) {
+			t.Fatalf("request %d off-graph: %+v", i, a[i])
+		}
+	}
+	c := Take(Uniform(rand.New(rand.NewSource(8)), g), 1000)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical request streams")
+	}
+}
+
+func TestZipfSkewsDestinations(t *testing.T) {
+	g := gen.Cycle(50)
+	reqs := Take(Zipf(rand.New(rand.NewSource(9)), g, 0), 20000)
+	counts := make(map[graph.Vertex]int)
+	for _, r := range reqs {
+		if r.S == r.T {
+			t.Fatal("zipf produced s == t")
+		}
+		counts[r.T]++
+	}
+	// The rank-0 destination must dominate: far above the uniform share
+	// (uniform would give 2% on 50 vertices; Zipf(1.2) gives > 25%).
+	top := counts[g.Vertices()[0]]
+	if frac := float64(top) / float64(len(reqs)); frac < 0.15 {
+		t.Fatalf("top destination drew %.1f%% of traffic; not Zipf-skewed", 100*frac)
+	}
+	// Determinism.
+	again := Take(Zipf(rand.New(rand.NewSource(9)), g, 0), 100)
+	for i := range again {
+		if again[i] != reqs[i] {
+			t.Fatalf("zipf with same seed diverged at %d", i)
+		}
+	}
+}
+
+func TestAllPairsCoversEveryOrderedPair(t *testing.T) {
+	g := gen.Path(7)
+	n := PairCount(g)
+	reqs := Take(AllPairs(g), n)
+	seen := make(map[Request]bool, n)
+	for _, r := range reqs {
+		if r.S == r.T {
+			t.Fatal("allpairs produced s == t")
+		}
+		if seen[r] {
+			t.Fatalf("pair %+v repeated inside one cycle", r)
+		}
+		seen[r] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("covered %d pairs, want %d", len(seen), n)
+	}
+	// The next cycle starts over identically.
+	w := AllPairs(g)
+	first := Take(w, n)
+	second := Take(w, n)
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("second cycle diverges at %d", i)
+		}
+	}
+}
+
+func TestAdversarialMatchesAdversaryConstruction(t *testing.T) {
+	n, k := 40, 10
+	g, w, err := Adversarial(n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := adversary.DilationPath(n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical topology...
+	if g.N() != inst.G.N() || g.M() != inst.G.M() {
+		t.Fatalf("workload graph %d/%d differs from adversary instance %d/%d",
+			g.N(), g.M(), inst.G.N(), inst.G.M())
+	}
+	for _, e := range inst.G.Edges() {
+		if !g.HasEdge(e.U, e.V) {
+			t.Fatalf("workload graph missing adversary edge %v", e)
+		}
+	}
+	// ...and exactly the paper's extremal pair, alternating directions.
+	reqs := Take(w, 4)
+	if reqs[0] != (Request{S: inst.S, T: inst.T}) || reqs[2] != reqs[0] {
+		t.Fatalf("forward pair wrong: %+v, want {%d %d}", reqs[0], inst.S, inst.T)
+	}
+	if reqs[1] != (Request{S: inst.T, T: inst.S}) || reqs[3] != reqs[1] {
+		t.Fatalf("reverse pair wrong: %+v", reqs[1])
+	}
+	if _, _, err := Adversarial(7, 6); err == nil {
+		t.Fatal("infeasible adversarial parameters must error")
+	}
+}
+
+func TestNewWorkloadByName(t *testing.T) {
+	g := gen.Cycle(10)
+	rng := rand.New(rand.NewSource(1))
+	for _, kind := range []string{"uniform", "zipf", "allpairs"} {
+		w, err := NewWorkload(kind, rng, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.Name != kind {
+			t.Fatalf("name %q for kind %q", w.Name, kind)
+		}
+		if r := w.Next(); r.S == r.T {
+			t.Fatalf("%s produced s == t", kind)
+		}
+	}
+	if _, err := NewWorkload("nope", rng, g); err == nil {
+		t.Fatal("unknown workload must error")
+	}
+}

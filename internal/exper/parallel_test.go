@@ -1,0 +1,55 @@
+package exper
+
+import (
+	"math/rand"
+	"testing"
+
+	"klocal/internal/gen"
+	"klocal/internal/route"
+)
+
+func TestSweepParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep parity is slow")
+	}
+	n, graphs, pairs := 9, 1, 6
+	seq := Sweep(rand.New(rand.NewSource(17)), n, graphs, pairs)
+	par, err := SweepParallel(rand.New(rand.NewSource(17)), n, graphs, pairs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par.Points) != len(seq.Points) {
+		t.Fatalf("point count %d vs %d", len(par.Points), len(seq.Points))
+	}
+	for i, sp := range seq.Points {
+		pp := par.Points[i]
+		if pp.Algorithm != sp.Algorithm || pp.K != sp.K {
+			t.Fatalf("point %d keys differ: %s/%d vs %s/%d", i, pp.Algorithm, pp.K, sp.Algorithm, sp.K)
+		}
+		if pp.Stats.Pairs != sp.Stats.Pairs || pp.Stats.Delivered != sp.Stats.Delivered {
+			t.Fatalf("point %d (%s k=%d): pairs/delivered %d/%d vs %d/%d", i, sp.Algorithm, sp.K,
+				pp.Stats.Pairs, pp.Stats.Delivered, sp.Stats.Pairs, sp.Stats.Delivered)
+		}
+		if pp.Stats.WorstDilation != sp.Stats.WorstDilation || pp.Stats.MeanDilation != sp.Stats.MeanDilation {
+			t.Fatalf("point %d (%s k=%d): dilation %v/%v vs %v/%v", i, sp.Algorithm, sp.K,
+				pp.Stats.WorstDilation, pp.Stats.MeanDilation, sp.Stats.WorstDilation, sp.Stats.MeanDilation)
+		}
+	}
+}
+
+func TestAllPairsParallelMatchesSequential(t *testing.T) {
+	g := gen.Lollipop(10, 5)
+	for _, alg := range []route.Algorithm{route.Algorithm1(), route.Algorithm2()} {
+		k := alg.MinK(g.N())
+		var seq PairStats
+		evalAllPairs(alg, g, k, &seq)
+		seq.finish()
+		par, err := AllPairsParallel(alg, g, k, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *par != seq {
+			t.Fatalf("%s: parallel %+v vs sequential %+v", alg.Name, *par, seq)
+		}
+	}
+}

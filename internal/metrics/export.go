@@ -1,0 +1,61 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Report is a frozen, renderable metric snapshot: merged counters,
+// histogram summaries, and derived key/value gauges attached by the
+// producer (delivery rate, throughput, cache hit rate, ...).
+type Report struct {
+	// Name labels the run (engine configuration, workload, ...).
+	Name string `json:"name,omitempty"`
+	// Counters are merged event counts.
+	Counters map[string]int64 `json:"counters"`
+	// Gauges are derived floating-point values.
+	Gauges map[string]float64 `json:"gauges,omitempty"`
+	// Histograms are merged distribution summaries.
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Put attaches (or overwrites) a derived gauge.
+func (r *Report) Put(name string, v float64) {
+	if r.Gauges == nil {
+		r.Gauges = make(map[string]float64)
+	}
+	r.Gauges[name] = v
+}
+
+// Counter returns the named counter (0 if absent).
+func (r *Report) Counter(name string) int64 { return r.Counters[name] }
+
+// Gauge returns the named gauge (0 if absent).
+func (r *Report) Gauge(name string) float64 { return r.Gauges[name] }
+
+// WriteJSON renders the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteText renders the report as aligned plain text: counters, gauges,
+// then one summary line per histogram.
+func (r *Report) WriteText(w io.Writer) {
+	if r.Name != "" {
+		fmt.Fprintf(w, "== %s ==\n", r.Name)
+	}
+	for _, k := range sortedKeys(r.Counters) {
+		fmt.Fprintf(w, "%-24s %d\n", k, r.Counters[k])
+	}
+	for _, k := range sortedKeys(r.Gauges) {
+		fmt.Fprintf(w, "%-24s %s\n", k, gauge(r.Gauges[k]))
+	}
+	for _, k := range sortedKeys(r.Histograms) {
+		h := r.Histograms[k]
+		fmt.Fprintf(w, "%-24s count=%d min=%d max=%d mean=%s p50=%s p90=%s p99=%s\n",
+			k, h.Count, h.Min, h.Max, gauge(h.Mean), gauge(h.P50), gauge(h.P90), gauge(h.P99))
+	}
+}

@@ -1,0 +1,122 @@
+package prep
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"klocal/internal/gen"
+	"klocal/internal/graph"
+)
+
+func TestCacheHitsAndSharing(t *testing.T) {
+	g := gen.Cycle(16)
+	p := NewPreprocessorOpts(g, 4, PolicyMinRank, CacheOptions{Shards: 4})
+	v1 := p.At(3)
+	v2 := p.At(3)
+	if v1 != v2 {
+		t.Fatal("repeated At must return the shared cached view")
+	}
+	st := p.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Size != 1 {
+		t.Fatalf("stats after hit+miss: %+v", st)
+	}
+	if st.HitRate() != 0.5 {
+		t.Fatalf("hit rate = %v, want 0.5", st.HitRate())
+	}
+}
+
+func TestCacheCapacityEviction(t *testing.T) {
+	g := gen.Cycle(32)
+	p := NewPreprocessorOpts(g, 3, PolicyMinRank, CacheOptions{Shards: 1, Capacity: 4})
+	for _, v := range g.Vertices() {
+		p.At(v)
+	}
+	st := p.Stats()
+	if st.Size > 4 {
+		t.Fatalf("cache size %d exceeds capacity 4", st.Size)
+	}
+	if st.Evictions != int64(g.N()-4) {
+		t.Fatalf("evictions = %d, want %d", st.Evictions, g.N()-4)
+	}
+	// Evicted views must be recomputed correctly, not lost.
+	v := p.At(0)
+	if v.Center != 0 || v.K != 3 {
+		t.Fatalf("recomputed view wrong: center=%d k=%d", v.Center, v.K)
+	}
+}
+
+func TestCacheConcurrentSameResults(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := gen.RandomConnected(rng, 24, 0.1)
+	k := 6
+	p := NewPreprocessorOpts(g, k, PolicyMinRank, CacheOptions{Shards: 8})
+
+	var wg sync.WaitGroup
+	views := make([][]*View, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			views[w] = make([]*View, g.N())
+			for i, u := range g.Vertices() {
+				views[w][i] = p.At(u)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// All workers must observe identical view contents, and (after the
+	// cache settles) the same instances as a fresh sequential pass.
+	for i, u := range g.Vertices() {
+		want := PreprocessPolicy(g, u, k, PolicyMinRank)
+		for w := 0; w < 8; w++ {
+			got := views[w][i]
+			if got.Center != want.Center || len(got.Dormant) != len(want.Dormant) ||
+				len(got.ActiveRoots) != len(want.ActiveRoots) {
+				t.Fatalf("worker %d vertex %d: view differs from sequential preprocessing", w, u)
+			}
+			if p.At(u) != p.At(u) {
+				t.Fatalf("vertex %d: cache returns distinct instances after settling", u)
+			}
+		}
+	}
+	if st := p.Stats(); st.Size != int64(g.N()) {
+		t.Fatalf("cache size = %d, want %d", st.Size, g.N())
+	}
+}
+
+func TestPrewarm(t *testing.T) {
+	g := gen.Lollipop(12, 6)
+	p := NewPreprocessor(g, 5)
+	p.Prewarm(4)
+	if st := p.Stats(); st.Size != int64(g.N()) {
+		t.Fatalf("prewarm cached %d views, want %d", st.Size, g.N())
+	}
+	before := p.Stats().Misses
+	for _, v := range g.Vertices() {
+		p.At(v)
+	}
+	if after := p.Stats().Misses; after != before {
+		t.Fatalf("post-prewarm lookups missed: %d -> %d", before, after)
+	}
+}
+
+func TestPrewarmBounded(t *testing.T) {
+	g := gen.Cycle(20)
+	p := NewPreprocessorOpts(g, 3, PolicyMinRank, CacheOptions{Capacity: 5})
+	p.Prewarm(2)
+	if st := p.Stats(); st.Size > 5 {
+		t.Fatalf("bounded prewarm overfilled: size %d > capacity 5", st.Size)
+	}
+}
+
+func TestShardRounding(t *testing.T) {
+	g := gen.Path(4)
+	p := NewPreprocessorOpts(g, 1, PolicyMinRank, CacheOptions{Shards: 5})
+	if len(p.shards) != 8 {
+		t.Fatalf("shards = %d, want next power of two 8", len(p.shards))
+	}
+	var zero graph.Vertex
+	_ = p.shardOf(zero) // must not panic on any vertex
+}

@@ -18,8 +18,10 @@
 package prep
 
 import (
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"klocal/internal/graph"
 	"klocal/internal/nbhd"
@@ -160,17 +162,75 @@ func (v *View) CompRootedAt(w graph.Vertex) *nbhd.Component {
 	return nil
 }
 
+// CacheOptions tune the preprocessor's view cache. The zero value means
+// defaults: DefaultShards lock shards, unbounded capacity.
+type CacheOptions struct {
+	// Shards is the number of independently locked cache shards; views
+	// hash across shards by vertex so concurrent routing workers rarely
+	// contend. Rounded up to a power of two. 0 means DefaultShards.
+	Shards int
+	// Capacity bounds the total number of cached views across all
+	// shards; when a shard fills, an arbitrary resident view is evicted
+	// (random replacement — adequate because routing workloads revisit
+	// sources far more often than they scan). 0 means unbounded.
+	Capacity int
+}
+
+// DefaultShards is the shard count used when CacheOptions.Shards is 0.
+const DefaultShards = 8
+
+// CacheStats is a point-in-time snapshot of preprocessor cache activity.
+type CacheStats struct {
+	// Hits counts At calls served from the cache.
+	Hits int64
+	// Misses counts At calls that ran preprocessing. Concurrent misses
+	// on the same vertex each count (both compute; one insert wins), so
+	// Misses can slightly exceed the number of distinct vertices.
+	Misses int64
+	// Evictions counts views discarded to respect Capacity.
+	Evictions int64
+	// Size is the number of views currently resident.
+	Size int64
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// prepShard is one lock-striped portion of the view cache.
+type prepShard struct {
+	mu    sync.RWMutex
+	views map[graph.Vertex]*View
+}
+
 // Preprocessor caches per-node views for a fixed network and locality.
 // The preprocessing step "need not be repeated unless the network topology
-// changes", so views are computed once per node. It is safe for
-// concurrent use.
+// changes", so views are computed once per node and shared. It is safe
+// for concurrent use: the cache is sharded by vertex, views are immutable
+// after construction, and a view is published only via the shard lock.
+//
+// Under concurrent misses for the same vertex both callers compute the
+// view and the first insert wins; the duplicate work is bounded and
+// lock-free, which beats serializing whole shards behind preprocessing
+// (BFS-heavy) critical sections.
 type Preprocessor struct {
 	g   *graph.Graph
 	k   int
 	pol Policy
 
-	mu    sync.Mutex
-	cache map[graph.Vertex]*View
+	shards   []prepShard
+	mask     uint64
+	capacity int // per whole cache; 0 = unbounded
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	size      atomic.Int64
 }
 
 // NewPreprocessor returns a caching preprocessor for network g at
@@ -182,12 +242,33 @@ func NewPreprocessor(g *graph.Graph, k int) *Preprocessor {
 // NewPreprocessorPolicy returns a caching preprocessor under an explicit
 // dormancy policy.
 func NewPreprocessorPolicy(g *graph.Graph, k int, pol Policy) *Preprocessor {
-	return &Preprocessor{
-		g:     g,
-		k:     k,
-		pol:   pol,
-		cache: make(map[graph.Vertex]*View, g.N()),
+	return NewPreprocessorOpts(g, k, pol, CacheOptions{})
+}
+
+// NewPreprocessorOpts returns a caching preprocessor with explicit cache
+// tuning — the traffic engine's entry point.
+func NewPreprocessorOpts(g *graph.Graph, k int, pol Policy, opts CacheOptions) *Preprocessor {
+	n := opts.Shards
+	if n <= 0 {
+		n = DefaultShards
 	}
+	// Round up to a power of two so vertex hashing is a mask.
+	shards := 1
+	for shards < n {
+		shards <<= 1
+	}
+	p := &Preprocessor{
+		g:        g,
+		k:        k,
+		pol:      pol,
+		shards:   make([]prepShard, shards),
+		mask:     uint64(shards - 1),
+		capacity: opts.Capacity,
+	}
+	for i := range p.shards {
+		p.shards[i].views = make(map[graph.Vertex]*View)
+	}
+	return p
 }
 
 // K returns the locality parameter.
@@ -196,19 +277,88 @@ func (p *Preprocessor) K() int { return p.k }
 // Graph returns the underlying network.
 func (p *Preprocessor) Graph() *graph.Graph { return p.g }
 
+// Policy returns the dormancy policy.
+func (p *Preprocessor) Policy() Policy { return p.pol }
+
+// Stats returns a snapshot of cache activity.
+func (p *Preprocessor) Stats() CacheStats {
+	return CacheStats{
+		Hits:      p.hits.Load(),
+		Misses:    p.misses.Load(),
+		Evictions: p.evictions.Load(),
+		Size:      p.size.Load(),
+	}
+}
+
+// shardOf picks the lock shard for u (Fibonacci hashing spreads the
+// typically consecutive vertex labels).
+func (p *Preprocessor) shardOf(u graph.Vertex) *prepShard {
+	h := uint64(u) * 0x9e3779b97f4a7c15
+	return &p.shards[(h>>32)&p.mask]
+}
+
 // At returns the (cached) view at u.
 func (p *Preprocessor) At(u graph.Vertex) *View {
-	p.mu.Lock()
-	v, ok := p.cache[u]
-	p.mu.Unlock()
+	sh := p.shardOf(u)
+	sh.mu.RLock()
+	v, ok := sh.views[u]
+	sh.mu.RUnlock()
 	if ok {
+		p.hits.Add(1)
 		return v
 	}
+	p.misses.Add(1)
 	v = PreprocessPolicy(p.g, u, p.k, p.pol)
-	p.mu.Lock()
-	p.cache[u] = v
-	p.mu.Unlock()
+	sh.mu.Lock()
+	if cur, ok := sh.views[u]; ok {
+		// A concurrent miss published first; keep its view so every
+		// caller shares one instance.
+		sh.mu.Unlock()
+		return cur
+	}
+	if p.capacity > 0 && int(p.size.Load()) >= p.capacity {
+		// Random replacement inside this shard (map iteration order).
+		for w := range sh.views {
+			delete(sh.views, w)
+			p.size.Add(-1)
+			p.evictions.Add(1)
+			break
+		}
+	}
+	sh.views[u] = v
+	p.size.Add(1)
+	sh.mu.Unlock()
 	return v
+}
+
+// Prewarm computes and caches the view of every vertex using `workers`
+// goroutines (GOMAXPROCS when ≤ 0), so later routing never pays the
+// preprocessing latency. With a bounded cache smaller than the vertex
+// count, prewarming fills the cache and stops early.
+func (p *Preprocessor) Prewarm(workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	vs := p.g.Vertices()
+	if p.capacity > 0 && len(vs) > p.capacity {
+		vs = vs[:p.capacity]
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(vs) {
+					return
+				}
+				p.At(vs[i])
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // ConsistentEdges returns the globally consistent edges of g at locality

@@ -22,16 +22,20 @@ func Algorithm1BPolicy(pol prep.Policy) Algorithm {
 	if pol != prep.PolicyMinRank {
 		name += "[" + pol.String() + "]"
 	}
+	bind := func(p *prep.Preprocessor) Func {
+		return func(s, t, u, v graph.Vertex) (graph.Vertex, error) {
+			return stepAware(p, s, t, u, v, anticipateU2)
+		}
+	}
 	return Algorithm{
 		Name:             name,
 		OriginAware:      true,
 		PredecessorAware: true,
 		MinK:             MinK1,
+		Policy:           pol,
+		BindCached:       bind,
 		Bind: func(g *graph.Graph, k int) Func {
-			p := prep.NewPreprocessorPolicy(g, k, pol)
-			return func(s, t, u, v graph.Vertex) (graph.Vertex, error) {
-				return stepAware(p, s, t, u, v, anticipateU2)
-			}
+			return bind(prep.NewPreprocessorPolicy(g, k, pol))
 		},
 	}
 }

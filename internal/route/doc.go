@@ -1,5 +1,37 @@
 package route
 
+// Goroutine-safety contracts (the traffic engine routes batches of
+// messages concurrently through shared routing functions; these are the
+// guarantees that make that sound, audited under -race by race_test.go):
+//
+//   - A bound Func is safe for concurrent use by any number of
+//     goroutines routing arbitrary (s, t, u, v) arguments, provided the
+//     underlying *graph.Graph is never mutated (Graph is immutable by
+//     construction).
+//
+//   - Algorithms 1, 1B and 2 close over a prep.Preprocessor. The
+//     preprocessor's view cache is sharded and internally synchronized;
+//     the *prep.View instances it hands out are immutable after
+//     publication, so concurrent readers never observe partial views.
+//     Funcs built by BindCached share one externally owned preprocessor
+//     across closures — also safe, including under cache eviction
+//     (evicted views stay valid for readers holding them; they are
+//     simply recomputed on the next miss).
+//
+//   - Algorithm 3, TreeRightHand and ShortestPathOracle keep no mutable
+//     state: every call works on freshly extracted neighbourhoods or the
+//     immutable graph.
+//
+//   - RandomWalk serializes its RNG behind a mutex; concurrent routes
+//     interleave draws nondeterministically but never race. For
+//     reproducible concurrent randomized runs, bind one RandomWalk per
+//     worker with distinct seeds.
+//
+//   - Algorithm values themselves are plain data; copying them or
+//     calling Bind/BindCached concurrently is safe. Each Bind call
+//     builds an independent preprocessor (memory-heavy); the engine's
+//     Snapshot exists precisely to bind once and share.
+//
 // Reconstruction of the figure-only forwarding rules.
 //
 // The paper specifies Algorithm 1's forwarding decisions through Figures

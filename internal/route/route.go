@@ -44,6 +44,16 @@ type Algorithm struct {
 	MinK func(n int) int
 	// Bind fixes the network and locality, returning the routing function.
 	Bind func(g *graph.Graph, k int) Func
+	// Policy is the dormant-edge policy the algorithm preprocesses with;
+	// zero for algorithms that need no preprocessing (Algorithm 3 and the
+	// baselines).
+	Policy prep.Policy
+	// BindCached, when non-nil, binds the routing function over an
+	// externally owned preprocessor — the traffic engine uses it to share
+	// one sharded view cache across all messages of a snapshot (and
+	// across Bind calls that would otherwise each build their own).
+	// The preprocessor must have been built for the same policy.
+	BindCached func(p *prep.Preprocessor) Func
 }
 
 // Errors reported by routing functions. A routing error means the
@@ -207,16 +217,20 @@ func Algorithm1Policy(pol prep.Policy) Algorithm {
 	if pol != prep.PolicyMinRank {
 		name += "[" + pol.String() + "]"
 	}
+	bind := func(p *prep.Preprocessor) Func {
+		return func(s, t, u, v graph.Vertex) (graph.Vertex, error) {
+			return stepAware(p, s, t, u, v, nil)
+		}
+	}
 	return Algorithm{
 		Name:             name,
 		OriginAware:      true,
 		PredecessorAware: true,
 		MinK:             MinK1,
+		Policy:           pol,
+		BindCached:       bind,
 		Bind: func(g *graph.Graph, k int) Func {
-			p := prep.NewPreprocessorPolicy(g, k, pol)
-			return func(s, t, u, v graph.Vertex) (graph.Vertex, error) {
-				return stepAware(p, s, t, u, v, nil)
-			}
+			return bind(prep.NewPreprocessorPolicy(g, k, pol))
 		},
 	}
 }
@@ -234,25 +248,29 @@ func Algorithm2Policy(pol prep.Policy) Algorithm {
 	if pol != prep.PolicyMinRank {
 		name += "[" + pol.String() + "]"
 	}
+	bind := func(p *prep.Preprocessor) Func {
+		return func(_, t, u, v graph.Vertex) (graph.Vertex, error) {
+			view := p.At(u)
+			if hop := caseOneHop(view, t, u); hop != graph.NoVertex {
+				return hop, nil
+			}
+			roots := view.ActiveRoots
+			if len(roots) > 2 {
+				return graph.NoVertex, fmt.Errorf("%w: active degree %d > 2", ErrLocalityTooSmall, len(roots))
+			}
+			from, idx := classifyArrival(view, graph.NoVertex, v, false)
+			return decideActive(rulesU, roots, from, idx)
+		}
+	}
 	return Algorithm{
 		Name:             name,
 		OriginAware:      false,
 		PredecessorAware: true,
 		MinK:             MinK2,
+		Policy:           pol,
+		BindCached:       bind,
 		Bind: func(g *graph.Graph, k int) Func {
-			p := prep.NewPreprocessorPolicy(g, k, pol)
-			return func(_, t, u, v graph.Vertex) (graph.Vertex, error) {
-				view := p.At(u)
-				if hop := caseOneHop(view, t, u); hop != graph.NoVertex {
-					return hop, nil
-				}
-				roots := view.ActiveRoots
-				if len(roots) > 2 {
-					return graph.NoVertex, fmt.Errorf("%w: active degree %d > 2", ErrLocalityTooSmall, len(roots))
-				}
-				from, idx := classifyArrival(view, graph.NoVertex, v, false)
-				return decideActive(rulesU, roots, from, idx)
-			}
+			return bind(prep.NewPreprocessorPolicy(g, k, pol))
 		},
 	}
 }

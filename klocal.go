@@ -33,6 +33,7 @@ import (
 	"klocal/internal/adversary"
 	"klocal/internal/digraph"
 	"klocal/internal/diroute"
+	"klocal/internal/engine"
 	"klocal/internal/exper"
 	"klocal/internal/fault"
 	"klocal/internal/flood"
@@ -40,6 +41,7 @@ import (
 	"klocal/internal/geom"
 	"klocal/internal/georoute"
 	"klocal/internal/graph"
+	"klocal/internal/metrics"
 	"klocal/internal/nbhd"
 	"klocal/internal/netsim"
 	"klocal/internal/prep"
@@ -434,3 +436,64 @@ var (
 // families and reports delivery rate, discovery message overhead, and
 // stretch versus the fault-free baseline.
 var Degrade = exper.Degrade
+
+// The traffic engine (internal/engine): batched concurrent routing over
+// an immutable snapshot with sharded, size-bounded preprocessing.
+type (
+	// Snapshot is an immutable (network, locality, algorithm) binding
+	// with a shared preprocessed-view cache.
+	Snapshot = engine.Snapshot
+	// SnapshotOptions tune the view cache and prewarming.
+	SnapshotOptions = engine.SnapshotOptions
+	// Engine is the worker-pool batch router (bounded queue,
+	// backpressure, per-worker metric shards).
+	Engine = engine.Engine
+	// EngineConfig sizes the worker pool and request queue.
+	EngineConfig = engine.Config
+	// RouteRequest is one (s, t) routing task.
+	RouteRequest = engine.Request
+	// RouteResponse is one routed task's outcome with latency.
+	RouteResponse = engine.Response
+	// TrafficWorkload is a deterministic request generator.
+	TrafficWorkload = engine.Workload
+	// MetricsReport is a merged, renderable metric snapshot
+	// (WriteText / WriteJSON).
+	MetricsReport = metrics.Report
+	// CacheOptions tune the sharded preprocessed-view cache.
+	CacheOptions = prep.CacheOptions
+	// CacheStats snapshots view-cache activity (hits, misses,
+	// evictions, size).
+	CacheStats = prep.CacheStats
+)
+
+var (
+	// NewSnapshot and NewSnapshotOpts bind an algorithm to a network for
+	// batched routing (k = 0 means the algorithm's threshold).
+	NewSnapshot     = engine.NewSnapshot
+	NewSnapshotOpts = engine.NewSnapshotOpts
+	// NewEngine starts a worker pool over a snapshot.
+	NewEngine = engine.New
+	// RouteAll routes a batch one-shot and returns ordered responses
+	// plus the merged metrics report.
+	RouteAll = engine.RouteAll
+	// UniformWorkload, ZipfWorkload, AllPairsWorkload and
+	// AdversarialWorkload are the engine's request generators;
+	// NewTrafficWorkload resolves one by name.
+	UniformWorkload     = engine.Uniform
+	ZipfWorkload        = engine.Zipf
+	AllPairsWorkload    = engine.AllPairs
+	AdversarialWorkload = engine.Adversarial
+	NewTrafficWorkload  = engine.NewWorkload
+	// TakeRequests materializes the next n requests of a workload.
+	TakeRequests = engine.Take
+	// ZipfSkew is the default Zipf exponent for skewed workloads.
+	ZipfSkew = engine.ZipfSkew
+	// AllPairsCount is the number of ordered pairs of a graph.
+	AllPairsCount = engine.PairCount
+	// SweepParallel is the locality sweep routed through the engine —
+	// identical points, concurrent wall clock.
+	SweepParallel = exper.SweepParallel
+	// NewPreprocessorOpts builds a sharded, size-bounded view cache for
+	// direct use with Algorithm.BindCached.
+	NewPreprocessorOpts = prep.NewPreprocessorOpts
+)
