@@ -1,8 +1,17 @@
 GO ?= go
 
-.PHONY: tier1 race build test vet bench
+# Pinned staticcheck release for reproducible lint runs (the last line
+# supporting go 1.22). CI installs exactly this version; locally the
+# lint target uses whatever staticcheck is on PATH and skips it with a
+# notice when none is installed.
+STATICCHECK_VERSION ?= 2024.1.1
+
+.PHONY: tier1 check race build test vet lint klocalvet staticcheck bench
 
 tier1: vet build test
+
+# The full local gate: everything CI runs except the benchmarks.
+check: lint tier1 race
 
 vet:
 	$(GO) vet ./...
@@ -12,6 +21,22 @@ build:
 
 test:
 	$(GO) test ./...
+
+# Model-contract lint: go vet, the klocalvet suite (k-locality,
+# determinism, statelessness, concurrency hygiene — see
+# internal/analysis and DESIGN.md "Model contracts as lint"), and
+# staticcheck when available.
+lint: vet klocalvet staticcheck
+
+klocalvet:
+	$(GO) run ./cmd/klocalvet ./...
+
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
+	fi
 
 # The concurrency-heavy code paths: the fault-tolerant discovery
 # protocol and injector, the traffic engine and its metric shards, the

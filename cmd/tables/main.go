@@ -1,5 +1,9 @@
 // Command tables regenerates every table and quantitative figure of the
-// paper and prints them to stdout.
+// paper and prints them to stdout. Each artifact is verified against
+// the paper's claims after rendering (delivery on the positive side,
+// defeats on the negative side, dilation bounds, exact route lengths);
+// any mismatch makes the command exit non-zero, so a drifted
+// reproduction cannot pass unnoticed through scripts or CI.
 //
 // Usage:
 //
@@ -46,6 +50,9 @@ func run() error {
 	}
 	t1.Render(out)
 	fmt.Fprintln(out)
+	if err := t1.Check(); err != nil {
+		return err
+	}
 
 	t2, err := klocal.Table2(rng, *n, *graphs)
 	if err != nil {
@@ -53,6 +60,9 @@ func run() error {
 	}
 	t2.Render(out)
 	fmt.Fprintln(out)
+	if err := t2.Check(); err != nil {
+		return err
+	}
 
 	t3, err := klocal.Table3(*n)
 	if err != nil {
@@ -60,6 +70,9 @@ func run() error {
 	}
 	t3.Render(out)
 	fmt.Fprintln(out)
+	if err := t3.Check(); err != nil {
+		return err
+	}
 
 	t4, err := klocal.Table4(*n)
 	if err != nil {
@@ -67,6 +80,9 @@ func run() error {
 	}
 	t4.Render(out)
 	fmt.Fprintln(out)
+	if err := t4.Check(); err != nil {
+		return err
+	}
 
 	klocal.Fig1().Render(out)
 	fmt.Fprintln(out)
@@ -77,6 +93,9 @@ func run() error {
 	}
 	f7.Render(out)
 	fmt.Fprintln(out)
+	if err := f7.Check(); err != nil {
+		return err
+	}
 
 	f13, err := klocal.Fig13([]int{4, 6, 8, 12, 16, 24, 32})
 	if err != nil {
@@ -84,6 +103,9 @@ func run() error {
 	}
 	f13.Render(out)
 	fmt.Fprintln(out)
+	if err := f13.Check(); err != nil {
+		return err
+	}
 
 	f17, err := klocal.Fig17([]int{7, 8, 10, 12, 16, 24, 32})
 	if err != nil {
@@ -91,6 +113,9 @@ func run() error {
 	}
 	f17.Render(out)
 	fmt.Fprintln(out)
+	if err := f17.Check(); err != nil {
+		return err
+	}
 
 	mem, err := klocal.MemoryDilation(rng, *n, 200)
 	if err != nil {

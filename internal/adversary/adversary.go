@@ -105,6 +105,7 @@ func ReplayHub(inst gen.Instance, hub graph.Vertex, strat HubStrategy) *sim.Resu
 			}
 			return next, nil
 		}
+		//klocal:allow replay harness enacts the Lemma 1 forced behavior, not a k-local algorithm; off-hub hops need only degree-≤2 adjacency
 		adj := g.Adj(u)
 		switch len(adj) {
 		case 1:
@@ -243,6 +244,7 @@ func replayDirectional(inst gen.Instance, dir int) *sim.Result {
 	g := inst.G
 	distS := g.BFS(inst.S)
 	f := func(_, _, u, _ graph.Vertex) (graph.Vertex, error) {
+		//klocal:allow directional replay enacts a fixed adversary transcript over the generator instance, not a k-local algorithm
 		adj := g.Adj(u)
 		if u == inst.S {
 			return adj[dir%len(adj)], nil

@@ -129,6 +129,7 @@ func replayHubFunction(inst gen.Instance, hub graph.Vertex, roots []graph.Vertex
 			}
 			return roots[fn.next[i]], nil
 		}
+		//klocal:allow exhaustive search enumerates all routing functions as transcripts (Lemma 1); the replay is not a k-local algorithm
 		adj := g.Adj(u)
 		switch len(adj) {
 		case 1:

@@ -84,6 +84,7 @@ func deliversWithSomeCompletion(inst gen.Instance, port map[graph.Vertex]int) bo
 	g := inst.G
 	distT := g.BFS(inst.T)
 	f := func(_, _, u, _ graph.Vertex) (graph.Vertex, error) {
+		//klocal:allow completion search replays committed ports from the exhaustive enumeration (Lemma 1), not a k-local algorithm
 		adj := g.Adj(u)
 		if p, ok := port[u]; ok {
 			return adj[p%len(adj)], nil

@@ -1,0 +1,184 @@
+// Package analysis implements klocalvet: a suite of static analyzers
+// that mechanically enforce the paper's routing-model contracts — a
+// forwarding decision must be deterministic, memoryless, stateless and
+// k-local (it may consult only t, optionally s and the incoming port,
+// and the preprocessed view of G_k(u)).
+//
+// The contracts live as prose in internal/route/doc.go; this package
+// turns them into lint. Each analyzer guards one model property:
+//
+//   - klocality:    decision paths traverse the graph only through the
+//     nbhd/prep view APIs, never through raw *graph.Graph accessors;
+//   - kdeterminism: decision paths contain no map iteration, ambient
+//     randomness, clock reads or racy selects;
+//   - kstateless:   decision paths never write bind-time or global
+//     state (receiver fields, closed-over variables, package vars);
+//   - katomic:      fields accessed through sync/atomic somewhere are
+//     never accessed non-atomically elsewhere;
+//   - klockcopy:    lock-bearing values never travel through channels,
+//     map values or by-value returns (copies the stock vet misses);
+//   - kdirective:   //klocal: control comments are well-formed.
+//
+// Deliberate exceptions are annotated in source with
+// "//klocal:allow <reason>" on (or immediately above) the offending
+// line; the runner suppresses matching diagnostics but kdirective
+// still rejects reason-less or unknown directives. Functions that the
+// structural signature match cannot see are opted in with
+// "//klocal:decision" on the declaration.
+//
+// The framework deliberately mirrors the golang.org/x/tools/go/analysis
+// API shape (Analyzer / Pass / Diagnostic) but is self-contained: it
+// loads packages with `go list -export` and type-checks against the
+// compiler's export data, so it needs nothing outside the standard
+// library and the go tool.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -run filters.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run inspects one package and reports findings via pass.Report.
+	Run func(pass *Pass)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+
+	// decisions caches the decision-scope computation across the
+	// analyzers that share it.
+	decisions *decisionSet
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// All returns the full suite in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		AnalyzerLocality,
+		AnalyzerDeterminism,
+		AnalyzerStateless,
+		AnalyzerAtomic,
+		AnalyzerLockCopy,
+		AnalyzerDirective,
+	}
+}
+
+// Run executes the analyzers over the packages, applies //klocal:allow
+// suppression, and returns the surviving diagnostics sorted by position.
+func Run(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		var pkgDiags []Diagnostic
+		shared := &decisionSet{}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				Info:      pkg.Info,
+				diags:     &pkgDiags,
+				decisions: shared,
+			}
+			a.Run(pass)
+		}
+		diags = append(diags, suppress(pkg, pkgDiags)...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+	return dedupe(diags)
+}
+
+// dedupe drops diagnostics identical in position and message (nested
+// decision scopes can report the same node twice).
+func dedupe(diags []Diagnostic) []Diagnostic {
+	out := diags[:0]
+	var last Diagnostic
+	for i, d := range diags {
+		if i > 0 && d == last {
+			continue
+		}
+		out = append(out, d)
+		last = d
+	}
+	return out
+}
+
+// suppress filters diagnostics covered by a well-formed //klocal:allow
+// directive on the same or the immediately preceding line. kdirective
+// findings are never suppressible (an allow cannot excuse itself).
+func suppress(pkg *Package, diags []Diagnostic) []Diagnostic {
+	allowed := make(map[string]map[int]bool) // file -> line
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		for _, d := range directivesIn(pkg.Fset, f) {
+			if d.Verb == verbAllow && d.Reason != "" {
+				if allowed[name] == nil {
+					allowed[name] = make(map[int]bool)
+				}
+				allowed[name][d.Line] = true
+			}
+		}
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		if d.Analyzer != AnalyzerDirective.Name {
+			lines := allowed[d.Pos.Filename]
+			if lines[d.Pos.Line] || lines[d.Pos.Line-1] {
+				continue
+			}
+		}
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+package analysis
+
+// A miniature analysistest: fixtures live under testdata/src/<name>/ and
+// mark expected findings with trailing comments of the form
+//
+//	// want "regex" ["regex" ...]
+//
+// Each regex must match exactly one diagnostic on that line, rendered as
+// "analyzer: message"; unmatched wants and unexpected diagnostics both
+// fail the test. When the finding sits on a line that cannot carry a
+// trailing comment (a //klocal: directive is itself one comment to the
+// end of the line), "// want-N" on a nearby line expects the diagnostic
+// N lines up: `// want-1 "..."` placed directly below the flagged line. Fixtures are real Go packages — they import the
+// module's own internal/graph and friends, so the analyzers see the same
+// types they see in production code.
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// wantHeadRx recognizes a want comment and its optional line offset;
+// wantRx extracts its quoted patterns.
+var (
+	wantHeadRx = regexp.MustCompile(`^// want([+-][0-9]+)? `)
+	wantRx     = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+)
+
+type want struct {
+	rx      *regexp.Regexp
+	matched bool
+}
+
+// runFixture analyzes testdata/src/<name> with the given analyzers and
+// checks the diagnostics against the fixture's want comments.
+func runFixture(t *testing.T, analyzers []*Analyzer, name string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	pkg, err := NewLoader().LoadDir("klocal/internal/analysis/testdata/src/"+name, dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	wants := parseWants(t, pkg)
+	for _, d := range Run(analyzers, []*Package{pkg}) {
+		got := fmt.Sprintf("%s: %s", d.Analyzer, d.Message)
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		if !claimWant(wants[key], got) {
+			t.Errorf("unexpected diagnostic at %s: %s", key, got)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("no diagnostic at %s matched %q", key, w.rx)
+			}
+		}
+	}
+}
+
+// claimWant marks the first unmatched want whose pattern matches got.
+func claimWant(ws []*want, got string) bool {
+	for _, w := range ws {
+		if !w.matched && w.rx.MatchString(got) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// parseWants collects the fixture's want comments, keyed by file:line.
+func parseWants(t *testing.T, pkg *Package) map[string][]*want {
+	t.Helper()
+	wants := make(map[string][]*want)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				head := wantHeadRx.FindStringSubmatch(c.Text)
+				if head == nil {
+					if strings.HasPrefix(c.Text, "// want") {
+						t.Fatalf("%s: malformed want comment %q", pkg.Fset.Position(c.Pos()), c.Text)
+					}
+					continue
+				}
+				offset := 0
+				if head[1] != "" {
+					offset, _ = strconv.Atoi(head[1])
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line+offset)
+				matches := wantRx.FindAllStringSubmatch(c.Text[len(head[0]):], -1)
+				if len(matches) == 0 {
+					t.Fatalf("%s: malformed want comment %q", key, c.Text)
+				}
+				for _, m := range matches {
+					rx, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", key, m[1], err)
+					}
+					wants[key] = append(wants[key], &want{rx: rx})
+				}
+			}
+		}
+	}
+	return wants
+}

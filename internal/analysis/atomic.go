@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerAtomic guards the concurrency hygiene of the hot paths
+// (engine workers, the sharded prep cache, metric shards, netsim): a
+// field or package variable that is accessed through sync/atomic
+// anywhere must be accessed through sync/atomic everywhere. A single
+// plain read next to atomic.AddInt64 is a data race the race detector
+// only catches when the interleaving happens to fire; this analyzer
+// catches it structurally. (Fields of type atomic.Int64 etc. are safe
+// by construction and need no check — prefer them for new code.)
+var AnalyzerAtomic = &Analyzer{
+	Name: "katomic",
+	Doc:  "variables accessed via sync/atomic must never be accessed non-atomically",
+	Run:  runAtomic,
+}
+
+func runAtomic(pass *Pass) {
+	// Pass 1: every variable whose address feeds a sync/atomic call.
+	atomicVars := make(map[*types.Var]string) // var -> atomic func name
+	atomicUses := make(map[ast.Expr]bool)     // the &x operands themselves
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := syncAtomicCallee(pass, call)
+			if !ok {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					continue
+				}
+				if v := referencedVar(pass, un.X); v != nil {
+					atomicVars[v] = name
+					atomicUses[un.X] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicVars) == 0 {
+		return
+	}
+	// Pass 2: any other access to those variables is a race.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			e, ok := n.(ast.Expr)
+			if !ok || atomicUses[e] {
+				return true
+			}
+			switch e.(type) {
+			case *ast.Ident, *ast.SelectorExpr:
+			default:
+				return true
+			}
+			v := referencedVar(pass, e)
+			if v == nil {
+				return true
+			}
+			if fn, ok := atomicVars[v]; ok {
+				pass.Reportf(e.Pos(), "non-atomic access to %s, which is accessed with sync/atomic (%s) elsewhere; use sync/atomic consistently or an atomic.Int64-style typed field", v.Name(), fn)
+			}
+			return false
+		})
+	}
+}
+
+// syncAtomicCallee reports whether call targets a sync/atomic
+// package-level function, returning its name.
+func syncAtomicCallee(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return "", false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return "", false
+	}
+	return "atomic." + fn.Name(), true
+}
+
+// referencedVar resolves an identifier or field selector to the
+// variable it denotes: a package-level variable or a struct field
+// (identified by its field object, so x.n and y.n of the same struct
+// type agree). Plain locals are ignored — distinct instances of a
+// local are distinct storage, and escape-free locals cannot race.
+func referencedVar(pass *Pass, e ast.Expr) *types.Var {
+	switch x := e.(type) {
+	case *ast.Ident:
+		v, ok := pass.Info.Uses[x].(*types.Var)
+		if ok && isPackageLevel(pass, v) {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if selection := pass.Info.Selections[x]; selection != nil && selection.Kind() == types.FieldVal {
+			return selection.Obj().(*types.Var)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerDeterminism enforces determinism: the paper's routing
+// function f(s, t, u, v, G_k(u)) is a function — the same arguments
+// must always produce the same forwarding decision, or Observation 1's
+// livelock criterion and every route-length bound dissolve. Inside
+// decision paths it flags the nondeterminism Go makes easy to reach
+// for: ranging over a map (iteration order is randomized), drawing
+// from math/rand's ambient global generator, reading the clock, and
+// select statements that race multiple ready channels.
+//
+// Seeded randomness stays allowed structurally: methods on an explicit
+// *rand.Rand (see route.RandomWalkRand) are reproducible given the
+// seed, so only the package-level draw functions are flagged.
+var AnalyzerDeterminism = &Analyzer{
+	Name: "kdeterminism",
+	Doc:  "decision paths must be deterministic functions of (s, t, u, v, G_k(u))",
+	Run:  runDeterminism,
+}
+
+// randConstructors are the math/rand package-level functions that build
+// explicit generators rather than draw from the ambient one.
+var randConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runDeterminism(pass *Pass) {
+	pass.inspectScopes(func(s scope, n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.RangeStmt:
+			if t := pass.TypeOf(node.X); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					pass.Reportf(node.Pos(), "decision path ranges over a map; iteration order is nondeterministic — iterate a sorted slice (rank order) instead")
+				}
+			}
+		case *ast.CallExpr:
+			checkDeterminismCall(pass, node)
+		case *ast.SelectStmt:
+			ready := 0
+			hasDefault := false
+			for _, clause := range node.Body.List {
+				if cc, ok := clause.(*ast.CommClause); ok {
+					if cc.Comm == nil {
+						hasDefault = true
+					} else {
+						ready++
+					}
+				}
+			}
+			if ready >= 2 || (ready >= 1 && hasDefault) {
+				pass.Reportf(node.Pos(), "decision path selects over multiple ready cases; the runtime picks one at random")
+			}
+		}
+		return true
+	})
+}
+
+func checkDeterminismCall(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		// Methods are fine: draws on an explicit seeded *rand.Rand and
+		// monotonic arithmetic on time values are reproducible.
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[fn.Name()] {
+			pass.Reportf(call.Pos(), "decision path draws from math/rand's global generator (%s.%s); take an explicit seeded *rand.Rand instead", fn.Pkg().Name(), fn.Name())
+		}
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			pass.Reportf(call.Pos(), "decision path reads the clock (time.%s); forwarding decisions must not depend on wall time", fn.Name())
+		}
+	}
+}

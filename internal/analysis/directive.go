@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive verbs. "//klocal:decision" opts a function into the
+// decision-path analyzers when the structural signature match cannot
+// see it; "//klocal:allow <reason>" suppresses the suite's diagnostics
+// on its own line and the line below, and must carry a reason.
+const (
+	directivePrefix = "//klocal:"
+	verbDecision    = "decision"
+	verbAllow       = "allow"
+)
+
+// directive is one parsed //klocal: control comment.
+type directive struct {
+	Verb   string
+	Reason string
+	Pos    token.Pos
+	Line   int
+}
+
+// directivesIn extracts the //klocal: directives of a file.
+func directivesIn(fset *token.FileSet, f *ast.File) []directive {
+	var out []directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, directivePrefix)
+			if !ok {
+				continue
+			}
+			verb, reason, _ := strings.Cut(text, " ")
+			out = append(out, directive{
+				Verb:   verb,
+				Reason: strings.TrimSpace(reason),
+				Pos:    c.Pos(),
+				Line:   fset.Position(c.Pos()).Line,
+			})
+		}
+	}
+	return out
+}
+
+// AnalyzerDirective validates //klocal: control comments: unknown verbs
+// are flagged (a typo must not silently disable enforcement) and allow
+// directives must state their reason. Its findings are exempt from
+// allow-suppression.
+var AnalyzerDirective = &Analyzer{
+	Name: "kdirective",
+	Doc:  "check that //klocal: directives are well-formed",
+	Run:  runDirective,
+}
+
+func runDirective(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, d := range directivesIn(pass.Fset, f) {
+			switch d.Verb {
+			case verbDecision:
+				if d.Reason != "" {
+					pass.Reportf(d.Pos, "klocal:decision takes no argument (got %q)", d.Reason)
+				}
+			case verbAllow:
+				if d.Reason == "" {
+					pass.Reportf(d.Pos, "klocal:allow must state a reason for the exception")
+				}
+			default:
+				pass.Reportf(d.Pos, "unknown directive klocal:%s (known: decision, allow)", d.Verb)
+			}
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerLockCopy flags lock copies in the shapes the stock vet
+// copylocks check does not reach:
+//
+//   - map value types containing a lock: m[k] is not addressable, so
+//     every read copies the lock (and m[k].mu.Lock() does not even
+//     compile — the map silently forces a copy-based workaround);
+//   - channel element types containing a lock: every send and receive
+//     copies it across goroutines, the worst possible place;
+//   - functions returning a lock-bearing struct by value: each return
+//     hands the caller a diverged copy of the lock state.
+//
+// The engine/prep/metrics/netsim hot paths keep their mutexes behind
+// pointers and shard slices (indexing does not copy); this analyzer
+// keeps it that way.
+var AnalyzerLockCopy = &Analyzer{
+	Name: "klockcopy",
+	Doc:  "no lock-bearing values in map values, channel elements or by-value returns",
+	Run:  runLockCopy,
+}
+
+func runLockCopy(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.MapType:
+				if path := lockPath(pass.TypeOf(node.Value)); path != "" {
+					pass.Reportf(node.Pos(), "map value type contains %s; map access copies the lock — store a pointer", path)
+				}
+			case *ast.ChanType:
+				if path := lockPath(pass.TypeOf(node.Value)); path != "" {
+					pass.Reportf(node.Pos(), "channel element type contains %s; sends and receives copy the lock — send a pointer", path)
+				}
+			case *ast.FuncDecl:
+				checkLockResults(pass, node.Type)
+			case *ast.FuncLit:
+				checkLockResults(pass, node.Type)
+			}
+			return true
+		})
+	}
+}
+
+func checkLockResults(pass *Pass, ft *ast.FuncType) {
+	if ft.Results == nil {
+		return
+	}
+	for _, field := range ft.Results.List {
+		if path := lockPath(pass.TypeOf(field.Type)); path != "" {
+			pass.Reportf(field.Type.Pos(), "returns a value containing %s by value; each return copies the lock — return a pointer", path)
+		}
+	}
+}
+
+// lockTypeNames are the by-value-uncopyable types of sync and
+// sync/atomic (vet's copylocks set plus the typed atomics, which
+// embed noCopy).
+var lockTypeNames = map[string]map[string]bool{
+	"sync": {
+		"Mutex": true, "RWMutex": true, "WaitGroup": true, "Once": true,
+		"Cond": true, "Pool": true, "Map": true,
+	},
+	"sync/atomic": {
+		"Bool": true, "Int32": true, "Int64": true, "Uint32": true,
+		"Uint64": true, "Uintptr": true, "Pointer": true, "Value": true,
+	},
+}
+
+// lockPath reports where (if anywhere) t transitively contains a lock
+// by value, as a dotted description like "sync.Mutex", descending
+// through struct fields and array elements but not pointers, maps,
+// slices or channels (those indirect, so no copy occurs).
+func lockPath(t types.Type) string {
+	return lockPathSeen(t, make(map[types.Type]bool))
+}
+
+func lockPathSeen(t types.Type, seen map[types.Type]bool) string {
+	if t == nil || seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			if names, ok := lockTypeNames[obj.Pkg().Path()]; ok && names[obj.Name()] {
+				return fmt.Sprintf("%s.%s", obj.Pkg().Name(), obj.Name())
+			}
+		}
+		return lockPathSeen(named.Underlying(), seen)
+	}
+	switch u := t.(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if path := lockPathSeen(u.Field(i).Type(), seen); path != "" {
+				return path
+			}
+		}
+	case *types.Array:
+		return lockPathSeen(u.Elem(), seen)
+	}
+	return ""
+}

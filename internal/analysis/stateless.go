@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerStateless enforces statelessness and memorylessness: after
+// bind time a routing function owns no mutable state — no per-message
+// bookkeeping in a receiver, no counters in closed-over variables, no
+// package-level scratch. Inside decision paths it flags every
+// assignment, increment or indexed write whose target lives outside
+// the decision function itself: package-level variables, fields of
+// closed-over or receiver values, and entries of closed-over maps and
+// slices. Locals of the decision function (including variables its
+// nested literals close over) stay writable — they are per-call state,
+// which the model permits.
+var AnalyzerStateless = &Analyzer{
+	Name: "kstateless",
+	Doc:  "decision paths must not write receiver, closed-over or package-level state",
+	Run:  runStateless,
+}
+
+func runStateless(pass *Pass) {
+	for _, s := range pass.Decisions() {
+		if s.body == nil {
+			continue
+		}
+		checkStatelessScope(pass, s)
+	}
+}
+
+func checkStatelessScope(pass *Pass, s scope) {
+	recv := pointerReceiver(pass, s)
+	ast.Inspect(s.body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				checkWrite(pass, s, recv, lhs)
+			}
+		case *ast.IncDecStmt:
+			checkWrite(pass, s, recv, st.X)
+		}
+		return true
+	})
+}
+
+// pointerReceiver returns the scope's pointer receiver variable, if it
+// is a method declaration with one. The receiver is declared inside the
+// method's AST range but the storage it points at is bind-time state —
+// writes through it outlive the call. (A value receiver is a per-call
+// copy; writing its fields is dead code, not shared state.)
+func pointerReceiver(pass *Pass, s scope) *types.Var {
+	fd, ok := s.node.(*ast.FuncDecl)
+	if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	v, ok := pass.Info.Defs[fd.Recv.List[0].Names[0]].(*types.Var)
+	if !ok {
+		return nil
+	}
+	if _, ptr := v.Type().(*types.Pointer); !ptr {
+		return nil
+	}
+	return v
+}
+
+// checkWrite reports lhs if it stores into state declared outside the
+// decision scope.
+func checkWrite(pass *Pass, s scope, recv *types.Var, lhs ast.Expr) {
+	switch x := lhs.(type) {
+	case *ast.Ident:
+		if x.Name == "_" {
+			return
+		}
+		if v, ok := pass.Info.Uses[x].(*types.Var); ok {
+			if isPackageLevel(pass, v) {
+				pass.Reportf(x.Pos(), "decision path writes package-level variable %s; routing functions must be stateless after bind time", v.Name())
+				return
+			}
+			if !declaredInside(s, v) {
+				pass.Reportf(x.Pos(), "decision path writes closed-over variable %s; routing functions must be stateless after bind time", v.Name())
+			}
+		}
+	case *ast.SelectorExpr:
+		if root, free := freeRoot(pass, s, recv, x.X); free {
+			pass.Reportf(x.Pos(), "decision path writes field %s of bind-time value %s; routing functions must keep no mutable state", x.Sel.Name, root)
+		}
+	case *ast.IndexExpr:
+		if root, free := freeRoot(pass, s, recv, x.X); free {
+			pass.Reportf(x.Pos(), "decision path writes an element of bind-time value %s; routing functions must keep no mutable state", root)
+		}
+	case *ast.StarExpr:
+		if root, free := freeRoot(pass, s, recv, x.X); free {
+			pass.Reportf(x.Pos(), "decision path writes through bind-time pointer %s; routing functions must keep no mutable state", root)
+		}
+	case *ast.ParenExpr:
+		checkWrite(pass, s, recv, x.X)
+	}
+}
+
+// freeRoot resolves the base identifier of a selector/index/deref chain
+// and reports whether it is free with respect to the decision scope:
+// declared outside it, or the method's pointer receiver (whose pointee
+// is bind-time state). The root's name is returned for diagnostics.
+func freeRoot(pass *Pass, s scope, recv *types.Var, e ast.Expr) (string, bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			v, ok := pass.Info.Uses[x].(*types.Var)
+			if !ok {
+				return x.Name, false
+			}
+			if v == recv || isPackageLevel(pass, v) || !declaredInside(s, v) {
+				return v.Name(), true
+			}
+			return v.Name(), false
+		default:
+			// Writes rooted in call results or literals are per-call.
+			return "", false
+		}
+	}
+}
+
+// isPackageLevel reports whether v is a package-scope variable.
+func isPackageLevel(pass *Pass, v *types.Var) bool {
+	return v.Parent() == pass.Pkg.Scope()
+}
+
+// declaredInside reports whether v's declaration lies within the scope
+// node (its parameters and locals, including those of nested literals).
+func declaredInside(s scope, v *types.Var) bool {
+	return v.Pos() >= s.node.Pos() && v.Pos() <= s.node.End()
+}

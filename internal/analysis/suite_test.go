@@ -1,0 +1,56 @@
+package analysis
+
+import "testing"
+
+// Each analyzer runs against a fixture package seeding both violations
+// (marked // want) and idiomatic code that must pass silently.
+
+func TestLocalityFixture(t *testing.T) {
+	runFixture(t, []*Analyzer{AnalyzerLocality}, "locality")
+}
+
+func TestDeterminismFixture(t *testing.T) {
+	runFixture(t, []*Analyzer{AnalyzerDeterminism}, "determinism")
+}
+
+func TestStatelessFixture(t *testing.T) {
+	runFixture(t, []*Analyzer{AnalyzerStateless}, "stateless")
+}
+
+func TestAtomicFixture(t *testing.T) {
+	runFixture(t, []*Analyzer{AnalyzerAtomic}, "atomicmix")
+}
+
+func TestLockCopyFixture(t *testing.T) {
+	runFixture(t, []*Analyzer{AnalyzerLockCopy}, "lockcopy")
+}
+
+func TestDirectiveFixture(t *testing.T) {
+	runFixture(t, []*Analyzer{AnalyzerDirective}, "directive")
+}
+
+// TestAllowSuppression runs the full suite over a fixture mixing
+// suppressed and unsuppressed violations: a documented //klocal:allow
+// silences the diagnostic on its own and the following line, a
+// reasonless one silences nothing and is itself flagged.
+func TestAllowSuppression(t *testing.T) {
+	runFixture(t, All(), "allowed")
+}
+
+// TestRepoClean is the enforcement gate in test form: the suite must
+// report nothing on the repository itself (the same check `make lint`
+// runs via cmd/klocalvet). Any finding is either a genuine contract
+// violation to fix or a deliberate exception to document with
+// //klocal:allow.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping whole-repo analysis in -short mode")
+	}
+	pkgs, err := NewLoader().Load("klocal/...")
+	if err != nil {
+		t.Fatalf("loading repo: %v", err)
+	}
+	for _, d := range Run(All(), pkgs) {
+		t.Errorf("%s", d)
+	}
+}

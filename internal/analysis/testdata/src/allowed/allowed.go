@@ -1,0 +1,28 @@
+// Package allowed exercises //klocal:allow suppression against the
+// full suite: documented exceptions on the same line or the line above
+// are silenced, everything else still fires — including a reasonless
+// allow, which suppresses nothing and is itself flagged.
+package allowed
+
+import "klocal/internal/graph"
+
+// Routed mixes suppressed and unsuppressed locality violations.
+func Routed(g *graph.Graph) func(s, t, u, v graph.Vertex) (graph.Vertex, error) {
+	return func(s, t, u, v graph.Vertex) (graph.Vertex, error) {
+		//klocal:allow fixture demonstrates a documented exception on the preceding line
+		adjA := g.Adj(u)
+
+		adjB := g.Adj(t) //klocal:allow a trailing directive on the flagged line also suppresses
+
+		adjC := g.Adj(v) // want "klocality: decision path calls Adj on a raw"
+
+		//klocal:allow
+		dist := g.BFS(u) // want "klocality: decision path calls BFS on a raw"
+		// want-2 "kdirective: klocal:allow must state a reason"
+
+		if len(adjA)+len(adjB)+len(adjC)+len(dist) == 0 {
+			return graph.NoVertex, nil
+		}
+		return t, nil
+	}
+}

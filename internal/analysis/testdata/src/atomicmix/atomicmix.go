@@ -1,0 +1,33 @@
+// Package atomicmix seeds katomic violations: variables accessed both
+// through sync/atomic and directly.
+package atomicmix
+
+import "sync/atomic"
+
+// ops is counted atomically by workers but read bare by Snapshot.
+var ops int64
+
+// Counter mixes access modes on its hot field.
+type Counter struct {
+	n     int64
+	limit int64 // never atomic; plain access is fine
+}
+
+// Add is the atomic side of the mix.
+func (c *Counter) Add() {
+	atomic.AddInt64(&c.n, 1)
+	atomic.AddInt64(&ops, 1)
+}
+
+// Racy reads the same storage without the atomic package.
+func (c *Counter) Racy() int64 {
+	if c.limit > 0 {
+		return c.limit
+	}
+	return c.n + ops // want "katomic: non-atomic access to n" "katomic: non-atomic access to ops"
+}
+
+// Clean stays on the atomic side everywhere.
+func (c *Counter) Clean() int64 {
+	return atomic.LoadInt64(&c.n) + atomic.LoadInt64(&ops)
+}

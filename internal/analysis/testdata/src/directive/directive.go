@@ -1,0 +1,30 @@
+// Package directive seeds malformed //klocal: control comments; the
+// well-formed ones at the bottom must pass silently.
+package directive
+
+import "klocal/internal/graph"
+
+//klocal:allow
+// want-1 "kdirective: klocal:allow must state a reason"
+
+//klocal:permit experimental shortcut
+// want-1 "kdirective: unknown directive klocal:permit"
+
+//klocal:deciison
+// want-1 "kdirective: unknown directive klocal:deciison"
+
+//klocal:decision because it looked important
+// want-1 "kdirective: klocal:decision takes no argument"
+
+// Opted is structurally invisible to the signature match and opted in
+// by a well-formed marker; kdirective has nothing to say about it.
+//klocal:decision
+func Opted(g *graph.Graph, u graph.Vertex) graph.Vertex {
+	return u
+}
+
+// adjacency carries a well-formed allow, which is equally silent.
+func adjacency(g *graph.Graph, u graph.Vertex) []graph.Vertex {
+	//klocal:allow this fixture documents the happy path
+	return g.Adj(u)
+}

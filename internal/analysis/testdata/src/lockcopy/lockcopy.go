@@ -1,0 +1,47 @@
+// Package lockcopy seeds klockcopy violations: lock-bearing values in
+// positions where Go silently copies them.
+package lockcopy
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Shard embeds its lock by value — fine on its own...
+type Shard struct {
+	mu   sync.Mutex
+	data map[string]int
+}
+
+// Metrics buries an atomic counter one struct deep.
+type Metrics struct {
+	inner struct {
+		hits atomic.Int64
+	}
+}
+
+// shards maps keys to lock-bearing values: every read copies the mutex.
+var shards map[string]Shard // want "klockcopy: map value type contains sync.Mutex"
+
+// updates sends lock-bearing values across goroutines.
+var updates chan Shard // want "klockcopy: channel element type contains sync.Mutex"
+
+// Snapshot returns the lock by value, handing the caller a diverged copy.
+func Snapshot(s *Shard) Shard { // want "klockcopy: returns a value containing sync.Mutex by value"
+	return *s
+}
+
+// Totals copies the buried atomic.
+func Totals(m *Metrics) Metrics { // want "klockcopy: returns a value containing atomic.Int64 by value"
+	return *m
+}
+
+// Good: pointers indirect, so nothing is copied.
+var goodShards map[string]*Shard
+
+var goodUpdates chan *Shard
+
+// View returns by pointer.
+func View(s *Shard) *Shard {
+	return s
+}

@@ -1,0 +1,129 @@
+package exper
+
+import (
+	"fmt"
+
+	"klocal/internal/sim"
+)
+
+// The Check methods turn each reproduced table or figure into a
+// verification gate: they compare the measured numbers against what the
+// paper's theorems promise and return a descriptive error on the first
+// mismatch. cmd/tables calls them after rendering, so a regenerated
+// artifact that silently drifted from the theory fails the run instead
+// of producing a wrong table.
+
+// dilationSlack absorbs float rounding in dilation comparisons.
+const dilationSlack = 1e-9
+
+// Check verifies Table 1's two-sided claim at every row: the matching
+// algorithm delivered every workload pair at k = T(n), and every
+// admissible adversary strategy was defeated at k = T(n)−1.
+func (r *Table1Result) Check() error {
+	for _, row := range r.Rows {
+		if row.Positive.Delivered != row.Positive.Pairs {
+			return fmt.Errorf("Table 1 %s: %s delivered %d/%d pairs at k=%d",
+				row.Mode, row.Algorithm, row.Positive.Delivered, row.Positive.Pairs, row.K)
+		}
+		if row.StrategiesDefeated != row.StrategiesTotal {
+			return fmt.Errorf("Table 1 %s: only %d/%d strategies defeated at k=%d-1",
+				row.Mode, row.StrategiesDefeated, row.StrategiesTotal, row.K)
+		}
+	}
+	return nil
+}
+
+// Check verifies Table 2's dilation sandwich at every row: the measured
+// adversary dilation witnesses the lower bound S(k) and the workload
+// stays below the paper's upper bound for the regime.
+func (r *Table2Result) Check() error {
+	for _, row := range r.Rows {
+		if row.AdversaryDilation < 0 {
+			return fmt.Errorf("Table 2 %s/%s: adversary instance not delivered", row.Regime, row.Algorithm)
+		}
+		if row.AdversaryDilation < row.LowerBoundFormula-dilationSlack {
+			return fmt.Errorf("Table 2 %s/%s: adversary dilation %.3f below the S(k) lower bound %.3f",
+				row.Regime, row.Algorithm, row.AdversaryDilation, row.LowerBoundFormula)
+		}
+		if row.AdversaryDilation > row.PaperUpperBound+dilationSlack {
+			return fmt.Errorf("Table 2 %s/%s: adversary dilation %.3f above the paper's upper bound %.0f",
+				row.Regime, row.Algorithm, row.AdversaryDilation, row.PaperUpperBound)
+		}
+		if row.WorkloadWorst > row.PaperUpperBound+dilationSlack {
+			return fmt.Errorf("Table 2 %s/%s: workload worst dilation %.3f above the paper's upper bound %.0f",
+				row.Regime, row.Algorithm, row.WorkloadWorst, row.PaperUpperBound)
+		}
+	}
+	return nil
+}
+
+// Check verifies Table 3: every Theorem 1 strategy loses on at least
+// one family instance.
+func (r *Table3Result) Check() error {
+	return checkStrategyMatrix("Table 3", r.Replay.Outcomes)
+}
+
+// Check verifies Table 4: every Theorem 2 strategy loses on at least
+// one family instance.
+func (r *Table4Result) Check() error {
+	return checkStrategyMatrix("Table 4", r.Replay.Outcomes)
+}
+
+func checkStrategyMatrix(name string, outcomes [][]sim.Outcome) error {
+	for i, row := range outcomes {
+		defeated := false
+		for _, o := range row {
+			if o != sim.Delivered {
+				defeated = true
+				break
+			}
+		}
+		if !defeated {
+			return fmt.Errorf("%s: strategy %d delivered on every instance; the theorem requires a defeat", name, i+1)
+		}
+	}
+	return nil
+}
+
+// Check verifies Figure 7's contrast: the right-hand rule delivers on
+// the tree, circulates without delivering on the cycle, and no visited
+// node ever has t within its k-neighbourhood.
+func (r *Fig7Result) Check() error {
+	if !r.TreeDelivered {
+		return fmt.Errorf("Figure 7: right-hand rule failed on the spider tree")
+	}
+	if r.Outcome == sim.Delivered {
+		return fmt.Errorf("Figure 7: right-hand rule delivered on the cycle; the construction requires a livelock")
+	}
+	if r.SawT {
+		return fmt.Errorf("Figure 7: a visited node saw t within distance k; the construction requires blindness")
+	}
+	return nil
+}
+
+// Check verifies Figure 13: the measured route length equals the exact
+// prediction 2n−k−3 at every point.
+func (r *Fig13Result) Check() error {
+	for _, p := range r.Points {
+		if p.RouteLen != p.ExpectLen {
+			return fmt.Errorf("Figure 13 n=%d k=%d: route length %d, expected %d", p.N, p.K, p.RouteLen, p.ExpectLen)
+		}
+	}
+	return nil
+}
+
+// Check verifies Figure 17: both series hit their exact predictions —
+// n+2k−6−2δ* for Algorithm 1B, n+2k for plain Algorithm 1.
+func (r *Fig17Result) Check() error {
+	for _, p := range r.Points {
+		if p.RouteLen != p.ExpectLen {
+			return fmt.Errorf("Figure 17 n=%d k=%d: Algorithm 1B route length %d, expected %d", p.N, p.K, p.RouteLen, p.ExpectLen)
+		}
+	}
+	for _, p := range r.Alg1Points {
+		if p.RouteLen != p.ExpectLen {
+			return fmt.Errorf("Figure 17 n=%d k=%d: Algorithm 1 route length %d, expected %d", p.N, p.K, p.RouteLen, p.ExpectLen)
+		}
+	}
+	return nil
+}

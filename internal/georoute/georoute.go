@@ -36,6 +36,7 @@ func Greedy(e *geom.Embedding) route.Algorithm {
 				target := e.Pos[t]
 				best := graph.NoVertex
 				bestD := 0.0
+				//klocal:allow greedy is the 1-local position-based baseline; it reads only edges incident to u, i.e. G_1(u)
 				g.EachAdj(u, func(w graph.Vertex) bool {
 					if d := e.Pos[w].Dist2(target); best == graph.NoVertex || d < bestD {
 						best, bestD = w, d
@@ -64,6 +65,7 @@ func Compass(e *geom.Embedding) route.Algorithm {
 				pu, pt := e.Pos[u], e.Pos[t]
 				best := graph.NoVertex
 				bestA := 0.0
+				//klocal:allow compass is the 1-local position-based baseline; it reads only edges incident to u, i.e. G_1(u)
 				g.EachAdj(u, func(w graph.Vertex) bool {
 					a := absAngleBetween(pu, pt, e.Pos[w])
 					if best == graph.NoVertex || a < bestA-1e-15 {
@@ -92,9 +94,11 @@ func GreedyCompass(e *geom.Embedding) route.Algorithm {
 		MinK:             func(int) int { return 0 },
 		Bind: func(g *graph.Graph, _ int) route.Func {
 			return func(_, t, u, _ graph.Vertex) (graph.Vertex, error) {
+				//klocal:allow greedy-compass is 1-local; degree of u is part of G_1(u)
 				if g.Deg(u) == 0 {
 					return graph.NoVertex, fmt.Errorf("georoute: greedy-compass at isolated node %d", u)
 				}
+				//klocal:allow greedy-compass is 1-local; incidence of {u,t} is part of G_1(u)
 				if g.HasEdge(u, t) {
 					// The destination sits exactly on the reference ray,
 					// which the rotational successors exclude.
@@ -167,6 +171,7 @@ func (r *FaceResult) Len() int {
 // closest to t, walk to it, cross, repeat. Guarantees delivery on
 // connected plane embeddings (Kranakis, Singh, Urrutia; Bose et al.).
 func FaceRoute(e *geom.Embedding, s, t graph.Vertex) (*FaceResult, error) {
+	//klocal:allow face routing is the stateful comparator outside the paper's model (Section 3); endpoint validation reads the embedding's graph
 	if !e.G.HasVertex(s) || !e.G.HasVertex(t) {
 		return nil, fmt.Errorf("georoute: unknown endpoint")
 	}
@@ -186,6 +191,7 @@ func FaceRoute(e *geom.Embedding, s, t graph.Vertex) (*FaceResult, error) {
 		return nil, fmt.Errorf("georoute: node %d has no neighbours", s)
 	}
 	p := e.Pos[s]
+	//klocal:allow face routing's switch budget is a global bound (2m+4); the algorithm is the out-of-model comparator
 	maxSwitches := 2*e.G.M() + 4
 	for iter := 0; iter < maxSwitches; iter++ {
 		delivered, nextU, nextV, crossing, err := traverseFace(e, startU, startV, p, target, t, &res.Route)
@@ -287,7 +293,9 @@ func FaceRouteAlgorithm(e *geom.Embedding) route.Algorithm {
 						return graph.NoVertex, ErrNoProgress
 					}
 					walk = res.Route
+					//klocal:allow face routing is deliberately stateful (Θ(log n) bits per message, Section 3); the walk cache is that state
 					walks[kk] = walk
+					//klocal:allow face routing is deliberately stateful; the walk position is the Θ(log n)-bit message state
 					positions[kk] = 0
 				}
 				i := positions[kk]
@@ -304,6 +312,7 @@ func FaceRouteAlgorithm(e *geom.Embedding) route.Algorithm {
 						return graph.NoVertex, fmt.Errorf("georoute: node %d not on the face route", u)
 					}
 				}
+				//klocal:allow face routing is deliberately stateful; advancing the walk position is the point of the comparator
 				positions[kk] = i + 1
 				return walk[i+1], nil
 			}

@@ -32,6 +32,13 @@ package route
 //     builds an independent preprocessor (memory-heavy); the engine's
 //     Snapshot exists precisely to bind once and share.
 //
+// Model contracts (k-locality, determinism, statelessness) are enforced
+// mechanically on every decision path in this package by the klocalvet
+// analyzers — run `make lint`, and see internal/analysis plus DESIGN.md
+// §8 "Model contracts as lint". Deliberate exceptions (the
+// ShortestPathOracle comparator) carry //klocal:allow annotations with
+// their justification.
+//
 // Reconstruction of the figure-only forwarding rules.
 //
 // The paper specifies Algorithm 1's forwarding decisions through Figures

@@ -381,6 +381,45 @@ func TestRandomWalkEventuallyDelivers(t *testing.T) {
 	}
 }
 
+// RandomWalkRand draws from the caller's generator: with identically
+// seeded generators it replays RandomWalk(seed)'s walk exactly, and
+// each Bind continues the shared stream instead of restarting it.
+func TestRandomWalkRandMatchesSeeded(t *testing.T) {
+	g := gen.Cycle(10)
+	run := func(f Func) []graph.Vertex {
+		return sim.Run(g, sim.Func(f), 0, 5, sim.Options{MaxSteps: 100000}).Route
+	}
+	seeded := run(RandomWalk(7).Bind(g, 2))
+	explicit := run(RandomWalkRand(rand.New(rand.NewSource(7))).Bind(g, 2))
+	if !slicesEqual(seeded, explicit) {
+		t.Errorf("RandomWalkRand with a fresh seed-7 generator diverged from RandomWalk(7):\n%v\n%v", seeded, explicit)
+	}
+
+	// A rebind of the seeded variant restarts the stream; a rebind of
+	// the explicit variant continues the caller's generator.
+	alg := RandomWalkRand(rand.New(rand.NewSource(7)))
+	first := run(alg.Bind(g, 2))
+	second := run(alg.Bind(g, 2))
+	if !slicesEqual(first, seeded) {
+		t.Errorf("first explicit walk should equal the seeded walk")
+	}
+	if slicesEqual(second, first) {
+		t.Errorf("second Bind should continue the generator, not replay the first walk")
+	}
+}
+
+func slicesEqual(a, b []graph.Vertex) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func TestMinKValues(t *testing.T) {
 	tests := []struct {
 		n                   int
