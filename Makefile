@@ -6,9 +6,9 @@ GO ?= go
 # notice when none is installed.
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: tier1 check race build test vet lint klocalvet staticcheck bench
+.PHONY: tier1 check race build test vet lint klocalvet staticcheck bench serve-smoke
 
-tier1: vet build test
+tier1: vet build test serve-smoke
 
 # The full local gate: everything CI runs except the benchmarks.
 check: lint tier1 race
@@ -38,14 +38,22 @@ staticcheck:
 		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
 	fi
 
+# Boot klocald on a loopback port and exercise the whole endpoint
+# surface (route, batch, hot-swap, metrics, pprof) in-process — no curl
+# or fixed port needed, so it runs anywhere `go run` does.
+serve-smoke:
+	$(GO) run ./cmd/klocald -smoke -algo alg2,alg3 -graph random -size 40 -seed 3
+
 # The concurrency-heavy code paths: the fault-tolerant discovery
 # protocol and injector, the traffic engine and its metric shards, the
-# sharded preprocessing cache, and the shared routing closures the
-# engine's workers route through.
+# sharded preprocessing cache, the routing daemon's hot-swap/drain
+# machinery, and the shared routing closures the engine's workers route
+# through.
 race:
 	$(GO) test -race -count=1 \
 		./internal/netsim/... ./internal/fault/... \
-		./internal/engine/... ./internal/metrics/... ./internal/prep/...
+		./internal/engine/... ./internal/metrics/... ./internal/prep/... \
+		./internal/serve/...
 	$(GO) test -race -count=1 -run Concurrent ./internal/route/...
 
 # Traffic-engine benchmarks (throughput vs workers, cache cold vs warm,

@@ -55,9 +55,40 @@ func (c Config) withDefaults() Config {
 // ErrClosed is returned by Submit after Close.
 var ErrClosed = errors.New("engine: closed")
 
+// ErrSaturated is returned by Do and DoBatch when the bounded request
+// queue stays full past the caller's admission budget — the signal the
+// serving layer turns into HTTP 429.
+var ErrSaturated = errors.New("engine: queue saturated past admission budget")
+
+// BatchIndexError is returned by RouteBatch when a response carries an
+// index the batch cannot hold — the symptom of a stray Submit (or a
+// second concurrent batch) violating RouteBatch's exclusive-use
+// contract. The batch result is unusable; the engine's queue may still
+// hold responses for the displaced slots.
+type BatchIndexError struct {
+	// Index is the offending response index.
+	Index int
+	// Len is the batch length.
+	Len int
+	// Dup reports that the slot was already filled by an earlier
+	// response rather than out of range.
+	Dup bool
+}
+
+func (e *BatchIndexError) Error() string {
+	if e.Dup {
+		return fmt.Sprintf("engine: batch response index %d filled twice (batch of %d): stray Submit interleaved with RouteBatch", e.Index, e.Len)
+	}
+	return fmt.Sprintf("engine: batch response index %d out of range (batch of %d): stray Submit interleaved with RouteBatch", e.Index, e.Len)
+}
+
 type task struct {
 	req   Request
 	index int
+	// done, when non-nil, receives the response instead of the shared
+	// Results channel (the synchronous Do/DoBatch path). It must have
+	// capacity for every task that shares it so workers never block.
+	done chan Response
 }
 
 // Engine routes requests concurrently over one Snapshot using a fixed
@@ -79,7 +110,14 @@ type Engine struct {
 	nextIdx atomic.Int64
 	shards  []*metrics.Shard
 	started time.Time
-	elapsed time.Duration
+	// firstAt is the wall clock of the first accepted task (unix nanos,
+	// 0 until then): the start of the active window. Throughput is
+	// reqs / elapsed_active, so an engine that sits idle between New and
+	// its first task does not under-report.
+	firstAt atomic.Int64
+	// closedNano is the wall clock at which the pool finished draining
+	// (unix nanos, 0 while running).
+	closedNano atomic.Int64
 }
 
 // New starts an engine over snap. The returned engine is running: submit
@@ -137,7 +175,12 @@ func (e *Engine) worker(w int) {
 			sh.Count("exhausted", 1)
 		}
 
-		e.out <- Response{Request: tk.req, Index: tk.index, Worker: w, Result: res, Latency: lat}
+		resp := Response{Request: tk.req, Index: tk.index, Worker: w, Result: res, Latency: lat}
+		if tk.done != nil {
+			tk.done <- resp
+		} else {
+			e.out <- resp
+		}
 	}
 }
 
@@ -149,6 +192,12 @@ func (e *Engine) Submit(req Request) error {
 }
 
 func (e *Engine) submit(tk task) error {
+	return e.submitOn(tk, nil)
+}
+
+// submitOn enqueues tk, giving up with ErrSaturated when expire fires
+// before a queue slot frees (nil expire blocks indefinitely).
+func (e *Engine) submitOn(tk task, expire <-chan time.Time) error {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if e.closed {
@@ -157,8 +206,85 @@ func (e *Engine) submit(tk task) error {
 	// Sending under RLock is safe: Close waits for in-flight senders,
 	// and workers keep draining until the queue closes, so every
 	// blocked send completes.
-	e.tasks <- tk
+	if expire == nil {
+		e.tasks <- tk
+	} else {
+		select {
+		case e.tasks <- tk:
+		case <-expire:
+			return ErrSaturated
+		}
+	}
+	e.markActive()
 	return nil
+}
+
+// markActive starts the active-window clock at the first accepted task.
+func (e *Engine) markActive() {
+	if e.firstAt.Load() == 0 {
+		e.firstAt.CompareAndSwap(0, time.Now().UnixNano())
+	}
+}
+
+// Do routes one request synchronously through the worker pool: it
+// enqueues the request (waiting at most budget for a queue slot when
+// budget > 0 — ErrSaturated past it, the admission-control signal) and
+// blocks until the response arrives. Unlike Submit/Results, Do is safe
+// for arbitrary concurrent callers: each call has a private completion
+// channel, so responses never interleave.
+func (e *Engine) Do(req Request, budget time.Duration) (Response, error) {
+	done := make(chan Response, 1)
+	tk := task{req: req, index: int(e.nextIdx.Add(1) - 1), done: done}
+	var expire <-chan time.Time
+	if budget > 0 {
+		tm := time.NewTimer(budget)
+		defer tm.Stop()
+		expire = tm.C
+	}
+	if err := e.submitOn(tk, expire); err != nil {
+		return Response{}, err
+	}
+	// Every accepted task is routed: workers drain the queue until it
+	// closes, and done has capacity 1, so this receive always completes.
+	return <-done, nil
+}
+
+// DoBatch routes reqs concurrently through the worker pool and returns
+// the responses in request order. Like Do it is safe for concurrent
+// callers. budget bounds the total queue-admission wait for the whole
+// batch (0 blocks); on ErrSaturated the already-admitted prefix is still
+// routed (and counted by the metrics shards) but no responses are
+// returned.
+func (e *Engine) DoBatch(reqs []Request, budget time.Duration) ([]Response, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	// Capacity for the full batch: workers never block sending here,
+	// even if the caller abandons the batch on admission failure.
+	done := make(chan Response, len(reqs))
+	var expire <-chan time.Time
+	if budget > 0 {
+		tm := time.NewTimer(budget)
+		defer tm.Stop()
+		expire = tm.C
+	}
+	admitted := 0
+	var err error
+	for i, req := range reqs {
+		if err = e.submitOn(task{req: req, index: i, done: done}, expire); err != nil {
+			break
+		}
+		admitted++
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Response, len(reqs))
+	for i := 0; i < admitted; i++ {
+		r := <-done
+		out[r.Index] = r
+	}
+	return out, nil
 }
 
 // Results streams responses as workers finish them (completion order,
@@ -178,25 +304,68 @@ func (e *Engine) Close() {
 	close(e.tasks)
 	e.mu.Unlock()
 	e.wg.Wait()
-	e.elapsed = time.Since(e.started)
+	e.closedNano.Store(time.Now().UnixNano())
 	close(e.out)
+}
+
+// TotalElapsed is the wall time since New (up to Close once closed).
+func (e *Engine) TotalElapsed() time.Duration {
+	if c := e.closedNano.Load(); c > 0 {
+		return time.Duration(c - e.started.UnixNano())
+	}
+	return time.Since(e.started)
+}
+
+// ActiveElapsed is the wall time since the first accepted task (up to
+// Close once closed), i.e. the window throughput is measured over. Zero
+// before any task is accepted.
+func (e *Engine) ActiveElapsed() time.Duration {
+	f := e.firstAt.Load()
+	if f == 0 {
+		return 0
+	}
+	if c := e.closedNano.Load(); c > 0 {
+		return time.Duration(c - f)
+	}
+	return time.Duration(time.Now().UnixNano() - f)
 }
 
 // RouteBatch submits every request and returns responses in request
 // order. It requires exclusive use of the engine (no concurrent Submit
-// or Results consumers) and may be called repeatedly before Close.
+// or Results consumers) and may be called repeatedly before Close. If a
+// stray Submit's response interleaves with the batch — an index the
+// batch cannot hold, or one slot answered twice — RouteBatch returns a
+// *BatchIndexError instead of panicking; the engine should be Closed,
+// as displaced responses may still be in flight. (Concurrent servers
+// should use Do/DoBatch, which are immune by construction.)
 func (e *Engine) RouteBatch(reqs []Request) ([]Response, error) {
 	out := make([]Response, len(reqs))
+	var idxErr error
 	var collect sync.WaitGroup
 	collect.Add(1)
 	go func() {
 		defer collect.Done()
+		seen := make([]bool, len(reqs))
+		// Always consume exactly len(reqs) responses so blocked workers
+		// and submitters are never deadlocked by an early abort.
 		for i := 0; i < len(reqs); i++ {
 			r, ok := <-e.out
 			if !ok {
 				return
 			}
-			out[r.Index] = r
+			switch {
+			case r.Index < 0 || r.Index >= len(reqs):
+				if idxErr == nil {
+					idxErr = &BatchIndexError{Index: r.Index, Len: len(reqs)}
+				}
+			case seen[r.Index]:
+				if idxErr == nil {
+					idxErr = &BatchIndexError{Index: r.Index, Len: len(reqs), Dup: true}
+				}
+			default:
+				seen[r.Index] = true
+				out[r.Index] = r
+			}
 		}
 	}()
 	var submitErr error
@@ -214,6 +383,9 @@ func (e *Engine) RouteBatch(reqs []Request) ([]Response, error) {
 	if submitErr != nil {
 		return nil, submitErr
 	}
+	if idxErr != nil {
+		return nil, idxErr
+	}
 	return out, nil
 }
 
@@ -221,8 +393,10 @@ func (e *Engine) RouteBatch(reqs []Request) ([]Response, error) {
 // individual responses (the metrics shards keep the aggregates). It
 // stops after n requests, or when d elapses (whichever comes first;
 // n ≤ 0 means unbounded, d ≤ 0 means no deadline — at least one bound
-// must be set). The engine is closed when RunWorkload returns; read
-// Report next.
+// must be set). The deadline is enforced around the blocking submit
+// itself, so a queue held full by slow routing cannot stall the run
+// past d. The engine is closed when RunWorkload returns; read Report
+// next.
 func (e *Engine) RunWorkload(w Workload, n int, d time.Duration) error {
 	if n <= 0 && d <= 0 {
 		return fmt.Errorf("engine: RunWorkload needs a request count or a duration")
@@ -234,17 +408,33 @@ func (e *Engine) RunWorkload(w Workload, n int, d time.Duration) error {
 		for range e.out {
 		}
 	}()
-	deadline := time.Time{}
+	var expire <-chan time.Time
 	if d > 0 {
-		deadline = time.Now().Add(d)
+		tm := time.NewTimer(d)
+		defer tm.Stop()
+		expire = tm.C
 	}
 	var err error
+loop:
 	for i := 0; n <= 0 || i < n; i++ {
-		if !deadline.IsZero() && !time.Now().Before(deadline) {
-			break
+		tk := task{req: w.Next(), index: int(e.nextIdx.Add(1) - 1)}
+		switch serr := e.submitOn(tk, expire); {
+		case serr == ErrSaturated:
+			// Deadline fired while waiting for a queue slot: a normal
+			// duration-bounded stop, not a failure.
+			break loop
+		case serr != nil:
+			err = serr
+			break loop
 		}
-		if err = e.Submit(w.Next()); err != nil {
-			break
+		if expire != nil {
+			// The submit may have won a race against an already-expired
+			// timer; honour the deadline before drawing the next request.
+			select {
+			case <-expire:
+				break loop
+			default:
+			}
 		}
 	}
 	e.Close()
@@ -253,20 +443,43 @@ func (e *Engine) RunWorkload(w Workload, n int, d time.Duration) error {
 }
 
 // Report merges the per-worker metric shards into one report, attaching
-// derived gauges (delivery rate, throughput, stretch percentiles scaled
-// back to ratios, cache activity). It closes the engine first if the
-// caller has not.
+// derived gauges (delivery rate, throughput over the active window,
+// stretch percentiles scaled back to ratios, cache activity). It closes
+// the engine first if the caller has not.
 func (e *Engine) Report() *metrics.Report {
 	e.Close()
-	merged := metrics.MergeShards(e.shards...)
+	return e.report(metrics.MergeShards(e.shards...))
+}
+
+// LiveReport is Report without the quiesce: it merges live per-shard
+// copies (metrics.MergeShardsLive) while the workers keep routing — the
+// daemon's /metrics read path. Counters are per-shard consistent;
+// throughput is measured over the active window so far.
+func (e *Engine) LiveReport() *metrics.Report {
+	return e.report(e.LiveShard())
+}
+
+// LiveShard returns a merged deep copy of the per-worker metric shards,
+// safe to take at any moment. After Close it equals the final merge.
+func (e *Engine) LiveShard() *metrics.Shard {
+	return metrics.MergeShardsLive(e.shards...)
+}
+
+// report derives the gauge set over an already-merged shard.
+func (e *Engine) report(merged *metrics.Shard) *metrics.Report {
 	rep := merged.Snapshot()
 	rep.Name = fmt.Sprintf("%s k=%d n=%d workers=%d",
 		e.snap.alg.Name, e.snap.k, e.snap.g.N(), e.cfg.Workers)
 
+	total, active := e.TotalElapsed(), e.ActiveElapsed()
+	rep.Put("elapsed_total_s", total.Seconds())
+	rep.Put("elapsed_active_s", active.Seconds())
 	reqs := rep.Counter("requests")
 	if reqs > 0 {
 		rep.Put("delivery_rate", float64(rep.Counter("delivered"))/float64(reqs))
-		if secs := e.elapsed.Seconds(); secs > 0 {
+		// Throughput over the active window (first task → close/now),
+		// not since New: idle warm-up must not dilute the rate.
+		if secs := active.Seconds(); secs > 0 {
 			rep.Put("throughput_rps", float64(reqs)/secs)
 		}
 	}

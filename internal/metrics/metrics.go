@@ -6,10 +6,13 @@
 //
 // Concurrency model. Counter is safe for concurrent use. Histogram is
 // deliberately single-writer: each worker owns its own histograms inside
-// a Shard and records lock-free; the engine merges shards only after the
-// workers have quiesced (or clones them under the engine's own
-// synchronization). This mirrors the paper's locality discipline: record
-// locally, aggregate globally.
+// a Shard. A Shard guards its maps and histograms with one private
+// mutex, so the owning worker records through an uncontended lock while
+// observers take consistent live copies with Clone/MergeShardsLive — the
+// daemon's /metrics endpoint reads without ever quiescing the workers.
+// MergeShards keeps the historical post-quiesce contract (and is equally
+// safe on live shards). This mirrors the paper's locality discipline:
+// record locally, aggregate globally.
 package metrics
 
 import (
@@ -17,6 +20,7 @@ import (
 	"math"
 	"math/bits"
 	"sort"
+	"sync"
 	"sync/atomic"
 )
 
@@ -210,10 +214,13 @@ type BucketCount struct {
 }
 
 // Shard is one worker's private metric set: named histograms and local
-// (non-atomic) counters. A worker records into its own shard without
-// synchronization; the engine merges all shards into a Report once the
-// workers have stopped.
+// counters. A worker records into its own shard through the shard's
+// private mutex (uncontended on the hot path — only live observers ever
+// take it concurrently); the engine merges all shards into a Report once
+// the workers have stopped, or takes a live snapshot at any moment with
+// Clone/MergeShardsLive.
 type Shard struct {
+	mu       sync.Mutex
 	counters map[string]int64
 	hists    map[string]*Histogram
 }
@@ -227,20 +234,36 @@ func NewShard() *Shard {
 }
 
 // Count adds n to the named shard-local counter.
-func (s *Shard) Count(name string, n int64) { s.counters[name] += n }
+func (s *Shard) Count(name string, n int64) {
+	s.mu.Lock()
+	s.counters[name] += n
+	s.mu.Unlock()
+}
+
+// Counter returns the named shard-local counter (0 if absent).
+func (s *Shard) Counter(name string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counters[name]
+}
 
 // Observe records v into the named shard-local histogram.
 func (s *Shard) Observe(name string, v int64) {
-	h, ok := s.hists[name]
-	if !ok {
-		h = &Histogram{}
-		s.hists[name] = h
-	}
-	h.Observe(v)
+	s.mu.Lock()
+	s.histogramLocked(name).Observe(v)
+	s.mu.Unlock()
 }
 
-// Histogram returns the named histogram, creating it if absent.
+// Histogram returns the named histogram, creating it if absent. The
+// returned pointer bypasses the shard lock: read or mutate it only while
+// no other goroutine is using the shard (tests, post-quiesce analysis).
 func (s *Shard) Histogram(name string) *Histogram {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.histogramLocked(name)
+}
+
+func (s *Shard) histogramLocked(name string) *Histogram {
 	h, ok := s.hists[name]
 	if !ok {
 		h = &Histogram{}
@@ -249,26 +272,58 @@ func (s *Shard) Histogram(name string) *Histogram {
 	return h
 }
 
-// MergeShards combines per-worker shards into one merged shard.
+// Clone returns a deep copy of the shard taken atomically under its
+// lock — the live-read primitive: a worker can keep recording while an
+// observer snapshots a consistent view.
+func (s *Shard) Clone() *Shard {
+	out := NewShard()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for name, n := range s.counters {
+		out.counters[name] = n
+	}
+	for name, h := range s.hists {
+		out.hists[name] = h.Clone()
+	}
+	return out
+}
+
+// MergeShards combines per-worker shards into one merged shard. Each
+// input is read under its own lock, so the result is per-shard
+// consistent even while workers record; call it after the workers
+// quiesce when a globally exact total is required.
 func MergeShards(shards ...*Shard) *Shard {
 	out := NewShard()
 	for _, s := range shards {
 		if s == nil {
 			continue
 		}
+		s.mu.Lock()
 		for name, n := range s.counters {
 			out.counters[name] += n
 		}
 		for name, h := range s.hists {
-			out.Histogram(name).Merge(h)
+			out.histogramLocked(name).Merge(h)
 		}
+		s.mu.Unlock()
 	}
 	return out
+}
+
+// MergeShardsLive is MergeShards for shards still receiving writes: it
+// never blocks a recording worker for longer than one shard copy, and
+// the merged result is consistent within each shard (cross-shard skew is
+// bounded by the scrape instant). This is the /metrics read path — the
+// workers are never quiesced.
+func MergeShardsLive(shards ...*Shard) *Shard {
+	return MergeShards(shards...)
 }
 
 // Snapshot freezes the shard into a Report. Extra key/value pairs (e.g.
 // derived rates) may be attached afterwards via Report.Put.
 func (s *Shard) Snapshot() *Report {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	r := &Report{
 		Counters:   make(map[string]int64, len(s.counters)),
 		Histograms: make(map[string]HistogramSnapshot, len(s.hists)),

@@ -120,3 +120,21 @@ func TestShardRounding(t *testing.T) {
 	var zero graph.Vertex
 	_ = p.shardOf(zero) // must not panic on any vertex
 }
+
+func TestCacheStatsDelta(t *testing.T) {
+	prev := CacheStats{Hits: 10, Misses: 4, Evictions: 1, Size: 6}
+	cur := CacheStats{Hits: 25, Misses: 9, Evictions: 3, Size: 8}
+	d := cur.Delta(prev)
+	if d.Hits != 15 || d.Misses != 5 || d.Evictions != 2 {
+		t.Fatalf("delta counts = %+v, want hits 15 misses 5 evictions 2", d)
+	}
+	if d.Size != 8 {
+		t.Fatalf("delta size = %d, want the absolute current size 8", d.Size)
+	}
+	// A fresh preprocessor (post-swap) has smaller counters; rates must
+	// clamp to zero instead of going negative.
+	reset := CacheStats{Hits: 2, Misses: 1, Size: 3}.Delta(prev)
+	if reset.Hits != 0 || reset.Misses != 0 || reset.Evictions != 0 || reset.Size != 3 {
+		t.Fatalf("post-reset delta = %+v, want clamped zeros with size 3", reset)
+	}
+}

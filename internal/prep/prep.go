@@ -193,6 +193,32 @@ type CacheStats struct {
 	Size int64
 }
 
+// Delta returns the activity between two snapshots of the same
+// preprocessor: the counting fields subtract (s − prev) and Size keeps
+// s's absolute value. Dividing a Delta's counts by the scrape interval
+// yields rate gauges (hits/s, misses/s, evictions/s) for live
+// observability. Counters from a different (e.g. freshly swapped)
+// preprocessor would go negative; they clamp to zero so a graph
+// hot-swap never reports negative rates.
+func (s CacheStats) Delta(prev CacheStats) CacheStats {
+	d := CacheStats{
+		Hits:      s.Hits - prev.Hits,
+		Misses:    s.Misses - prev.Misses,
+		Evictions: s.Evictions - prev.Evictions,
+		Size:      s.Size,
+	}
+	if d.Hits < 0 {
+		d.Hits = 0
+	}
+	if d.Misses < 0 {
+		d.Misses = 0
+	}
+	if d.Evictions < 0 {
+		d.Evictions = 0
+	}
+	return d
+}
+
 // HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
 func (s CacheStats) HitRate() float64 {
 	total := s.Hits + s.Misses

@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+
+	"klocal/internal/gen"
+	"klocal/internal/graph"
+	"klocal/internal/route"
+)
+
+// GraphSpec describes a topology the daemon can build — either one of
+// the named generators (the same family cmd/loadgen exposes) or an
+// explicit edge list. It is the JSON body of PUT /graph and the parsed
+// form of klocald's -graph/-size/-seed/-p flags.
+type GraphSpec struct {
+	// Kind selects the generator: lollipop|cycle|path|grid|spider|wheel|
+	// barbell|complete|random|tree, or "edges" for an explicit topology.
+	// Empty means lollipop.
+	Kind string `json:"kind,omitempty"`
+	// Size is the number of nodes for generated topologies (default 48).
+	Size int `json:"size,omitempty"`
+	// Seed drives the random generators (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// P is the extra-edge probability for Kind "random" (default 0.1).
+	P float64 `json:"p,omitempty"`
+	// Edges is the explicit topology for Kind "edges" (or whenever
+	// non-empty): pairs of vertex labels. The graph must be connected.
+	Edges [][2]int64 `json:"edges,omitempty"`
+}
+
+// withDefaults fills the zero values.
+func (sp GraphSpec) withDefaults() GraphSpec {
+	if sp.Kind == "" {
+		if len(sp.Edges) > 0 {
+			sp.Kind = "edges"
+		} else {
+			sp.Kind = "lollipop"
+		}
+	}
+	if sp.Size <= 0 {
+		sp.Size = 48
+	}
+	if sp.Seed == 0 {
+		sp.Seed = 1
+	}
+	if sp.P <= 0 {
+		sp.P = 0.1
+	}
+	return sp
+}
+
+// String renders the spec for logs and report names.
+func (sp GraphSpec) String() string {
+	sp = sp.withDefaults()
+	if sp.Kind == "edges" {
+		return fmt.Sprintf("edges(m=%d)", len(sp.Edges))
+	}
+	return fmt.Sprintf("%s(n=%d seed=%d)", sp.Kind, sp.Size, sp.Seed)
+}
+
+// Build constructs the (deterministic) graph the spec describes.
+func (sp GraphSpec) Build() (*graph.Graph, error) {
+	sp = sp.withDefaults()
+	if sp.Kind != "edges" && sp.Size < 2 {
+		return nil, fmt.Errorf("serve: graph size %d too small", sp.Size)
+	}
+	rng := rand.New(rand.NewSource(sp.Seed))
+	var g *graph.Graph
+	switch sp.Kind {
+	case "edges":
+		if len(sp.Edges) == 0 {
+			return nil, fmt.Errorf("serve: kind \"edges\" needs a non-empty edge list")
+		}
+		b := graph.NewBuilder()
+		for _, e := range sp.Edges {
+			if e[0] == e[1] {
+				return nil, fmt.Errorf("serve: self-loop {%d, %d} rejected", e[0], e[1])
+			}
+			b.AddEdge(graph.Vertex(e[0]), graph.Vertex(e[1]))
+		}
+		g = b.Build()
+	case "lollipop":
+		g = gen.Lollipop(sp.Size-sp.Size/3, sp.Size/3)
+	case "cycle":
+		g = gen.Cycle(sp.Size)
+	case "path":
+		g = gen.Path(sp.Size)
+	case "grid":
+		side := 1
+		for side*side < sp.Size {
+			side++
+		}
+		g = gen.Grid(side, side)
+	case "spider":
+		g = gen.Spider(4, (sp.Size-1)/4)
+	case "wheel":
+		g = gen.Wheel(sp.Size)
+	case "barbell":
+		c := (sp.Size - 2) / 2
+		g = gen.Barbell(c, sp.Size-2*c)
+	case "complete":
+		g = gen.Complete(sp.Size)
+	case "random":
+		g = gen.RandomConnected(rng, sp.Size, sp.P)
+	case "tree":
+		g = gen.RandomTree(rng, sp.Size)
+	default:
+		return nil, fmt.Errorf("serve: unknown graph kind %q", sp.Kind)
+	}
+	if !g.Connected() {
+		return nil, fmt.Errorf("serve: %s is not connected", sp)
+	}
+	return g, nil
+}
+
+// AlgorithmByName resolves one of the paper's Table 2 algorithms.
+func AlgorithmByName(name string) (route.Algorithm, error) {
+	switch name {
+	case "alg1":
+		return route.Algorithm1(), nil
+	case "alg1b":
+		return route.Algorithm1B(), nil
+	case "alg2":
+		return route.Algorithm2(), nil
+	case "alg3":
+		return route.Algorithm3(), nil
+	default:
+		return route.Algorithm{}, fmt.Errorf("serve: unknown algorithm %q (alg1|alg1b|alg2|alg3)", name)
+	}
+}
+
+// DilationBound returns the paper's dilation guarantee for a Table 2
+// algorithm at or above its threshold (Theorems 5–8), or 0 when no
+// finite bound applies.
+func DilationBound(name string) float64 {
+	switch name {
+	case "alg1":
+		return 7
+	case "alg1b":
+		return 6
+	case "alg2":
+		return 3
+	case "alg3":
+		return 1
+	default:
+		return 0
+	}
+}

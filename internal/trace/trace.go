@@ -14,36 +14,69 @@ import (
 	"klocal/internal/graph"
 )
 
+// Hop is one structured step of an annotated walk — the JSON-ready form
+// of the hop-by-hop view RenderRoute prints (the routing daemon attaches
+// it to /route responses).
+type Hop struct {
+	// Index is the position in the walk (0 = origin).
+	Index int `json:"i"`
+	// Node is the vertex at this step.
+	Node graph.Vertex `json:"node"`
+	// DistToT is the remaining distance to the destination, or -1 when
+	// the node is disconnected from it.
+	DistToT int `json:"dist"`
+	// Away marks a step that increased the remaining distance (a detour
+	// or reversal).
+	Away bool `json:"away,omitempty"`
+}
+
+// RouteHops annotates a walk hop by hop with the remaining distance to
+// the destination — the structured form behind RenderRoute.
+func RouteHops(g *graph.Graph, route []graph.Vertex, t graph.Vertex) []Hop {
+	if len(route) == 0 {
+		return nil
+	}
+	distToT := g.BFS(t)
+	hops := make([]Hop, len(route))
+	prevDist := -1
+	for i, v := range route {
+		d, ok := distToT[v]
+		h := Hop{Index: i, Node: v, DistToT: -1}
+		if ok {
+			h.DistToT = d
+			h.Away = i > 0 && prevDist >= 0 && d > prevDist
+			prevDist = d
+		}
+		hops[i] = h
+	}
+	return hops
+}
+
 // RenderRoute formats a walk hop by hop, annotating each node with its
 // remaining distance to the destination so detours and reversals are
 // visible at a glance.
 func RenderRoute(g *graph.Graph, route []graph.Vertex, t graph.Vertex) string {
-	if len(route) == 0 {
+	hops := RouteHops(g, route, t)
+	if len(hops) == 0 {
 		return "(empty route)\n"
 	}
-	distToT := g.BFS(t)
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "route with %d hops toward %d:\n", len(route)-1, t)
-	prevDist := -1
-	for i, v := range route {
-		d, ok := distToT[v]
+	for _, h := range hops {
 		distStr := "∞"
-		if ok {
-			distStr = fmt.Sprint(d)
+		if h.DistToT >= 0 {
+			distStr = fmt.Sprint(h.DistToT)
 		}
 		marker := " "
 		switch {
-		case i == 0:
+		case h.Index == 0:
 			marker = "s"
-		case v == t:
+		case h.Node == t:
 			marker = "t"
-		case ok && prevDist >= 0 && d > prevDist:
+		case h.Away:
 			marker = "↩" // moving away from the destination
 		}
-		fmt.Fprintf(&sb, "  %3d. %s node %-6d dist(t)=%s\n", i, marker, v, distStr)
-		if ok {
-			prevDist = d
-		}
+		fmt.Fprintf(&sb, "  %3d. %s node %-6d dist(t)=%s\n", h.Index, marker, h.Node, distStr)
 	}
 	return sb.String()
 }

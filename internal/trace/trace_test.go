@@ -136,3 +136,39 @@ func TestRenderRouteEventsEmpty(t *testing.T) {
 		t.Errorf("empty route rendering: %q", out)
 	}
 }
+
+func TestRouteHopsStructure(t *testing.T) {
+	g := gen.Path(6)
+	route := []graph.Vertex{2, 1, 0, 1, 2, 3, 4, 5}
+	hops := RouteHops(g, route, 5)
+	if len(hops) != len(route) {
+		t.Fatalf("got %d hops, want %d", len(hops), len(route))
+	}
+	for i, h := range hops {
+		if h.Index != i || h.Node != route[i] {
+			t.Fatalf("hop %d = %+v, want index %d node %d", i, h, i, route[i])
+		}
+		if want := 5 - int(route[i]); h.DistToT != want {
+			t.Fatalf("hop %d dist %d, want %d", i, h.DistToT, want)
+		}
+	}
+	// Steps 1 and 2 walk away from t=5; the turnaround and onwards do not.
+	for i, wantAway := range []bool{false, true, true, false, false, false, false, false} {
+		if hops[i].Away != wantAway {
+			t.Fatalf("hop %d away = %v, want %v", i, hops[i].Away, wantAway)
+		}
+	}
+	if RouteHops(g, nil, 5) != nil {
+		t.Fatal("empty route must yield nil hops")
+	}
+}
+
+func TestRouteHopsDisconnected(t *testing.T) {
+	g := graph.NewBuilder().AddEdge(0, 1).AddEdge(2, 3).Build()
+	hops := RouteHops(g, []graph.Vertex{0, 1}, 3)
+	for _, h := range hops {
+		if h.DistToT != -1 {
+			t.Fatalf("disconnected hop %+v must report dist -1", h)
+		}
+	}
+}

@@ -179,3 +179,37 @@ func RandomSample(cfg Config, seed int64, count, minN, maxN int) (*Report, error
 	}()
 	return runPool(cfg, graphs), nil
 }
+
+// CheckWalk validates one delivered walk against the delivery
+// invariants the bulk verifier establishes in aggregate — the per-route
+// form the serving layer's tests lean on. It checks that the walk is
+// non-empty, starts at s, ends at t, takes only edges of g, and (when
+// maxDilation > 0) stays within maxDilation × dist(s, t). A walk routed
+// against a different topology (e.g. a torn snapshot during a graph
+// swap) fails the edge check with overwhelming probability.
+func CheckWalk(g *graph.Graph, s, t graph.Vertex, walk []graph.Vertex, maxDilation float64) error {
+	if len(walk) == 0 {
+		return fmt.Errorf("verify: empty walk for %d -> %d", s, t)
+	}
+	if walk[0] != s {
+		return fmt.Errorf("verify: walk starts at %d, want origin %d", walk[0], s)
+	}
+	if last := walk[len(walk)-1]; last != t {
+		return fmt.Errorf("verify: walk ends at %d, want destination %d", last, t)
+	}
+	for i := 1; i < len(walk); i++ {
+		if !g.HasEdge(walk[i-1], walk[i]) {
+			return fmt.Errorf("verify: hop %d uses non-edge {%d, %d}", i, walk[i-1], walk[i])
+		}
+	}
+	if maxDilation > 0 && s != t {
+		dist := g.Dist(s, t)
+		if dist <= 0 {
+			return fmt.Errorf("verify: no path %d -> %d in the claimed topology", s, t)
+		}
+		if hops := len(walk) - 1; float64(hops) > maxDilation*float64(dist) {
+			return fmt.Errorf("verify: walk of %d hops exceeds dilation %.3g × dist %d", hops, maxDilation, dist)
+		}
+	}
+	return nil
+}

@@ -3,6 +3,8 @@ package verify
 import (
 	"testing"
 
+	"klocal/internal/gen"
+	"klocal/internal/graph"
 	"klocal/internal/route"
 )
 
@@ -97,5 +99,35 @@ func TestReportString(t *testing.T) {
 	}
 	if !rep.OK() {
 		t.Error("fully delivered report must be OK")
+	}
+}
+
+func TestCheckWalk(t *testing.T) {
+	g := gen.Cycle(8)
+	if err := CheckWalk(g, 0, 3, []graph.Vertex{0, 1, 2, 3}, 1); err != nil {
+		t.Fatalf("shortest walk rejected: %v", err)
+	}
+	if err := CheckWalk(g, 0, 3, nil, 0); err == nil {
+		t.Fatal("empty walk accepted")
+	}
+	if err := CheckWalk(g, 0, 3, []graph.Vertex{1, 2, 3}, 0); err == nil {
+		t.Fatal("wrong origin accepted")
+	}
+	if err := CheckWalk(g, 0, 3, []graph.Vertex{0, 1, 2}, 0); err == nil {
+		t.Fatal("wrong destination accepted")
+	}
+	if err := CheckWalk(g, 0, 3, []graph.Vertex{0, 2, 3}, 0); err == nil {
+		t.Fatal("non-edge hop accepted (torn-snapshot detector broken)")
+	}
+	// The long way around an 8-cycle: 5 hops vs dist 3.
+	long := []graph.Vertex{0, 7, 6, 5, 4, 3}
+	if err := CheckWalk(g, 0, 3, long, 0); err != nil {
+		t.Fatalf("dilation unchecked at maxDilation 0: %v", err)
+	}
+	if err := CheckWalk(g, 0, 3, long, 3); err != nil {
+		t.Fatalf("walk within dilation 3 rejected: %v", err)
+	}
+	if err := CheckWalk(g, 0, 3, long, 1.2); err == nil {
+		t.Fatal("dilation violation accepted")
 	}
 }
