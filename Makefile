@@ -6,9 +6,9 @@ GO ?= go
 # notice when none is installed.
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: tier1 check race build test vet lint klocalvet staticcheck bench serve-smoke
+.PHONY: tier1 check race build test vet lint klocalvet staticcheck bench serve-smoke fuzz-smoke go-fuzz-smoke
 
-tier1: vet build test serve-smoke
+tier1: vet build test serve-smoke fuzz-smoke
 
 # The full local gate: everything CI runs except the benchmarks.
 check: lint tier1 race
@@ -44,6 +44,18 @@ staticcheck:
 serve-smoke:
 	$(GO) run ./cmd/klocald -smoke -algo alg2,alg3 -graph random -size 40 -seed 3
 
+# A 30-second randomized campaign of the differential fuzzer over every
+# algorithm and property (delivery, dilation, walk validity,
+# determinism, relabelling, engine/netsim differential); klocalcheck
+# exits non-zero on any finding and prints the minimized reproducer.
+fuzz-smoke:
+	$(GO) run ./cmd/klocalcheck -budget 30s -props all -seed 1
+
+# The Go-native fuzzing engine over the same scenario space, long enough
+# to exercise the decoder and mutator plumbing.
+go-fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzRouting -fuzztime 20s ./internal/fuzz
+
 # The concurrency-heavy code paths: the fault-tolerant discovery
 # protocol and injector, the traffic engine and its metric shards, the
 # sharded preprocessing cache, the routing daemon's hot-swap/drain
@@ -55,6 +67,7 @@ race:
 		./internal/engine/... ./internal/metrics/... ./internal/prep/... \
 		./internal/serve/...
 	$(GO) test -race -count=1 -run Concurrent ./internal/route/...
+	$(MAKE) go-fuzz-smoke
 
 # Traffic-engine benchmarks (throughput vs workers, cache cold vs warm,
 # workload shapes); the JSON event stream lands in BENCH_engine.json.

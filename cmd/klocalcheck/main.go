@@ -1,0 +1,145 @@
+// Command klocalcheck is the differential fuzzer for the routing
+// theorems: it draws random scenarios (graph family, adversarial label
+// permutation, endpoints, locality sampled around the Table 1
+// thresholds) and checks every registered property — guaranteed
+// delivery at k ≥ T(n), the Table 2 dilation bounds, walk validity,
+// determinism, relabelling robustness, and engine/netsim differential
+// agreement. Violations are delta-debugged to minimal reproducers and
+// reported as serve.GraphSpec-compatible JSON that `routesim -graph
+// file.json`, `loadgen -graph file.json` and klocald's PUT /graph
+// replay directly.
+//
+// Usage:
+//
+//	klocalcheck [-algos all] [-props all] [-budget 30s | -iters 5000]
+//	            [-workers 0] [-seed 1] [-max-n 0] [-out findings.json]
+//	            [-no-shrink] [-shrink-budget 0]
+//	klocalcheck -replay internal/fuzz/testdata/corpus
+//
+// The exit status is 1 when any finding survives (or any replayed
+// corpus case fails), so the command slots into CI as-is; `make
+// fuzz-smoke` runs a 30-second budget over all properties. The
+// deliberately defective variant is selectable with -algos broken2 to
+// watch the pipeline find and shrink a real violation.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"klocal/internal/fuzz"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "klocalcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		algos        = flag.String("algos", "all", "comma-separated algorithms: alg1|alg1b|alg2|alg3|broken2 (all = the four real ones)")
+		props        = flag.String("props", "all", "comma-separated properties: delivery|dilation|walk|determinism|relabel|differential")
+		budget       = flag.Duration("budget", 0, "wall-clock budget for scenario generation (0 = count-bounded)")
+		iters        = flag.Int64("iters", 0, "scenario count (0 with -budget 0 means 1000)")
+		workers      = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		seed         = flag.Int64("seed", 1, "base seed; scenario #i is a pure function of (seed, i)")
+		maxN         = flag.Int("max-n", 0, "cap generated graph sizes (0 = the families' own caps)")
+		out          = flag.String("out", "", "write the full JSON report (findings and reproducers) to this file")
+		noShrink     = flag.Bool("no-shrink", false, "skip counterexample minimization")
+		shrinkBudget = flag.Int("shrink-budget", 0, "candidate evaluations per shrink (0 = default)")
+		replay       = flag.String("replay", "", "replay every *.json case in this directory instead of fuzzing")
+	)
+	flag.Parse()
+
+	propList, err := fuzz.ResolveProperties(*props)
+	if err != nil {
+		return err
+	}
+	if *replay != "" {
+		return runReplay(*replay, propList)
+	}
+
+	algoList, err := fuzz.ResolveAlgorithms(*algos)
+	if err != nil {
+		return err
+	}
+	rep, err := fuzz.Run(fuzz.Config{
+		Algos:         algoList,
+		Props:         propList,
+		Budget:        *budget,
+		Iterations:    *iters,
+		Workers:       *workers,
+		Seed:          *seed,
+		MaxN:          *maxN,
+		DisableShrink: *noShrink,
+		ShrinkBudget:  *shrinkBudget,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep.String())
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		werr := rep.WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+		fmt.Printf("report written to %s\n", *out)
+	}
+	if rep.OK() {
+		return nil
+	}
+	for _, f := range rep.Findings {
+		fmt.Printf("FAIL %s/%s (hit %d times, first on n=%d): %s\n",
+			f.Algo, f.Property, f.Count, f.OriginalN, f.Error)
+		if f.Shrunk != nil {
+			data, err := json.Marshal(f.Shrunk)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  minimized to n=%d: %s\n", f.ShrunkN, data)
+			fmt.Printf("  reproduces as: %s\n", f.ShrunkError)
+		}
+	}
+	return fmt.Errorf("%d property violation(s) after %d scenarios in %v",
+		len(rep.Findings), rep.Scenarios, rep.Elapsed.Round(time.Millisecond))
+}
+
+// runReplay re-checks a corpus directory and fails on any violation.
+func runReplay(dir string, props []fuzz.Property) error {
+	cases, err := fuzz.ReadCorpus(dir)
+	if err != nil {
+		return err
+	}
+	if len(cases) == 0 {
+		return fmt.Errorf("no *.json cases under %s", dir)
+	}
+	failures := fuzz.ReplayCorpus(cases, props)
+	if len(failures) == 0 {
+		fmt.Printf("replayed %d cases, %d properties each: ok\n", len(cases), len(props))
+		return nil
+	}
+	names := make([]string, 0, len(failures))
+	for name := range failures {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		for _, e := range failures[name] {
+			fmt.Printf("FAIL %s: %v\n", name, e)
+		}
+	}
+	return fmt.Errorf("%d of %d corpus cases failed", len(failures), len(cases))
+}

@@ -19,15 +19,24 @@
 // -n bounds the request count, -duration the wall time; with both set
 // the run stops at whichever comes first. -k 0 uses the algorithm's own
 // threshold T(n). -report json emits the raw merged report.
+//
+// -graph also accepts a *.json file holding a serve.GraphSpec — or a
+// full klocalcheck case, whose algorithm and locality then become the
+// defaults for -algo/-k when those are not given explicitly — so
+// minimized counterexamples can be stress-tested under load:
+//
+//	loadgen -graph finding.json -workload allpairs -n 10000
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"klocal"
+	"klocal/internal/fuzz"
 )
 
 func main() {
@@ -45,7 +54,7 @@ func run() error {
 		workers   = flag.Int("workers", 0, "routing workers (0 = GOMAXPROCS)")
 		duration  = flag.Duration("duration", 0, "wall-clock bound for the run (0 = none)")
 		report    = flag.String("report", "text", "report format: text|json")
-		graphKind = flag.String("graph", "lollipop", "topology: lollipop|cycle|path|grid|spider|wheel|barbell|complete|random|tree")
+		graphKind = flag.String("graph", "lollipop", "topology: lollipop|cycle|path|grid|spider|wheel|barbell|complete|random|tree, or a GraphSpec/case *.json file")
 		size      = flag.Int("size", 48, "number of nodes")
 		k         = flag.Int("k", 0, "locality parameter (0 = algorithm threshold)")
 		seed      = flag.Int64("seed", 1, "seed for graph generation and the workload")
@@ -56,6 +65,26 @@ func run() error {
 		prewarm   = flag.Bool("prewarm", false, "precompute every vertex's view before routing")
 	)
 	flag.Parse()
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
+	var fileGraph *klocal.Graph
+	if strings.HasSuffix(*graphKind, ".json") {
+		c, err := fuzz.ReadCase(*graphKind)
+		if err != nil {
+			return err
+		}
+		if fileGraph, err = c.GraphSpec.Build(); err != nil {
+			return err
+		}
+		// The case's routing context fills any flag left at its default.
+		if c.Algo != "" && !explicit["algo"] {
+			*algName = c.Algo
+		}
+		if c.K > 0 && !explicit["k"] {
+			*k = c.K
+		}
+	}
 
 	var alg klocal.Algorithm
 	switch *algName {
@@ -74,7 +103,13 @@ func run() error {
 	case "randomwalk":
 		alg = klocal.RandomWalk(*seed)
 	default:
-		return fmt.Errorf("unknown -algo %q", *algName)
+		// The fuzzer's registry covers the rest — notably broken2, so
+		// klocalcheck findings replay without translation.
+		mk, ok := fuzz.Algorithms()[*algName]
+		if !ok {
+			return fmt.Errorf("unknown -algo %q", *algName)
+		}
+		alg = mk()
 	}
 
 	rng := klocal.NewRand(*seed)
@@ -94,6 +129,14 @@ func run() error {
 			return err
 		}
 		*k = kk
+	} else if fileGraph != nil {
+		g = fileGraph
+		var err error
+		if *workload == "zipf" {
+			w = klocal.ZipfWorkload(rng, g, *zipfSkew)
+		} else if w, err = klocal.NewTrafficWorkload(*workload, rng, g); err != nil {
+			return err
+		}
 	} else {
 		switch *graphKind {
 		case "lollipop":

@@ -13,6 +13,13 @@
 // message-passing simulator (with k-hop discovery) instead of the
 // single-threaded walk.
 //
+// -graph also accepts a *.json file holding a serve.GraphSpec — or a
+// full klocalcheck case, whose algorithm, locality and endpoints then
+// become the defaults for any of -alg/-k/-s/-t not given explicitly —
+// so minimized counterexamples replay directly:
+//
+//	routesim -graph finding.json
+//
 // With -pairs > 1 routesim routes a batch of uniformly sampled (s, t)
 // pairs instead of one: fault-free batches go through the traffic
 // engine's worker pool (-workers goroutines, 0 = GOMAXPROCS) and print a
@@ -41,6 +48,7 @@ import (
 	"strings"
 
 	"klocal"
+	"klocal/internal/fuzz"
 )
 
 func main() {
@@ -52,7 +60,7 @@ func main() {
 
 func run() error {
 	var (
-		graphKind   = flag.String("graph", "random", "topology: random|tree|path|cycle|grid|spider|lollipop|complete")
+		graphKind   = flag.String("graph", "random", "topology: random|tree|path|cycle|grid|spider|lollipop|complete, or a GraphSpec/case *.json file")
 		n           = flag.Int("n", 24, "number of nodes")
 		k           = flag.Int("k", 0, "locality parameter (0 = algorithm threshold)")
 		algName     = flag.String("alg", "alg1", "algorithm: alg1|alg1b|alg2|alg3|righthand|oracle|randomwalk")
@@ -69,32 +77,60 @@ func run() error {
 		workers     = flag.Int("workers", 0, "engine workers for batch mode (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 
 	rng := klocal.NewRand(*seed)
 	var g *klocal.Graph
-	switch *graphKind {
-	case "random":
-		g = klocal.RandomConnected(rng, *n, *p)
-	case "tree":
-		g = klocal.RandomTree(rng, *n)
-	case "path":
-		g = klocal.Path(*n)
-	case "cycle":
-		g = klocal.Cycle(*n)
-	case "grid":
-		side := 1
-		for side*side < *n {
-			side++
+	if strings.HasSuffix(*graphKind, ".json") {
+		c, err := fuzz.ReadCase(*graphKind)
+		if err != nil {
+			return err
 		}
-		g = klocal.Grid(side, side)
-	case "spider":
-		g = klocal.Spider(4, (*n-1)/4)
-	case "lollipop":
-		g = klocal.Lollipop(*n-*n/3, *n/3)
-	case "complete":
-		g = klocal.Complete(*n)
-	default:
-		return fmt.Errorf("unknown -graph %q", *graphKind)
+		g, err = c.GraphSpec.Build()
+		if err != nil {
+			return err
+		}
+		// The case's routing context fills any flag left at its default.
+		if c.Algo != "" && !explicit["alg"] {
+			*algName = c.Algo
+		}
+		if c.K > 0 && !explicit["k"] {
+			*k = c.K
+		}
+		if c.S != c.T { // bare GraphSpecs carry no endpoints
+			if !explicit["s"] {
+				*sFlag = int(c.S)
+			}
+			if !explicit["t"] {
+				*tFlag = int(c.T)
+			}
+		}
+	} else {
+		switch *graphKind {
+		case "random":
+			g = klocal.RandomConnected(rng, *n, *p)
+		case "tree":
+			g = klocal.RandomTree(rng, *n)
+		case "path":
+			g = klocal.Path(*n)
+		case "cycle":
+			g = klocal.Cycle(*n)
+		case "grid":
+			side := 1
+			for side*side < *n {
+				side++
+			}
+			g = klocal.Grid(side, side)
+		case "spider":
+			g = klocal.Spider(4, (*n-1)/4)
+		case "lollipop":
+			g = klocal.Lollipop(*n-*n/3, *n/3)
+		case "complete":
+			g = klocal.Complete(*n)
+		default:
+			return fmt.Errorf("unknown -graph %q", *graphKind)
+		}
 	}
 
 	var alg klocal.Algorithm
@@ -114,7 +150,13 @@ func run() error {
 	case "randomwalk":
 		alg = klocal.RandomWalk(*seed)
 	default:
-		return fmt.Errorf("unknown -alg %q", *algName)
+		// The fuzzer's registry covers the rest — notably broken2, so
+		// klocalcheck findings replay without translation.
+		mk, ok := fuzz.Algorithms()[*algName]
+		if !ok {
+			return fmt.Errorf("unknown -alg %q", *algName)
+		}
+		alg = mk()
 	}
 
 	kk := *k

@@ -11,6 +11,7 @@ import (
 	"klocal/internal/graph"
 	"klocal/internal/route"
 	"klocal/internal/sim"
+	"klocal/internal/verify"
 )
 
 // runPair routes one (s,t) pair with a bound function.
@@ -21,6 +22,21 @@ func runPair(g *graph.Graph, f route.Func, alg route.Algorithm, s, t graph.Verte
 	})
 }
 
+// DilationWitness pins the concrete walk behind a measured dilation
+// figure: enough context to re-validate the bound end to end with
+// verify.CheckDilation instead of trusting a float that was computed
+// once and carried along.
+type DilationWitness struct {
+	G    *graph.Graph
+	S, T graph.Vertex
+	Walk []graph.Vertex
+}
+
+// Check re-validates the witnessed walk against a dilation bound.
+func (w *DilationWitness) Check(bound float64) error {
+	return verify.CheckDilation(w.Walk, w.G, w.S, w.T, bound)
+}
+
 // PairStats aggregates delivery and dilation over a set of routed pairs.
 type PairStats struct {
 	Pairs     int
@@ -29,12 +45,15 @@ type PairStats struct {
 	// s != t.
 	WorstDilation float64
 	MeanDilation  float64
+	// Worst is the walk achieving WorstDilation (nil until a delivered
+	// pair with s != t is seen).
+	Worst *DilationWitness
 
 	dilationSum float64
 	dilationN   int
 }
 
-func (ps *PairStats) add(res *sim.Result) {
+func (ps *PairStats) add(g *graph.Graph, res *sim.Result) {
 	ps.Pairs++
 	if res.Outcome != sim.Delivered {
 		return
@@ -46,6 +65,10 @@ func (ps *PairStats) add(res *sim.Result) {
 		ps.dilationN++
 		if d > ps.WorstDilation {
 			ps.WorstDilation = d
+			ps.Worst = &DilationWitness{
+				G: g, S: res.Route[0], T: res.Route[len(res.Route)-1],
+				Walk: res.Route,
+			}
 		}
 	}
 }
@@ -67,7 +90,7 @@ func evalAllPairs(alg route.Algorithm, g *graph.Graph, k int, stats *PairStats) 
 			if s == t {
 				continue
 			}
-			stats.add(runPair(g, f, alg, s, t))
+			stats.add(g, runPair(g, f, alg, s, t))
 		}
 	}
 }
@@ -82,7 +105,7 @@ func evalSampledPairs(rng *rand.Rand, alg route.Algorithm, g *graph.Graph, k, pa
 		if s == t {
 			continue
 		}
-		stats.add(runPair(g, f, alg, s, t))
+		stats.add(g, runPair(g, f, alg, s, t))
 	}
 }
 

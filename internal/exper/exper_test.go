@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 
+	"klocal/internal/gen"
+	"klocal/internal/graph"
 	"klocal/internal/sim"
 )
 
@@ -216,15 +218,37 @@ func TestSweepShowsThresholdBehaviour(t *testing.T) {
 }
 
 func TestPairStatsAggregation(t *testing.T) {
+	g := gen.Path(4)
 	var ps PairStats
-	ps.add(&sim.Result{Outcome: sim.Looped, Dist: 3})
-	ps.add(&sim.Result{Outcome: sim.Delivered, Dist: 0})
+	ps.add(g, &sim.Result{Outcome: sim.Looped, Dist: 3})
+	ps.add(g, &sim.Result{Outcome: sim.Delivered, Dist: 0})
 	ps.finish()
 	if ps.Pairs != 2 || ps.Delivered != 1 || ps.AllDelivered() {
 		t.Errorf("stats = %+v", ps)
 	}
 	if ps.MeanDilation != 0 || ps.WorstDilation != 0 {
 		t.Errorf("zero-distance deliveries must not contribute dilation: %+v", ps)
+	}
+	if ps.Worst != nil {
+		t.Errorf("no dilation-bearing pair, want nil witness, got %+v", ps.Worst)
+	}
+
+	// A delivered detour becomes the worst witness and re-validates.
+	ps.add(g, &sim.Result{
+		Outcome: sim.Delivered, Dist: 1,
+		Route: []graph.Vertex{0, 1, 2, 1},
+	})
+	if ps.WorstDilation != 3 || ps.Worst == nil {
+		t.Fatalf("detour not witnessed: %+v", ps)
+	}
+	if ps.Worst.S != 0 || ps.Worst.T != 1 {
+		t.Errorf("witness endpoints %d -> %d, want 0 -> 1", ps.Worst.S, ps.Worst.T)
+	}
+	if err := ps.Worst.Check(3); err != nil {
+		t.Errorf("witness fails its own bound: %v", err)
+	}
+	if err := ps.Worst.Check(2.9); err == nil {
+		t.Error("witness passes a bound it exceeds")
 	}
 }
 

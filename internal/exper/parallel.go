@@ -44,7 +44,7 @@ func evalRequestsEngine(alg route.Algorithm, g *graph.Graph, k, workers int, req
 		return err
 	}
 	for _, r := range resps {
-		stats.add(r.Result)
+		stats.add(g, r.Result)
 	}
 	return nil
 }

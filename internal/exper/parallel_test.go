@@ -48,8 +48,20 @@ func TestAllPairsParallelMatchesSequential(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if *par != seq {
+		if par.Pairs != seq.Pairs || par.Delivered != seq.Delivered ||
+			par.WorstDilation != seq.WorstDilation || par.MeanDilation != seq.MeanDilation {
 			t.Fatalf("%s: parallel %+v vs sequential %+v", alg.Name, *par, seq)
+		}
+		// The worst witness is chosen first-max in request order, so the
+		// parallel fold must pin the identical walk.
+		if (par.Worst == nil) != (seq.Worst == nil) {
+			t.Fatalf("%s: witness presence differs: %+v vs %+v", alg.Name, par.Worst, seq.Worst)
+		}
+		if par.Worst != nil {
+			if par.Worst.S != seq.Worst.S || par.Worst.T != seq.Worst.T ||
+				len(par.Worst.Walk) != len(seq.Worst.Walk) {
+				t.Fatalf("%s: witness differs: %+v vs %+v", alg.Name, par.Worst, seq.Worst)
+			}
 		}
 	}
 }

@@ -31,6 +31,11 @@ type Table2Row struct {
 	// PaperUpperBound is the paper's upper bound for this regime: 7 / 6 /
 	// 3 / 1 (Theorems 5–8).
 	PaperUpperBound float64
+	// AdversaryWitness and WorkloadWitness are the walks behind the two
+	// measured columns; Check re-validates them against PaperUpperBound
+	// end to end rather than re-comparing the cached floats.
+	AdversaryWitness *DilationWitness
+	WorkloadWitness  *DilationWitness
 }
 
 // Table2Result reproduces Table 2 at size n.
@@ -65,6 +70,7 @@ func Table2(rng *rand.Rand, n, randomGraphs int) (*Table2Result, error) {
 			r := runPair(inst.G, alg.Bind(inst.G, k), alg, inst.S, inst.T)
 			if r.Outcome == sim.Delivered {
 				row.AdversaryDilation = r.Dilation()
+				row.AdversaryWitness = &DilationWitness{G: inst.G, S: inst.S, T: inst.T, Walk: r.Route}
 			} else {
 				row.AdversaryDilation = -1
 			}
@@ -79,6 +85,7 @@ func Table2(rng *rand.Rand, n, randomGraphs int) (*Table2Result, error) {
 		}
 		stats.finish()
 		row.WorkloadWorst = stats.WorstDilation
+		row.WorkloadWitness = stats.Worst
 		res.Rows = append(res.Rows, row)
 		return nil
 	}

@@ -1,0 +1,144 @@
+package fuzz
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"klocal/internal/graph"
+	"klocal/internal/serve"
+)
+
+// Case is the on-disk form of a scenario: a serve.GraphSpec with the
+// routing context alongside. The GraphSpec fields are inlined at the
+// top level, so every corpus file and minimized counterexample is
+// directly consumable wherever a GraphSpec is accepted — routesim
+// -graph file.json, loadgen -graph file.json, and the body of klocald's
+// PUT /graph — while klocalcheck and the corpus tests also read the
+// algorithm, locality and endpoints.
+type Case struct {
+	serve.GraphSpec
+
+	// Name identifies the case in corpus listings and findings.
+	Name string `json:"name,omitempty"`
+	// Algo names the algorithm under test (see Algorithms).
+	Algo string `json:"algo"`
+	// K is the locality parameter (0 = the algorithm's threshold).
+	K int `json:"k,omitempty"`
+	// S and T are the origin and destination labels.
+	S int64 `json:"s"`
+	T int64 `json:"t"`
+	// Property optionally records the property a finding violated, or
+	// the property a regression case guards.
+	Property string `json:"property,omitempty"`
+	// MinDilation, when non-zero, asserts the routed walk's dilation is
+	// at least this value — the corpus uses it to pin the paper's
+	// tightness witnesses (the Theorem 4 instances must stay extremal,
+	// not merely legal).
+	MinDilation float64 `json:"min_dilation,omitempty"`
+	// Note is free-form documentation.
+	Note string `json:"note,omitempty"`
+}
+
+// Scenario materializes the case: it builds the graph, resolves the
+// algorithm, and validates the endpoints.
+func (c Case) Scenario() (*Scenario, error) {
+	mk, ok := Algorithms()[c.Algo]
+	if !ok {
+		return nil, fmt.Errorf("fuzz: case %q: unknown algorithm %q", c.Name, c.Algo)
+	}
+	alg := mk()
+	g, err := c.GraphSpec.Build()
+	if err != nil {
+		return nil, fmt.Errorf("fuzz: case %q: %w", c.Name, err)
+	}
+	k := c.K
+	if k <= 0 {
+		k = alg.MinK(g.N())
+		if k == 0 {
+			k = 1
+		}
+	}
+	s, t := graph.Vertex(c.S), graph.Vertex(c.T)
+	if !g.HasVertex(s) || !g.HasVertex(t) {
+		return nil, fmt.Errorf("fuzz: case %q: endpoints %d -> %d not in the graph", c.Name, s, t)
+	}
+	if s == t {
+		return nil, fmt.Errorf("fuzz: case %q: origin equals destination", c.Name)
+	}
+	return &Scenario{
+		Algo: c.Algo, Alg: alg, G: g, K: k, S: s, T: t,
+		Seed:   c.GraphSpec.Seed,
+		Family: c.GraphSpec.Kind,
+	}, nil
+}
+
+// ToCase freezes a scenario as an explicit-edges case, the canonical
+// replayable form: no generator parameters, just the topology the
+// failure (or regression guard) actually needs.
+func (sc *Scenario) ToCase(name string) Case {
+	edges := sc.G.Edges()
+	pairs := make([][2]int64, len(edges))
+	for i, e := range edges {
+		pairs[i] = [2]int64{int64(e.U), int64(e.V)}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+	return Case{
+		GraphSpec: serve.GraphSpec{Kind: "edges", Edges: pairs, Seed: sc.Seed},
+		Name:      name,
+		Algo:      sc.Algo,
+		K:         sc.K,
+		S:         int64(sc.S),
+		T:         int64(sc.T),
+	}
+}
+
+// WriteCase writes the case as indented JSON.
+func WriteCase(path string, c Case) error {
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return fmt.Errorf("fuzz: encode case %q: %w", c.Name, err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadCase parses one case file.
+func ReadCase(path string) (Case, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Case{}, err
+	}
+	var c Case
+	if err := json.Unmarshal(data, &c); err != nil {
+		return Case{}, fmt.Errorf("fuzz: parse %s: %w", path, err)
+	}
+	if c.Name == "" {
+		c.Name = filepath.Base(path)
+	}
+	return c, nil
+}
+
+// ReadCorpus loads every *.json case under dir, sorted by filename.
+func ReadCorpus(dir string) ([]Case, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	cases := make([]Case, 0, len(paths))
+	for _, p := range paths {
+		c, err := ReadCase(p)
+		if err != nil {
+			return nil, err
+		}
+		cases = append(cases, c)
+	}
+	return cases, nil
+}

@@ -1,0 +1,163 @@
+package fuzz
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"klocal/internal/gen"
+	"klocal/internal/serve"
+	"klocal/internal/sim"
+)
+
+const corpusDir = "testdata/corpus"
+
+// TestCorpusReplay is the tier-1 regression gate over the checked-in
+// scenarios: every corpus case must satisfy every registered property,
+// and the tightness witnesses must stay extremal (their walks may not
+// silently become shorter than the dilation the paper derives for
+// them).
+func TestCorpusReplay(t *testing.T) {
+	cases, err := ReadCorpus(corpusDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cases) < 10 {
+		t.Fatalf("corpus holds %d cases, want >= 10 (regenerate with KLOCAL_REGEN_CORPUS=1)", len(cases))
+	}
+	for name, errs := range ReplayCorpus(cases, nil) {
+		for _, e := range errs {
+			t.Errorf("%s: %v", name, e)
+		}
+	}
+}
+
+// TestRegenerateCorpus rewrites testdata/corpus from the builders
+// below. It only runs when KLOCAL_REGEN_CORPUS is set, so the corpus
+// stays frozen in normal runs:
+//
+//	KLOCAL_REGEN_CORPUS=1 go test -run TestRegenerateCorpus ./internal/fuzz
+func TestRegenerateCorpus(t *testing.T) {
+	if os.Getenv("KLOCAL_REGEN_CORPUS") == "" {
+		t.Skip("set KLOCAL_REGEN_CORPUS=1 to rewrite testdata/corpus")
+	}
+	if err := os.MkdirAll(corpusDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range seedCorpus(t) {
+		if err := WriteCase(filepath.Join(corpusDir, c.Name+".json"), c); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// frozenCase freezes a paper instance as an explicit-edges case.
+func frozenCase(t *testing.T, name, algo string, inst gen.Instance, k int, note string) Case {
+	t.Helper()
+	mk, ok := Algorithms()[algo]
+	if !ok {
+		t.Fatalf("unknown algo %q", algo)
+	}
+	sc := &Scenario{Algo: algo, Alg: mk(), G: inst.G, K: k, S: inst.S, T: inst.T, Seed: 1, Family: name}
+	if sc.K <= 0 {
+		sc.K = sc.Alg.MinK(inst.G.N())
+	}
+	c := sc.ToCase(name)
+	c.Note = note
+	return c
+}
+
+// witnessDilation routes the case and pins its achieved dilation as the
+// MinDilation floor — the case becomes a tightness witness.
+func witnessDilation(t *testing.T, c Case) Case {
+	t.Helper()
+	sc, err := c.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := routeScenario(sc)
+	if res.Outcome != sim.Delivered {
+		t.Fatalf("%s: witness not delivered (outcome %v)", c.Name, res.Outcome)
+	}
+	c.MinDilation = float64(res.Len()) / float64(res.Dist)
+	return c
+}
+
+// seedCorpus enumerates the checked-in scenarios: the paper's extremal
+// dilation figures, one variant of each impossibility family routed at
+// exactly its threshold, the Lemma 6 theta shape, and the boundary
+// instances of the generator families.
+func seedCorpus(t *testing.T) []Case {
+	t.Helper()
+	named := func(name, kind string, size int, algo string, s, tt int64, note string) Case {
+		return Case{
+			GraphSpec: serve.GraphSpec{Kind: kind, Size: size},
+			Name:      name, Algo: algo, S: s, T: tt, Note: note,
+		}
+	}
+	var cases []Case
+
+	fig13, err := gen.NewFig13(11, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases = append(cases, witnessDilation(t, frozenCase(t,
+		"fig13-alg1-dilation", "alg1", fig13.Instance, fig13.K,
+		"Figure 13: Algorithm 1's dilation approaches 7; route 2n-k-3 over dist k+3")))
+
+	fig17, err := gen.NewFig17(28, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases = append(cases, witnessDilation(t, frozenCase(t,
+		"fig17-alg1b-dilation", "alg1b", fig17.Instance, fig17.K,
+		"Figure 17: Algorithm 1B's dilation approaches 6; route n+2k-6-2δ* over dist k+1")))
+
+	thm1, err := gen.NewTheorem1Family(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases = append(cases, frozenCase(t,
+		"thm1-family-g1", "alg1", thm1.Variants[0], 0,
+		"Theorem 1 family G1 (n=13): defeats every k-local algorithm for k <= 2; alg1 at its threshold must deliver"))
+
+	thm2, err := gen.NewTheorem2Family(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases = append(cases, frozenCase(t,
+		"thm2-family-g2", "alg2", thm2.Variants[1], 0,
+		"Theorem 2 family G2 (n=11): defeats origin-oblivious routing for k <= 3; alg2 at its threshold must deliver"))
+
+	thm3, err := gen.NewTheorem3Family(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases = append(cases, frozenCase(t,
+		"thm3-family-g2", "alg3", thm3.Variants[1], 0,
+		"Theorem 3 two-path family G2 (n=12): defeats predecessor-oblivious routing for k <= 5; alg3 at floor(n/2) must deliver shortest"))
+
+	theta := gen.Instance{G: gen.Theta(2, 3, 4), S: 0, T: 1}
+	cases = append(cases, frozenCase(t,
+		"theta-girth", "alg2", theta, 0,
+		"Lemma 6 extremal shape: theta graph with exactly three cycles, hubs 0 and 1"))
+
+	cases = append(cases,
+		named("lollipop-threshold", "lollipop", 12, "alg1", 0, 11,
+			"lollipop at the family's edge size; tail end to cycle, threshold locality"),
+		named("cycle9-mutant-trap", "cycle", 9, "alg2", 0, 4,
+			"smallest cycle on which the broken2 no-advance mutant livelocks; real alg2 must deliver"),
+		named("wheel-hub-detour", "wheel", 10, "alg1b", 1, 5,
+			"rim-to-rim on a wheel: the hub offers a 2-hop shortcut everywhere"),
+		named("barbell-bridge", "barbell", 12, "alg1b", 1, 11,
+			"clique-to-clique across the barbell bridge"),
+		named("grid9-differential", "grid", 9, "alg1", 0, 8,
+			"3x3 grid corner to corner; small enough for the engine/netsim differential"),
+	)
+
+	path := named("path-alg3-shortest", "path", 10, "alg3", 0, 9,
+		"Algorithm 3 is exactly shortest-path; dilation pinned at 1")
+	cases = append(cases, witnessDilation(t, path))
+
+	return cases
+}

@@ -1,0 +1,78 @@
+package fuzz
+
+import (
+	"encoding/binary"
+	"math/rand"
+
+	"klocal/internal/gen"
+)
+
+// DecodeScenario maps arbitrary fuzz input onto the scenario space, so
+// `go test -fuzz=FuzzRouting` explores the same properties the
+// randomized runner enforces. The encoding is positional and total —
+// every input of at least 6 bytes decodes to some valid scenario, which
+// keeps coverage-guided mutation productive:
+//
+//	data[0]  algorithm index (real algorithms only)
+//	data[1]  family index
+//	data[2]  size within the family's range
+//	data[3]  k offset in [T(n)−2, T(n)+3]
+//	data[4]  origin index into the vertex set
+//	data[5]  destination index (bumped off the origin)
+//	data[6:] seed bytes for the family's structural randomness and the
+//	         adversarial label permutation
+//
+// The bool result is false only for inputs too short to decode.
+func DecodeScenario(data []byte) (*Scenario, bool) {
+	if len(data) < 6 {
+		return nil, false
+	}
+	names := AlgorithmNames()
+	algo := names[int(data[0])%len(names)]
+	alg := Algorithms()[algo]()
+
+	fams := families()
+	fam := fams[int(data[1])%len(fams)]
+	span := fam.maxN - fam.minN + 1
+	n := fam.minN + int(data[2])%span
+
+	var seed int64
+	if len(data) >= 14 {
+		seed = int64(binary.LittleEndian.Uint64(data[6:14]))
+	} else {
+		for _, b := range data[6:] {
+			seed = seed<<8 | int64(b)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := fam.build(rng, n)
+	g = g.PermuteLabels(gen.RandomLabelPermutation(rng, g))
+
+	vs := g.Vertices()
+	if len(vs) < 2 {
+		return nil, false
+	}
+	s := vs[int(data[4])%len(vs)]
+	ti := int(data[5]) % len(vs)
+	if vs[ti] == s {
+		ti = (ti + 1) % len(vs)
+	}
+	t := vs[ti]
+
+	threshold := alg.MinK(g.N())
+	if threshold <= 0 {
+		threshold = 1
+	}
+	k := threshold - 2 + int(data[3])%6
+	if k < 1 {
+		k = 1
+	}
+	if k > g.N() {
+		k = g.N()
+	}
+	return &Scenario{
+		Algo: algo, Alg: alg, G: g, K: k, S: s, T: t,
+		Seed:   seed,
+		Family: fam.name,
+	}, true
+}

@@ -1,0 +1,130 @@
+// Package fuzz is the differential fuzzing and counterexample-shrinking
+// subsystem behind cmd/klocalcheck: it turns the paper's theorems into
+// continuously-enforced executable invariants. A generator draws random
+// scenarios — graph family, adversarial label permutation, (s, t) pair,
+// and a locality k sampled around the Table 1 thresholds — and a
+// registry of properties checks each one: guaranteed delivery at
+// k ≥ T(n), the Table 2 dilation bounds, walk validity, determinism and
+// label-relabelling robustness, and differential agreement between the
+// in-memory engine and the fault-free message-passing simulator. When a
+// property fails, a delta-debugging shrinker reduces the scenario to a
+// minimal reproducer (greedy vertex/edge removal plus k reduction, under
+// a re-check predicate) and emits it as a serve.GraphSpec-compatible
+// JSON artifact that routesim -graph, loadgen -graph, and klocald
+// PUT /graph replay directly.
+//
+// The package is driven three ways: cmd/klocalcheck (budgeted randomized
+// runs), the checked-in testdata/corpus replayed by tier-1 tests, and
+// the Go-native FuzzRouting harness whose byte decoder maps arbitrary
+// fuzz input onto the same scenario space. See DESIGN.md §10.
+package fuzz
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"klocal/internal/graph"
+	"klocal/internal/route"
+	"klocal/internal/serve"
+)
+
+// Scenario is one routing situation under test: an algorithm bound to a
+// concrete connected graph at locality K, routing a single message from
+// S to T. Seed feeds the deterministic auxiliary randomness some
+// properties need (the relabelling check), so a scenario re-runs
+// identically during shrinking and replay.
+type Scenario struct {
+	// Algo names the algorithm under test (see Algorithms).
+	Algo string
+	// Alg is the resolved algorithm descriptor.
+	Alg route.Algorithm
+	// G is the (connected) network.
+	G *graph.Graph
+	// K is the locality parameter.
+	K int
+	// S and T are the origin and destination (S ≠ T).
+	S, T graph.Vertex
+	// Seed drives property-internal randomness deterministically.
+	Seed int64
+	// Family records which generator produced G (diagnostics only).
+	Family string
+}
+
+// AtThreshold reports whether the scenario's locality meets the
+// algorithm's delivery threshold T(n) — the precondition of the
+// paper's positive theorems. Baselines without a threshold never
+// qualify.
+func (sc *Scenario) AtThreshold() bool {
+	if sc.Alg.MinK == nil {
+		return false
+	}
+	min := sc.Alg.MinK(sc.G.N())
+	return min > 0 && sc.K >= min
+}
+
+// String identifies the scenario in findings and logs.
+func (sc *Scenario) String() string {
+	return fmt.Sprintf("%s k=%d n=%d m=%d %d->%d (%s seed=%d)",
+		sc.Algo, sc.K, sc.G.N(), sc.G.M(), sc.S, sc.T, sc.Family, sc.Seed)
+}
+
+// DilationBound returns the paper's Table 2 dilation guarantee for the
+// scenario's algorithm at or above threshold, or 0 when none applies.
+// The broken self-test variant inherits Algorithm 2's bound — it is
+// supposed to fail these checks.
+func (sc *Scenario) DilationBound() float64 {
+	switch sc.Algo {
+	case "broken2":
+		return serve.DilationBound("alg2")
+	default:
+		return serve.DilationBound(sc.Algo)
+	}
+}
+
+// Algorithms maps the names klocalcheck accepts to constructors: the
+// four Table 2 algorithms plus broken2, the deliberately defective
+// Algorithm 2 variant (route.Algorithm2Broken) used to prove the fuzzer
+// can actually find and shrink violations.
+func Algorithms() map[string]func() route.Algorithm {
+	return map[string]func() route.Algorithm{
+		"alg1":    route.Algorithm1,
+		"alg1b":   route.Algorithm1B,
+		"alg2":    route.Algorithm2,
+		"alg3":    route.Algorithm3,
+		"broken2": route.Algorithm2Broken,
+	}
+}
+
+// AlgorithmNames returns the real (non-broken) algorithm names in
+// stable order — the default set a fuzzing run covers.
+func AlgorithmNames() []string { return []string{"alg1", "alg1b", "alg2", "alg3"} }
+
+// ResolveAlgorithms maps a comma-separated name list ("" or "all" =
+// every real algorithm) to constructors, rejecting unknown names.
+func ResolveAlgorithms(list string) ([]string, error) {
+	if list == "" || list == "all" {
+		return AlgorithmNames(), nil
+	}
+	reg := Algorithms()
+	var names []string
+	for _, raw := range strings.Split(list, ",") {
+		name := strings.TrimSpace(raw)
+		if name == "" {
+			continue
+		}
+		if _, ok := reg[name]; !ok {
+			known := make([]string, 0, len(reg))
+			for k := range reg {
+				known = append(known, k)
+			}
+			sort.Strings(known)
+			return nil, fmt.Errorf("fuzz: unknown algorithm %q (%s)", name, strings.Join(known, "|"))
+		}
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		return AlgorithmNames(), nil
+	}
+	return names, nil
+}

@@ -1,0 +1,37 @@
+package fuzz
+
+import (
+	"testing"
+)
+
+// FuzzRouting is the Go-native entry point into the same property space
+// cmd/klocalcheck explores: arbitrary bytes decode (totally) into a
+// scenario over the real algorithms, and every registered property must
+// hold. Run with
+//
+//	go test -fuzz=FuzzRouting -fuzztime=20s ./internal/fuzz
+//
+// Any crasher the engine finds is a scenario violating one of the
+// paper's theorems (or a bug in this reproduction) and can be handed to
+// Shrink for minimization.
+func FuzzRouting(f *testing.F) {
+	// Seeds spanning the decoder's dimensions: every algorithm byte,
+	// several families, thresholds ±, and both seed-tail widths.
+	f.Add([]byte{0, 0, 9, 2, 0, 4, 1})
+	f.Add([]byte{1, 3, 12, 4, 1, 6})
+	f.Add([]byte{2, 6, 7, 0, 2, 5, 0xde, 0xad, 0xbe, 0xef, 1, 2, 3, 4})
+	f.Add([]byte{3, 9, 16, 5, 7, 0})
+	f.Add([]byte{0, 12, 5, 3, 1, 2, 0xff})
+	f.Add([]byte{2, 1, 20, 2, 9, 9, 7, 7, 7, 7, 7, 7, 7, 7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, ok := DecodeScenario(data)
+		if !ok {
+			return
+		}
+		for _, p := range AllProperties() {
+			if err := p.Check(sc); err != nil {
+				t.Fatalf("%s violated on %s: %v", p.Name, sc, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,168 @@
+package fuzz
+
+import (
+	"fmt"
+	"math/rand"
+
+	"klocal/internal/gen"
+	"klocal/internal/graph"
+)
+
+// family is one graph generator the fuzzer draws from. build must
+// return a connected graph with at least 2 vertices for every n in
+// [minN, maxN]; generators ignore n where their shape fixes it.
+type family struct {
+	name       string
+	minN, maxN int
+	build      func(rng *rand.Rand, n int) *graph.Graph
+}
+
+// families is the generator pool: every named family the repo ships
+// plus random connected graphs and random trees, all at randomized
+// sizes. The paper's tie-breaks are rank-based, so the runner follows
+// each build with an adversarial label permutation.
+func families() []family {
+	return []family{
+		{"random", 4, 28, func(rng *rand.Rand, n int) *graph.Graph {
+			return gen.RandomConnected(rng, n, rng.Float64()*0.3)
+		}},
+		{"tree", 4, 28, func(rng *rand.Rand, n int) *graph.Graph {
+			return gen.RandomTree(rng, n)
+		}},
+		{"path", 4, 28, func(_ *rand.Rand, n int) *graph.Graph { return gen.Path(n) }},
+		{"cycle", 4, 28, func(_ *rand.Rand, n int) *graph.Graph { return gen.Cycle(n) }},
+		{"star", 4, 24, func(_ *rand.Rand, n int) *graph.Graph { return gen.Star(n) }},
+		{"spider", 5, 25, func(rng *rand.Rand, n int) *graph.Graph {
+			arms := 2 + rng.Intn(4)
+			armLen := (n - 1) / arms
+			if armLen < 1 {
+				armLen = 1
+			}
+			return gen.Spider(arms, armLen)
+		}},
+		{"lollipop", 5, 27, func(rng *rand.Rand, n int) *graph.Graph {
+			tail := 1 + rng.Intn(n/2)
+			if n-tail < 3 {
+				tail = n - 3
+			}
+			return gen.Lollipop(n-tail, tail)
+		}},
+		{"theta", 5, 24, func(rng *rand.Rand, n int) *graph.Graph {
+			// Split n-2 internal vertices over three branches; at most
+			// one branch may be empty.
+			inner := n - 2
+			a := rng.Intn(inner + 1)
+			b := rng.Intn(inner - a + 1)
+			c := inner - a - b
+			if (a == 0 && b == 0) || (a == 0 && c == 0) || (b == 0 && c == 0) {
+				a, b, c = 1, 1, inner-2
+				if c < 0 {
+					a, b, c = 1, inner-1, 0
+				}
+			}
+			return gen.Theta(a, b, c)
+		}},
+		{"grid", 4, 25, func(rng *rand.Rand, n int) *graph.Graph {
+			rows := 2 + rng.Intn(4)
+			cols := n / rows
+			if cols < 2 {
+				cols = 2
+			}
+			return gen.Grid(rows, cols)
+		}},
+		{"wheel", 5, 24, func(_ *rand.Rand, n int) *graph.Graph { return gen.Wheel(n) }},
+		{"barbell", 6, 24, func(rng *rand.Rand, n int) *graph.Graph {
+			c := 2 + rng.Intn(n/3)
+			bridge := n - 2*c
+			if bridge < 0 {
+				bridge = 0
+			}
+			return gen.Barbell(c, bridge)
+		}},
+		{"complete", 4, 16, func(_ *rand.Rand, n int) *graph.Graph { return gen.Complete(n) }},
+		{"caterpillar", 4, 24, func(rng *rand.Rand, n int) *graph.Graph {
+			legs := 1 + rng.Intn(3)
+			spine := n / (legs + 1)
+			if spine < 1 {
+				spine = 1
+			}
+			return gen.Caterpillar(spine, legs)
+		}},
+		{"hypercube", 4, 16, func(rng *rand.Rand, _ int) *graph.Graph {
+			return gen.Hypercube(2 + rng.Intn(3))
+		}},
+		{"binarytree", 4, 15, func(rng *rand.Rand, _ int) *graph.Graph {
+			return gen.BinaryTree(2 + rng.Intn(3))
+		}},
+	}
+}
+
+// Generate draws one random scenario for the named algorithm: a family
+// at a random size with adversarially permuted labels, a random
+// (s, t) pair, and k sampled in a band around the algorithm's
+// threshold T(n) (from T(n)−2 — probing just below the guarantee — up
+// to T(n)+3 and the occasional ⌊n/2⌋ extreme). maxN caps the graph
+// size. The scenario records the drawn seed so deterministic property
+// randomness replays.
+func Generate(rng *rand.Rand, algo string, maxN int) (*Scenario, error) {
+	mk, ok := Algorithms()[algo]
+	if !ok {
+		return nil, fmt.Errorf("fuzz: unknown algorithm %q", algo)
+	}
+	alg := mk()
+	fams := families()
+	fam := fams[rng.Intn(len(fams))]
+	hi := fam.maxN
+	if maxN > 0 && maxN < hi {
+		hi = maxN
+	}
+	if hi < fam.minN {
+		hi = fam.minN
+	}
+	n := fam.minN + rng.Intn(hi-fam.minN+1)
+	g := fam.build(rng, n)
+	g = g.PermuteLabels(gen.RandomLabelPermutation(rng, g))
+
+	vs := g.Vertices()
+	if len(vs) < 2 {
+		return nil, fmt.Errorf("fuzz: family %s produced a trivial graph", fam.name)
+	}
+	s := vs[rng.Intn(len(vs))]
+	t := vs[rng.Intn(len(vs))]
+	for t == s {
+		t = vs[rng.Intn(len(vs))]
+	}
+
+	k := sampleK(rng, alg.MinK(g.N()), g.N())
+	return &Scenario{
+		Algo:   algo,
+		Alg:    alg,
+		G:      g,
+		K:      k,
+		S:      s,
+		T:      t,
+		Seed:   rng.Int63(),
+		Family: fam.name,
+	}, nil
+}
+
+// sampleK draws a locality around the threshold: mostly the band
+// [T(n)−2, T(n)+3], clamped to [1, n], with an occasional draw of the
+// ⌊n/2⌋ regime where every algorithm must degenerate to shortest
+// paths.
+func sampleK(rng *rand.Rand, threshold, n int) int {
+	if threshold <= 0 {
+		threshold = 1
+	}
+	k := threshold - 2 + rng.Intn(6)
+	if rng.Intn(8) == 0 {
+		k = n / 2
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}

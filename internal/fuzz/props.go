@@ -1,0 +1,229 @@
+package fuzz
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"klocal/internal/engine"
+	"klocal/internal/gen"
+	"klocal/internal/netsim"
+	"klocal/internal/sim"
+	"klocal/internal/verify"
+)
+
+// Property is one executable invariant over scenarios. Check returns
+// nil when the scenario satisfies the property (or the property's
+// precondition does not apply — e.g. k below threshold for a delivery
+// claim), and a descriptive error when the paper's claim is violated.
+// Checks must be deterministic functions of the scenario: the shrinker
+// re-runs them as its reduction predicate.
+type Property struct {
+	Name  string
+	Doc   string
+	Check func(sc *Scenario) error
+}
+
+// DifferentialMaxN caps the graph size the differential property spins
+// a full message-passing network for; larger scenarios skip it (the
+// goroutine-per-node simulator dominates the iteration budget beyond
+// this).
+const DifferentialMaxN = 16
+
+// AllProperties returns the full registry in stable order. Each entry
+// enforces one row of the contract list in route/doc.go.
+func AllProperties() []Property {
+	return []Property{
+		{
+			Name:  "delivery",
+			Doc:   "k ≥ T(n) ⇒ every (s, t) message is delivered (Theorems 5–8)",
+			Check: checkDelivery,
+		},
+		{
+			Name:  "dilation",
+			Doc:   "delivered walks at k ≥ T(n) stay within the Table 2 bound (7/6/3/1)",
+			Check: checkDilation,
+		},
+		{
+			Name:  "walk",
+			Doc:   "walks are graph walks: start s, end t, edges only, no illegal hop at any k",
+			Check: checkWalkValidity,
+		},
+		{
+			Name:  "determinism",
+			Doc:   "re-binding and re-routing yields a byte-identical walk (stateless determinism)",
+			Check: checkDeterminism,
+		},
+		{
+			Name:  "relabel",
+			Doc:   "delivery and dilation survive adversarial vertex-ID relabelling at k ≥ T(n)",
+			Check: checkRelabel,
+		},
+		{
+			Name:  "differential",
+			Doc:   "the in-memory engine and the fault-free netsim route the same walk",
+			Check: checkDifferential,
+		},
+	}
+}
+
+// ResolveProperties maps a comma-separated property list ("" or "all" =
+// the full registry) to Property values, rejecting unknown names.
+func ResolveProperties(list string) ([]Property, error) {
+	all := AllProperties()
+	if list == "" || list == "all" {
+		return all, nil
+	}
+	byName := make(map[string]Property, len(all))
+	var known []string
+	for _, p := range all {
+		byName[p.Name] = p
+		known = append(known, p.Name)
+	}
+	sort.Strings(known)
+	var props []Property
+	for _, raw := range strings.Split(list, ",") {
+		name := strings.TrimSpace(raw)
+		if name == "" {
+			continue
+		}
+		p, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("fuzz: unknown property %q (%s)", name, strings.Join(known, "|"))
+		}
+		props = append(props, p)
+	}
+	if len(props) == 0 {
+		return all, nil
+	}
+	return props, nil
+}
+
+// routeScenario binds the scenario's algorithm fresh and simulates the
+// single message, with the loop-detection criterion matching the
+// algorithm's awareness.
+func routeScenario(sc *Scenario) *sim.Result {
+	f := sc.Alg.Bind(sc.G, sc.K)
+	return sim.Run(sc.G, sim.Func(f), sc.S, sc.T, sim.Options{
+		DetectLoops:      !sc.Alg.Randomized,
+		PredecessorAware: sc.Alg.PredecessorAware,
+	})
+}
+
+func checkDelivery(sc *Scenario) error {
+	if !sc.AtThreshold() {
+		return nil
+	}
+	res := routeScenario(sc)
+	if res.Outcome != sim.Delivered {
+		return fmt.Errorf("not delivered at k=%d ≥ T(%d)=%d: outcome %v, err %v",
+			sc.K, sc.G.N(), sc.Alg.MinK(sc.G.N()), res.Outcome, res.Err)
+	}
+	return nil
+}
+
+func checkDilation(sc *Scenario) error {
+	bound := sc.DilationBound()
+	if !sc.AtThreshold() || bound == 0 {
+		return nil
+	}
+	res := routeScenario(sc)
+	if res.Outcome != sim.Delivered {
+		return nil // the delivery property owns that failure
+	}
+	return verify.CheckDilation(res.Route, sc.G, sc.S, sc.T, bound)
+}
+
+func checkWalkValidity(sc *Scenario) error {
+	res := routeScenario(sc)
+	switch res.Outcome {
+	case sim.Delivered:
+		return verify.CheckWalk(sc.G, sc.S, sc.T, res.Route, 0)
+	case sim.Errored:
+		// Typed routing errors (locality too small, no admissible hop)
+		// are legitimate below threshold; forwarding to a non-neighbour
+		// never is.
+		if errors.Is(res.Err, sim.ErrIllegalHop) {
+			return fmt.Errorf("illegal hop: %v", res.Err)
+		}
+	}
+	return nil
+}
+
+func checkDeterminism(sc *Scenario) error {
+	a := routeScenario(sc)
+	b := routeScenario(sc)
+	if a.Outcome != b.Outcome {
+		return fmt.Errorf("re-run changed outcome: %v then %v", a.Outcome, b.Outcome)
+	}
+	if len(a.Route) != len(b.Route) {
+		return fmt.Errorf("re-run changed walk length: %d then %d hops", a.Len(), b.Len())
+	}
+	for i := range a.Route {
+		if a.Route[i] != b.Route[i] {
+			return fmt.Errorf("re-run diverged at hop %d: %d vs %d", i, a.Route[i], b.Route[i])
+		}
+	}
+	return nil
+}
+
+func checkRelabel(sc *Scenario) error {
+	if !sc.AtThreshold() {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(sc.Seed))
+	perm := gen.RandomLabelPermutation(rng, sc.G)
+	relabeled := &Scenario{
+		Algo: sc.Algo, Alg: sc.Alg,
+		G: sc.G.PermuteLabels(perm),
+		K: sc.K, S: perm[sc.S], T: perm[sc.T],
+		Seed: sc.Seed, Family: sc.Family,
+	}
+	res := routeScenario(relabeled)
+	if res.Outcome != sim.Delivered {
+		return fmt.Errorf("relabelling defeats delivery at k=%d ≥ T(n): outcome %v, err %v",
+			sc.K, res.Outcome, res.Err)
+	}
+	if bound := sc.DilationBound(); bound > 0 {
+		if err := verify.CheckDilation(res.Route, relabeled.G, relabeled.S, relabeled.T, bound); err != nil {
+			return fmt.Errorf("relabelling breaks the dilation bound: %w", err)
+		}
+	}
+	return nil
+}
+
+func checkDifferential(sc *Scenario) error {
+	if !sc.AtThreshold() || sc.G.N() > DifferentialMaxN {
+		return nil
+	}
+	snap, err := engine.NewSnapshot(sc.G, sc.K, sc.Alg)
+	if err != nil {
+		return fmt.Errorf("engine snapshot: %v", err)
+	}
+	mem := snap.Route(sc.S, sc.T, 0)
+	if mem.Outcome != sim.Delivered {
+		return nil // the delivery property owns in-memory failures
+	}
+
+	nw := netsim.New(sc.G, sc.K, sc.Alg)
+	nw.Start()
+	defer nw.Stop()
+	if err := nw.Discover(); err != nil {
+		return fmt.Errorf("fault-free discovery failed: %v", err)
+	}
+	dist, err := nw.Send(sc.S, sc.T)
+	if err != nil {
+		return fmt.Errorf("engine delivered in %d hops but netsim failed: %v", mem.Len(), err)
+	}
+	if len(dist) != len(mem.Route) {
+		return fmt.Errorf("walk lengths differ: engine %d hops, netsim %d hops", mem.Len(), len(dist)-1)
+	}
+	for i := range dist {
+		if dist[i] != mem.Route[i] {
+			return fmt.Errorf("walks diverge at hop %d: engine %d, netsim %d", i, mem.Route[i], dist[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,289 @@
+package fuzz
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"klocal/internal/sim"
+)
+
+// Config tunes a fuzzing run.
+type Config struct {
+	// Algos are the algorithm names to draw scenarios for (see
+	// Algorithms); empty means every real algorithm.
+	Algos []string
+	// Props are the properties to enforce; empty means the full
+	// registry.
+	Props []Property
+	// Budget bounds the wall time of the generation phase; 0 means no
+	// time bound (Iterations must then be set).
+	Budget time.Duration
+	// Iterations bounds the number of scenarios; 0 means unbounded
+	// (Budget must then be set). With both zero, a default of 1000
+	// scenarios applies.
+	Iterations int64
+	// Workers sizes the pool; 0 means GOMAXPROCS.
+	Workers int
+	// Seed makes the run reproducible: scenario #i is a pure function of
+	// (Seed, i, Algos), independent of worker scheduling, so an
+	// iteration-bounded run replays exactly and a budgeted run replays a
+	// prefix-closed superset or subset of the same scenario stream.
+	Seed int64
+	// MaxN caps generated graph sizes (0 = the families' own caps).
+	MaxN int
+	// DisableShrink skips counterexample minimization.
+	DisableShrink bool
+	// ShrinkBudget bounds candidate evaluations per finding (0 =
+	// ShrinkBudget constant).
+	ShrinkBudget int
+}
+
+// Finding is one violated property, deduplicated by (algorithm,
+// property): Original is the earliest scenario (by iteration index)
+// that exposed it, Shrunk the minimized reproducer (absent when
+// shrinking is disabled — seeded from the smallest scenario that hit
+// the same pair, which gives the shrinker the best starting point), and
+// Count how many scenarios hit the pair during the run.
+type Finding struct {
+	Property string `json:"property"`
+	Algo     string `json:"algo"`
+	Error    string `json:"error"`
+	Count    int    `json:"count"`
+	Original Case   `json:"original"`
+	Shrunk   *Case  `json:"shrunk,omitempty"`
+	// ShrunkError is the violation as reproduced by the minimized
+	// scenario.
+	ShrunkError string `json:"shrunk_error,omitempty"`
+	// ShrunkN and OriginalN are the vertex counts before and after
+	// minimization.
+	OriginalN int `json:"original_n"`
+	ShrunkN   int `json:"shrunk_n,omitempty"`
+}
+
+// Report aggregates a fuzzing run.
+type Report struct {
+	// Scenarios is the number of generated scenarios; Checks the number
+	// of property evaluations over them.
+	Scenarios int64         `json:"scenarios"`
+	Checks    int64         `json:"checks"`
+	Elapsed   time.Duration `json:"elapsed_ns"`
+	Findings  []Finding     `json:"findings"`
+}
+
+// OK reports whether no property was violated.
+func (r *Report) OK() bool { return len(r.Findings) == 0 }
+
+// String summarizes the run.
+func (r *Report) String() string {
+	return fmt.Sprintf("scenarios=%d checks=%d elapsed=%v findings=%d",
+		r.Scenarios, r.Checks, r.Elapsed.Round(time.Millisecond), len(r.Findings))
+}
+
+// WriteJSON emits the full report, findings and reproducers included.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// pending pairs a finding with the live scenario and property needed to
+// shrink it after the generation phase. origIdx and seedIdx make the
+// choice of Original (earliest) and shrink seed (smallest, earliest on
+// ties) independent of worker scheduling.
+type pending struct {
+	finding  Finding
+	scenario *Scenario
+	prop     Property
+	origIdx  int64
+	seedIdx  int64
+}
+
+// Run executes a fuzzing campaign: Workers goroutines generate and
+// check scenarios until the time or iteration budget is exhausted, then
+// every distinct (algorithm, property) violation is shrunk to a minimal
+// reproducer. The returned report's Findings are sorted by algorithm
+// then property.
+func Run(cfg Config) (*Report, error) {
+	if len(cfg.Algos) == 0 {
+		cfg.Algos = AlgorithmNames()
+	}
+	reg := Algorithms()
+	for _, a := range cfg.Algos {
+		if _, ok := reg[a]; !ok {
+			return nil, fmt.Errorf("fuzz: unknown algorithm %q", a)
+		}
+	}
+	props := cfg.Props
+	if len(props) == 0 {
+		props = AllProperties()
+	}
+	if cfg.Budget <= 0 && cfg.Iterations <= 0 {
+		cfg.Iterations = 1000
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	var (
+		deadline  time.Time
+		scenarios atomic.Int64
+		checks    atomic.Int64
+		mu        sync.Mutex
+		found     = map[string]*pending{}
+		wg        sync.WaitGroup
+	)
+	start := time.Now()
+	if cfg.Budget > 0 {
+		deadline = start.Add(cfg.Budget)
+	}
+
+	record := func(p Property, sc *Scenario, err error, idx int64) {
+		mu.Lock()
+		defer mu.Unlock()
+		key := sc.Algo + "/" + p.Name
+		pd, ok := found[key]
+		if !ok {
+			found[key] = &pending{
+				finding: Finding{
+					Property:  p.Name,
+					Algo:      sc.Algo,
+					Error:     err.Error(),
+					Count:     1,
+					Original:  sc.ToCase(key),
+					OriginalN: sc.G.N(),
+				},
+				scenario: sc,
+				prop:     p,
+				origIdx:  idx,
+				seedIdx:  idx,
+			}
+			return
+		}
+		pd.finding.Count++
+		if idx < pd.origIdx {
+			pd.origIdx = idx
+			pd.finding.Error = err.Error()
+			pd.finding.Original = sc.ToCase(key)
+			pd.finding.OriginalN = sc.G.N()
+		}
+		if sc.G.N() < pd.scenario.G.N() ||
+			(sc.G.N() == pd.scenario.G.N() && idx < pd.seedIdx) {
+			pd.scenario = sc
+			pd.seedIdx = idx
+		}
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if !deadline.IsZero() && time.Now().After(deadline) {
+					return
+				}
+				n := scenarios.Add(1)
+				if cfg.Iterations > 0 && n > cfg.Iterations {
+					scenarios.Add(-1)
+					return
+				}
+				// One RNG per scenario, seeded by the global iteration
+				// index: scenario #n is identical no matter which worker
+				// claims it or in what order.
+				rng := rand.New(rand.NewSource(cfg.Seed + n))
+				algo := cfg.Algos[rng.Intn(len(cfg.Algos))]
+				sc, err := Generate(rng, algo, cfg.MaxN)
+				if err != nil {
+					continue
+				}
+				for _, p := range props {
+					checks.Add(1)
+					if verr := p.Check(sc); verr != nil {
+						record(p, sc, verr, n)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	rep := &Report{Scenarios: scenarios.Load(), Checks: checks.Load()}
+	keys := make([]string, 0, len(found))
+	for k := range found {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		pd := found[k]
+		if !cfg.DisableShrink {
+			small := Shrink(pd.scenario, func(c *Scenario) bool {
+				return pd.prop.Check(c) != nil
+			}, cfg.ShrinkBudget)
+			c := small.ToCase(k + "-min")
+			c.Property = pd.finding.Property
+			if verr := pd.prop.Check(small); verr != nil {
+				pd.finding.ShrunkError = verr.Error()
+			}
+			pd.finding.Shrunk = &c
+			pd.finding.ShrunkN = small.G.N()
+		}
+		rep.Findings = append(rep.Findings, pd.finding)
+	}
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+// ReplayCorpus runs every property over every corpus case and returns
+// the violations keyed by case name — the tier-1 regression gate over
+// checked-in scenarios. Cases carrying a MinDilation additionally
+// assert their walk stays at least that stretched (tightness
+// witnesses).
+func ReplayCorpus(cases []Case, props []Property) map[string][]error {
+	if len(props) == 0 {
+		props = AllProperties()
+	}
+	failures := map[string][]error{}
+	for _, c := range cases {
+		sc, err := c.Scenario()
+		if err != nil {
+			failures[c.Name] = append(failures[c.Name], err)
+			continue
+		}
+		for _, p := range props {
+			if verr := p.Check(sc); verr != nil {
+				failures[c.Name] = append(failures[c.Name], fmt.Errorf("%s: %w", p.Name, verr))
+			}
+		}
+		if c.MinDilation > 0 {
+			if verr := checkTightness(sc, c.MinDilation); verr != nil {
+				failures[c.Name] = append(failures[c.Name], verr)
+			}
+		}
+	}
+	return failures
+}
+
+// checkTightness asserts the scenario's routed walk has dilation at
+// least min — the lower-bound half of the paper's "tight" claims,
+// witnessed by the extremal corpus instances.
+func checkTightness(sc *Scenario, min float64) error {
+	res := routeScenario(sc)
+	if res.Dist <= 0 {
+		return fmt.Errorf("tightness: endpoints %d -> %d disconnected", sc.S, sc.T)
+	}
+	d := float64(res.Len()) / float64(res.Dist)
+	if res.Outcome != sim.Delivered {
+		return fmt.Errorf("tightness: witness not delivered (outcome %v)", res.Outcome)
+	}
+	if d < min-1e-9 {
+		return fmt.Errorf("tightness: dilation %.3f below the witnessed lower bound %.3f", d, min)
+	}
+	return nil
+}

@@ -1,0 +1,184 @@
+package fuzz
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"klocal/internal/serve"
+	"klocal/internal/sim"
+)
+
+// propsByName picks a registry subset for focused tests.
+func propsByName(t *testing.T, names string) []Property {
+	t.Helper()
+	props, err := ResolveProperties(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return props
+}
+
+// TestBrokenAlgorithmFoundAndShrunk is the subsystem's acceptance test:
+// against the deliberately defective Algorithm 2 variant the fuzzer
+// must find a delivery violation, shrink it to at most 12 vertices, and
+// the minimized case must replay to the same failure after a round-trip
+// through its serve.GraphSpec JSON form — exactly what
+// `routesim -graph finding.json` does.
+func TestBrokenAlgorithmFoundAndShrunk(t *testing.T) {
+	rep, err := Run(Config{
+		Algos:      []string{"broken2"},
+		Props:      propsByName(t, "delivery"),
+		Iterations: 300,
+		Workers:    4,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatalf("fuzzer failed to defeat the broken variant in %d scenarios", rep.Scenarios)
+	}
+	var f *Finding
+	for i := range rep.Findings {
+		if rep.Findings[i].Property == "delivery" && rep.Findings[i].Algo == "broken2" {
+			f = &rep.Findings[i]
+		}
+	}
+	if f == nil {
+		t.Fatalf("no delivery finding against broken2: %+v", rep.Findings)
+	}
+	if f.Shrunk == nil {
+		t.Fatal("finding was not shrunk")
+	}
+	if f.ShrunkN > 12 {
+		t.Fatalf("shrunk reproducer has %d vertices, want <= 12", f.ShrunkN)
+	}
+	if f.ShrunkError == "" {
+		t.Fatal("shrunk case does not carry its reproduced violation")
+	}
+
+	// Round-trip the minimized case through JSON, then re-parse the same
+	// bytes as a bare serve.GraphSpec — the corpus artifact must stay
+	// loadable by the CLIs that only understand GraphSpec.
+	data, err := json.Marshal(f.Shrunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spec serve.GraphSpec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		t.Fatal(err)
+	}
+	g, err := spec.Build()
+	if err != nil {
+		t.Fatalf("minimized spec does not build: %v", err)
+	}
+	if g.N() != f.ShrunkN {
+		t.Fatalf("GraphSpec round-trip changed the graph: %d vertices, want %d", g.N(), f.ShrunkN)
+	}
+
+	var c Case
+	if err := json.Unmarshal(data, &c); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := c.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := routeScenario(sc)
+	if res.Outcome == sim.Delivered {
+		t.Fatalf("replayed minimized case delivered; want the original failure (walk %v)", res.Route)
+	}
+}
+
+// TestRealAlgorithmsSurviveFuzzing runs a short all-property campaign
+// over the four real algorithms; the paper's theorems say no finding
+// can exist.
+func TestRealAlgorithmsSurviveFuzzing(t *testing.T) {
+	rep, err := Run(Config{
+		Iterations: 120,
+		Workers:    4,
+		Seed:       7,
+		MaxN:       20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		var buf bytes.Buffer
+		_ = rep.WriteJSON(&buf)
+		t.Fatalf("fuzzing the real algorithms produced findings:\n%s", buf.String())
+	}
+	if rep.Scenarios != 120 {
+		t.Fatalf("ran %d scenarios, want 120", rep.Scenarios)
+	}
+	wantChecks := rep.Scenarios * int64(len(AllProperties()))
+	if rep.Checks != wantChecks {
+		t.Fatalf("ran %d checks, want %d", rep.Checks, wantChecks)
+	}
+}
+
+// TestRunReproducible: the scenario stream is a pure function of the
+// seed, so two iteration-bounded runs against the broken variant find
+// the identical original counterexample.
+func TestRunReproducible(t *testing.T) {
+	run := func() Finding {
+		rep, err := Run(Config{
+			Algos:         []string{"broken2"},
+			Props:         propsByName(t, "delivery"),
+			Iterations:    200,
+			Workers:       3,
+			Seed:          42,
+			DisableShrink: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Findings) != 1 {
+			t.Fatalf("want exactly one deduplicated finding, got %d", len(rep.Findings))
+		}
+		return rep.Findings[0]
+	}
+	a, b := run(), run()
+	if a.Count != b.Count {
+		t.Fatalf("finding counts differ across identical runs: %d vs %d", a.Count, b.Count)
+	}
+	aj, _ := json.Marshal(a.Original)
+	bj, _ := json.Marshal(b.Original)
+	if !bytes.Equal(aj, bj) {
+		t.Fatalf("original cases differ across identical runs:\n%s\n%s", aj, bj)
+	}
+}
+
+func TestResolveAlgorithmsAndProperties(t *testing.T) {
+	if _, err := ResolveAlgorithms("alg1,nope"); err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("want unknown-algorithm error, got %v", err)
+	}
+	names, err := ResolveAlgorithms(" alg2 , broken2 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "alg2" || names[1] != "broken2" {
+		t.Fatalf("bad resolution: %v", names)
+	}
+	if got, _ := ResolveAlgorithms("all"); len(got) != 4 {
+		t.Fatalf("all should mean the four real algorithms, got %v", got)
+	}
+	if _, err := ResolveProperties("delivery,bogus"); err == nil {
+		t.Fatal("want unknown-property error")
+	}
+	props, err := ResolveProperties("walk,differential")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(props) != 2 || props[0].Name != "walk" || props[1].Name != "differential" {
+		t.Fatalf("bad property resolution: %v", props)
+	}
+}
+
+func TestRunRejectsUnknownAlgorithm(t *testing.T) {
+	if _, err := Run(Config{Algos: []string{"alg9"}, Iterations: 1}); err == nil {
+		t.Fatal("want error for unknown algorithm")
+	}
+}

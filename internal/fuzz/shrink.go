@@ -1,0 +1,158 @@
+package fuzz
+
+import (
+	"sort"
+
+	"klocal/internal/graph"
+)
+
+// ShrinkBudget bounds how many candidate scenarios one shrink run may
+// evaluate; each evaluation re-routes the message (and, for the
+// differential property, may spin a network), so the budget is the
+// shrinker's wall-clock knob.
+const ShrinkBudget = 4000
+
+// Shrink delta-debugs a failing scenario to a minimal reproducer: it
+// greedily removes vertices (outright and by smoothing degree-2
+// vertices away) and edges and lowers the locality while
+// `fails` (the property re-check: true ⇒ the reduced scenario still
+// violates the same property) keeps holding and the graph stays
+// connected with both endpoints present. Passes repeat to a fixpoint or
+// until the evaluation budget runs out. The returned scenario is always
+// a valid failing scenario — sc itself if nothing could be removed.
+//
+// Greedy single-element removal is sound here because every property is
+// a deterministic predicate of the scenario; it is not guaranteed to be
+// globally minimal, only 1-minimal (no single vertex, edge, or unit of
+// k can be removed without losing the failure) — the standard
+// delta-debugging guarantee.
+func Shrink(sc *Scenario, fails func(*Scenario) bool, budget int) *Scenario {
+	if budget <= 0 {
+		budget = ShrinkBudget
+	}
+	cur := sc
+	evals := 0
+	try := func(cand *Scenario) bool {
+		if evals >= budget {
+			return false
+		}
+		evals++
+		return fails(cand)
+	}
+
+	for evals < budget {
+		improved := false
+
+		// Pass 1: drop vertices (largest graphs first benefit most).
+		// Endpoints are pinned; connectivity is re-checked per candidate.
+		for _, v := range sortedVertices(cur.G) {
+			if v == cur.S || v == cur.T {
+				continue
+			}
+			g2 := cur.G.WithoutVertex(v)
+			if g2.N() < 2 || !g2.Connected() {
+				continue
+			}
+			cand := cur.withGraph(g2)
+			if try(cand) {
+				cur = cand
+				improved = true
+			}
+		}
+
+		// Pass 1b: smooth degree-2 vertices — drop v and join its two
+		// neighbours directly. Plain removal disconnects any cycle the
+		// failure lives on; smoothing is what lets cycle-shaped
+		// counterexamples contract one vertex at a time.
+		for _, v := range sortedVertices(cur.G) {
+			if v == cur.S || v == cur.T || cur.G.Deg(v) != 2 {
+				continue
+			}
+			adj := cur.G.Adj(v)
+			a, b := adj[0], adj[1]
+			g2 := cur.G.WithoutVertex(v)
+			if !g2.HasEdge(a, b) {
+				g2 = withExtraEdge(g2, a, b)
+			}
+			if g2.N() < 2 || !g2.Connected() {
+				continue
+			}
+			cand := cur.withGraph(g2)
+			if try(cand) {
+				cur = cand
+				improved = true
+			}
+		}
+
+		// Pass 2: drop edges.
+		for _, e := range cur.G.Edges() {
+			g2 := cur.G.WithoutEdges([]graph.Edge{e})
+			if !g2.Connected() {
+				continue
+			}
+			cand := cur.withGraph(g2)
+			if try(cand) {
+				cur = cand
+				improved = true
+			}
+		}
+
+		// Pass 3: lower k. Threshold-gated properties stop failing once
+		// k < T(n) (their precondition lapses), so this settles at the
+		// smallest k that still witnesses the violation.
+		for cur.K > 1 {
+			cand := cur.clone()
+			cand.K--
+			if !try(cand) {
+				break
+			}
+			cur = cand
+			improved = true
+		}
+
+		if !improved {
+			break
+		}
+	}
+	return cur
+}
+
+// withGraph derives a candidate scenario on a reduced graph, keeping
+// everything else (the locality is clamped to the new size so views
+// stay well-defined).
+func (sc *Scenario) withGraph(g *graph.Graph) *Scenario {
+	cand := sc.clone()
+	cand.G = g
+	if cand.K > g.N() {
+		cand.K = g.N()
+	}
+	return cand
+}
+
+func (sc *Scenario) clone() *Scenario {
+	c := *sc
+	return &c
+}
+
+// withExtraEdge rebuilds g with one additional edge.
+func withExtraEdge(g *graph.Graph, a, b graph.Vertex) *graph.Graph {
+	bld := graph.NewBuilder()
+	for _, v := range g.Vertices() {
+		bld.AddVertex(v)
+	}
+	for _, e := range g.Edges() {
+		bld.AddEdge(e.U, e.V)
+	}
+	bld.AddEdge(a, b)
+	return bld.Build()
+}
+
+// sortedVertices returns the vertex set in descending label order:
+// removing high labels first tends to keep the surviving instance's
+// rank structure (and therefore the failure) intact, since the
+// algorithms tie-break on low rank.
+func sortedVertices(g *graph.Graph) []graph.Vertex {
+	vs := append([]graph.Vertex(nil), g.Vertices()...)
+	sort.Slice(vs, func(i, j int) bool { return vs[i] > vs[j] })
+	return vs
+}

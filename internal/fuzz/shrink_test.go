@@ -1,0 +1,122 @@
+package fuzz
+
+import (
+	"math/rand"
+	"testing"
+
+	"klocal/internal/gen"
+	"klocal/internal/graph"
+	"klocal/internal/sim"
+)
+
+// TestShrinkReachesMinimalCycle: seed the shrinker with a broken2
+// failure on a relabeled 14-cycle; the minimal reproducer must stay a
+// failing scenario, keep both endpoints, stay connected, and get small
+// (plain vertex removal disconnects a cycle — this exercises the
+// degree-2 smoothing pass).
+func TestShrinkReachesMinimalCycle(t *testing.T) {
+	g := gen.Cycle(14)
+	rng := rand.New(rand.NewSource(2))
+	g = g.PermuteLabels(gen.RandomLabelPermutation(rng, g))
+
+	sc := scenarioOn(t, "broken2", g, 0, 0, 1)
+	sc.K = sc.Alg.MinK(g.N())
+	s, tt, ok := findFailingPair(sc)
+	if !ok {
+		t.Fatal("broken2 delivers every pair on the relabeled 14-cycle; pick a harder seed")
+	}
+	sc.S, sc.T = s, tt
+	fails := func(c *Scenario) bool { return checkDelivery(c) != nil }
+	small := Shrink(sc, fails, 0)
+	if !fails(small) {
+		t.Fatal("shrunk scenario no longer fails")
+	}
+	if !small.G.Connected() {
+		t.Fatal("shrunk graph is disconnected")
+	}
+	if !small.G.HasVertex(small.S) || !small.G.HasVertex(small.T) {
+		t.Fatal("shrinking removed an endpoint")
+	}
+	if small.G.N() > 12 {
+		t.Fatalf("shrunk to %d vertices, want <= 12", small.G.N())
+	}
+	if small.G.N() > sc.G.N() || small.G.M() > sc.G.M() {
+		t.Fatal("shrinking grew the instance")
+	}
+	// 1-minimality over vertices: no single further vertex removal may
+	// keep the failure alive (that's the shrinker's contract).
+	for _, v := range small.G.Vertices() {
+		if v == small.S || v == small.T {
+			continue
+		}
+		g2 := small.G.WithoutVertex(v)
+		if g2.N() < 2 || !g2.Connected() {
+			continue
+		}
+		if fails(small.withGraph(g2)) {
+			t.Fatalf("not 1-minimal: removing vertex %d still fails", v)
+		}
+	}
+}
+
+// TestShrinkRespectsBudget: with a one-evaluation budget the shrinker
+// must return a failing scenario without exploring further.
+func TestShrinkRespectsBudget(t *testing.T) {
+	sc := mustFailingScenario(t)
+	small := Shrink(sc, func(c *Scenario) bool { return checkDelivery(c) != nil }, 1)
+	if checkDelivery(small) == nil {
+		t.Fatal("budgeted shrink returned a passing scenario")
+	}
+}
+
+// mustFailingScenario returns a broken2 scenario on a relabeled 9-cycle
+// at threshold with a concrete failing (s, t) pair.
+func mustFailingScenario(t *testing.T) *Scenario {
+	t.Helper()
+	g := gen.Cycle(9)
+	rng := rand.New(rand.NewSource(3))
+	g = g.PermuteLabels(gen.RandomLabelPermutation(rng, g))
+	sc := scenarioOn(t, "broken2", g, 0, 0, 1)
+	sc.K = sc.Alg.MinK(g.N())
+	s, tt, ok := findFailingPair(sc)
+	if !ok {
+		t.Fatal("no failing pair on the relabeled 9-cycle")
+	}
+	sc.S, sc.T = s, tt
+	return sc
+}
+
+// findFailingPair scans all ordered pairs for one the scenario's
+// algorithm fails to deliver.
+func findFailingPair(sc *Scenario) (graph.Vertex, graph.Vertex, bool) {
+	for _, s := range sc.G.Vertices() {
+		for _, t := range sc.G.Vertices() {
+			if s == t {
+				continue
+			}
+			cand := sc.clone()
+			cand.S, cand.T = s, t
+			if checkDelivery(cand) != nil {
+				return s, t, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// TestShrinkPreservesPropertyIdentity: the shrinker re-evaluates the
+// predicate wholesale, so whatever failure mode it encodes (here: the
+// walk must specifically livelock, not error out) survives reduction.
+func TestShrinkPreservesPropertyIdentity(t *testing.T) {
+	sc := mustFailingScenario(t)
+	loops := func(c *Scenario) bool {
+		return routeScenario(c).Outcome == sim.Looped
+	}
+	if !loops(sc) {
+		t.Skip("seed failure is not a livelock")
+	}
+	small := Shrink(sc, loops, 0)
+	if got := routeScenario(small).Outcome; got != sim.Looped {
+		t.Fatalf("shrunk outcome %v, want the original livelock", got)
+	}
+}

@@ -39,6 +39,14 @@ package route
 // ShortestPathOracle comparator) carry //klocal:allow annotations with
 // their justification.
 //
+// The same contracts are also enforced dynamically: internal/fuzz's
+// property registry checks delivery at k >= T(n), the Table 2 dilation
+// bounds, walk validity, determinism under re-binding, robustness under
+// adversarial relabelling, and an engine-vs-netsim differential on
+// randomized scenarios — via cmd/klocalcheck, the checked-in corpus
+// replayed in `go test`, and the FuzzRouting native harness. See
+// DESIGN.md §10.
+//
 // Reconstruction of the figure-only forwarding rules.
 //
 // The paper specifies Algorithm 1's forwarding decisions through Figures

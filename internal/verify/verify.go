@@ -203,13 +203,59 @@ func CheckWalk(g *graph.Graph, s, t graph.Vertex, walk []graph.Vertex, maxDilati
 		}
 	}
 	if maxDilation > 0 && s != t {
-		dist := g.Dist(s, t)
-		if dist <= 0 {
-			return fmt.Errorf("verify: no path %d -> %d in the claimed topology", s, t)
-		}
-		if hops := len(walk) - 1; float64(hops) > maxDilation*float64(dist) {
-			return fmt.Errorf("verify: walk of %d hops exceeds dilation %.3g × dist %d", hops, maxDilation, dist)
-		}
+		return CheckDilation(walk, g, s, t, maxDilation)
 	}
 	return nil
 }
+
+// DilationViolation is the typed error CheckDilation reports when a
+// delivered walk exceeds a dilation bound: the walk took Hops edges
+// where the shortest path has Dist, blowing the Bound × Dist budget.
+type DilationViolation struct {
+	S, T       graph.Vertex
+	Hops, Dist int
+	Bound      float64
+}
+
+// Dilation is the measured ratio Hops/Dist.
+func (e *DilationViolation) Error() string {
+	return fmt.Sprintf("verify: walk %d -> %d of %d hops exceeds dilation %.3g × dist %d (measured %.3f)",
+		e.S, e.T, e.Hops, e.Bound, e.Dist, e.Dilation())
+}
+
+// Dilation returns the measured ratio Hops/Dist.
+func (e *DilationViolation) Dilation() float64 {
+	if e.Dist == 0 {
+		return 0
+	}
+	return float64(e.Hops) / float64(e.Dist)
+}
+
+// CheckDilation compares a delivered walk against a dilation bound by
+// recomputing the shortest-path distance in g: it fails with a
+// *DilationViolation when len(walk)−1 > bound × dist(s, t). The walk
+// must start at s and end at t (s ≠ t); the endpoints must be connected
+// in g. It replaces ad-hoc float ratio comparisons wherever a table,
+// figure or fuzz property enforces one of the paper's Table 2 bounds —
+// the typed error carries the exact hop and distance counts a
+// counterexample report needs.
+func CheckDilation(walk []graph.Vertex, g *graph.Graph, s, t graph.Vertex, bound float64) error {
+	if len(walk) == 0 || walk[0] != s || walk[len(walk)-1] != t {
+		return fmt.Errorf("verify: dilation check needs a walk from %d to %d", s, t)
+	}
+	if s == t {
+		return nil
+	}
+	dist := g.Dist(s, t)
+	if dist <= 0 {
+		return fmt.Errorf("verify: no path %d -> %d in the claimed topology", s, t)
+	}
+	if hops := len(walk) - 1; float64(hops) > bound*float64(dist)+dilationEps {
+		return &DilationViolation{S: s, T: t, Hops: hops, Dist: dist, Bound: bound}
+	}
+	return nil
+}
+
+// dilationEps absorbs float rounding when bound × dist is compared
+// against an integer hop count.
+const dilationEps = 1e-9
