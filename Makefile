@@ -6,9 +6,9 @@ GO ?= go
 # notice when none is installed.
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: tier1 check race build test vet lint klocalvet staticcheck bench serve-smoke fuzz-smoke go-fuzz-smoke
+.PHONY: tier1 check race build test vet lint klocalvet staticcheck bench serve-smoke fuzz-smoke go-fuzz-smoke cluster-smoke
 
-tier1: vet build test serve-smoke fuzz-smoke
+tier1: vet build test serve-smoke fuzz-smoke cluster-smoke
 
 # The full local gate: everything CI runs except the benchmarks.
 check: lint tier1 race
@@ -46,10 +46,18 @@ serve-smoke:
 
 # A 30-second randomized campaign of the differential fuzzer over every
 # algorithm and property (delivery, dilation, walk validity,
-# determinism, relabelling, engine/netsim differential); klocalcheck
-# exits non-zero on any finding and prints the minimized reproducer.
+# determinism, relabelling, engine/netsim differential, cluster
+# differential); klocalcheck exits non-zero on any finding and prints
+# the minimized reproducer.
 fuzz-smoke:
 	$(GO) run ./cmd/klocalcheck -budget 30s -props all -seed 1
+
+# Boot a 3-member cluster on loopback TCP, route cross-shard through
+# every member, kill one mid-traffic, check typed fast failure plus
+# tombstone route-around, then rejoin it under a fresh incarnation and
+# check full recovery — the crash/recovery story end to end in-process.
+cluster-smoke:
+	$(GO) run ./cmd/klocald -cluster-smoke
 
 # The Go-native fuzzing engine over the same scenario space, long enough
 # to exercise the decoder and mutator plumbing.
@@ -59,13 +67,14 @@ go-fuzz-smoke:
 # The concurrency-heavy code paths: the fault-tolerant discovery
 # protocol and injector, the traffic engine and its metric shards, the
 # sharded preprocessing cache, the routing daemon's hot-swap/drain
-# machinery, and the shared routing closures the engine's workers route
-# through.
+# machinery, the cluster membership/LSA/forwarding stack (including the
+# 5-member TCP crash e2e), and the shared routing closures the engine's
+# workers route through.
 race:
 	$(GO) test -race -count=1 \
 		./internal/netsim/... ./internal/fault/... \
 		./internal/engine/... ./internal/metrics/... ./internal/prep/... \
-		./internal/serve/...
+		./internal/serve/... ./internal/cluster/...
 	$(GO) test -race -count=1 -run Concurrent ./internal/route/...
 	$(MAKE) go-fuzz-smoke
 

@@ -52,6 +52,20 @@ func main() {
 		prewarm   = flag.Bool("prewarm", false, "precompute every vertex view at (re)deploy time")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown budget for the HTTP listener")
 		smoke     = flag.Bool("smoke", false, "self-test: boot on a loopback port, exercise every endpoint, shut down")
+
+		// Cluster mode (-shard selects it): N members each own a vertex
+		// range of the same GraphSpec, discover G_k(u) over HTTP, and
+		// forward /route requests hop by hop.
+		shard        = flag.String("shard", "", "cluster mode: own shard i/n of the graph's vertex space (e.g. 1/5)")
+		join         = flag.String("join", "", "cluster mode: comma-separated seed member addresses")
+		advertise    = flag.String("advertise", "", "cluster mode: address peers reach this member at (default -addr)")
+		incarnation  = flag.Int64("incarnation", 0, "cluster mode: membership incarnation (0 = unix time; must grow across rejoins)")
+		helloIvl     = flag.Duration("hello", 250*time.Millisecond, "cluster mode: HELLO heartbeat interval")
+		deadAfter    = flag.Duration("dead-after", 0, "cluster mode: silence before a peer is declared dead (0 = 8 × hello)")
+		peerDeadline = flag.Duration("peer-deadline", time.Second, "cluster mode: per-RPC deadline to a peer (one hop handoff attempt)")
+		hopBudget    = flag.Int("hop-budget", 0, "cluster mode: walk hop budget (0 = 8n+16)")
+		reqTimeout   = flag.Duration("request-timeout", 10*time.Second, "cluster mode: end-to-end budget for one entry request")
+		clusterSmoke = flag.Bool("cluster-smoke", false, "self-test: boot a 3-member loopback cluster, kill one, assert recovery")
 	)
 	flag.Parse()
 
@@ -83,6 +97,35 @@ func main() {
 			fatal(fmt.Errorf("smoke: %w", err))
 		}
 		fmt.Println("smoke: ok")
+		return
+	}
+	if *clusterSmoke {
+		if err := runClusterSmoke(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("cluster-smoke: ok")
+		return
+	}
+	if *shard != "" {
+		err := runCluster(clusterOptions{
+			addr:        *addr,
+			advertise:   *advertise,
+			shard:       *shard,
+			join:        splitCSV(*join),
+			algo:        splitCSV(*algos)[0],
+			k:           *k,
+			spec:        spec,
+			incarnation: *incarnation,
+			hello:       *helloIvl,
+			deadAfter:   *deadAfter,
+			peerDL:      *peerDeadline,
+			hopBudget:   *hopBudget,
+			reqTimeout:  *reqTimeout,
+			drain:       *drain,
+		})
+		if err != nil {
+			fatal(err)
+		}
 		return
 	}
 

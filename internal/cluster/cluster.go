@@ -1,0 +1,472 @@
+// Package cluster turns klocald into a distributed routing system: N
+// member processes each own a contiguous shard of the graph's vertex
+// space, discover each other through gossip membership (a seed list
+// plus periodic HELLO heartbeats carrying incarnation numbers), learn
+// the rest of the topology through link-state announcements exchanged
+// over a real transport (HTTP/TCP in production, an in-process loopback
+// in tests and the klocalcheck differential), and forward routing
+// requests hop by hop between shards. Every forwarding decision binds
+// the paper's k-local algorithm to the G_k(u) view assembled from
+// *received* announcements — never to the global topology — so the
+// locality contract the repo enforces in-process (klocalvet) now holds
+// across an actual network boundary.
+//
+// The discovery protocol reuses the netsim LSA semantics over HTTP:
+// announcements carry per-origin sequence numbers (epoch'd by the
+// member's incarnation so a rejoining process supersedes everything it
+// announced before the crash), receipt is acknowledged per peer,
+// unacknowledged transfers retransmit on fault.Plan's bounded
+// exponential backoff, a peer that exhausts the budget — or stops
+// HELLOing — is declared dead and its vertices tombstoned, and a
+// tombstone that reaches its live origin is refuted with a fresh
+// higher-sequence announcement. See DESIGN.md §11 for the protocol and
+// the forwarding state machine.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"klocal/internal/fault"
+	"klocal/internal/graph"
+	"klocal/internal/metrics"
+	"klocal/internal/route"
+)
+
+// Assignment is the static vertex→shard map every member agrees on: the
+// sorted vertex label space split into contiguous ranges. It is pure
+// addressing (which process answers for which label) and carries no
+// topology; adjacency is only ever learned through announcements.
+type Assignment struct {
+	vertices []graph.Vertex // sorted
+	shards   int
+}
+
+// NewAssignment splits the given vertex labels into shards contiguous
+// ranges. The slice is copied and sorted.
+func NewAssignment(vertices []graph.Vertex, shards int) (Assignment, error) {
+	if len(vertices) == 0 {
+		return Assignment{}, fmt.Errorf("cluster: empty vertex space")
+	}
+	if shards < 1 || shards > len(vertices) {
+		return Assignment{}, fmt.Errorf("cluster: %d shards over %d vertices", shards, len(vertices))
+	}
+	vs := make([]graph.Vertex, len(vertices))
+	copy(vs, vertices)
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	return Assignment{vertices: vs, shards: shards}, nil
+}
+
+// Shards returns the number of shards.
+func (a Assignment) Shards() int { return a.shards }
+
+// N returns the number of vertices in the addressed space.
+func (a Assignment) N() int { return len(a.vertices) }
+
+// Owner returns the shard index owning v, or false when v is outside
+// the addressed vertex space.
+func (a Assignment) Owner(v graph.Vertex) (int, bool) {
+	i := sort.Search(len(a.vertices), func(i int) bool { return a.vertices[i] >= v })
+	if i >= len(a.vertices) || a.vertices[i] != v {
+		return 0, false
+	}
+	// Contiguous ranges: shard s owns positions [s·n/shards, (s+1)·n/shards).
+	n := len(a.vertices)
+	lo, hi := 0, a.shards
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if (mid+1)*n/a.shards <= i {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, true
+}
+
+// Owned returns shard i's vertex range (a fresh slice).
+func (a Assignment) Owned(i int) []graph.Vertex {
+	n := len(a.vertices)
+	lo, hi := i*n/a.shards, (i+1)*n/a.shards
+	out := make([]graph.Vertex, hi-lo)
+	copy(out, a.vertices[lo:hi])
+	return out
+}
+
+// Config tunes a cluster member.
+type Config struct {
+	// Index is this member's shard index in [0, Shards).
+	Index int
+	// Shards is the cluster size the assignment was split into.
+	Shards int
+	// K is the locality parameter views are assembled at.
+	K int
+	// Alg is the routing algorithm bound to each discovered view.
+	Alg route.Algorithm
+	// Incarnation orders a member's lifetimes: a rejoining process must
+	// present a strictly higher incarnation to refute its own death.
+	// It also epochs LSA sequence numbers, so fresh announcements
+	// supersede both tombstones and pre-crash state.
+	Incarnation int64
+	// SelfAddr is the address this member advertises to peers.
+	SelfAddr string
+	// Seeds are bootstrap peer addresses (any non-empty subset of the
+	// cluster; gossip spreads the rest).
+	Seeds []string
+
+	// HelloInterval paces the heartbeat/gossip loop (default 250ms).
+	HelloInterval time.Duration
+	// DeadAfter is how long a peer may go silent before it is declared
+	// dead (default 8 × HelloInterval).
+	DeadAfter time.Duration
+	// RetryTick paces the retransmission loop (default 25ms).
+	RetryTick time.Duration
+	// RetryBase scales fault.Plan's exponential backoff schedule into
+	// wall time: attempt i retries after RetryBase·Backoff(i)
+	// (default 50ms).
+	RetryBase time.Duration
+	// MaxAttempts bounds transmissions per reliable LSA transfer before
+	// the peer is declared dead (0 = fault.DefaultMaxAttempts).
+	MaxAttempts int
+	// BackoffCap caps the exponential backoff factor
+	// (0 = fault.DefaultBackoffCap).
+	BackoffCap int
+
+	// PeerDeadline bounds one RPC to a peer — a HELLO, an LSA batch, or
+	// one hop handoff attempt (default 1s).
+	PeerDeadline time.Duration
+	// ForwardAttempts bounds handoff retries per hop before the
+	// forwarder fails the request with a typed error (default 3).
+	ForwardAttempts int
+	// HopBudget bounds the walk length of one request
+	// (default 8·n + 16).
+	HopBudget int
+	// RequestTimeout bounds one entry request end to end; past it the
+	// entry member answers with ErrRequestTimeout (default 10s).
+	RequestTimeout time.Duration
+}
+
+func (c Config) withDefaults(n int) Config {
+	if c.HelloInterval <= 0 {
+		c.HelloInterval = 250 * time.Millisecond
+	}
+	if c.DeadAfter <= 0 {
+		c.DeadAfter = 8 * c.HelloInterval
+	}
+	if c.RetryTick <= 0 {
+		c.RetryTick = 25 * time.Millisecond
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 50 * time.Millisecond
+	}
+	if c.PeerDeadline <= 0 {
+		c.PeerDeadline = time.Second
+	}
+	if c.ForwardAttempts <= 0 {
+		c.ForwardAttempts = 3
+	}
+	if c.HopBudget <= 0 {
+		c.HopBudget = 8*n + 16
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.Incarnation <= 0 {
+		c.Incarnation = 1
+	}
+	return c
+}
+
+// record is a member's stored copy of one origin vertex's announcement.
+// The adjacency slice is immutable once stored.
+type record struct {
+	seq  uint64
+	adj  []graph.Vertex
+	tomb bool
+}
+
+// newer applies the netsim supersession rule: higher sequence wins, and
+// at equal sequence a tombstone beats the live announcement it condemns.
+func (r *record) newer(seq uint64, tomb bool) bool {
+	return r == nil || seq > r.seq || (seq == r.seq && tomb && !r.tomb)
+}
+
+// Member is one cluster participant: it owns a shard of vertices,
+// gossips membership, floods and stores link-state, assembles G_k(u)
+// views for its owned vertices, and forwards routing requests hop by
+// hop. All exported methods are safe for concurrent use.
+type Member struct {
+	cfg  Config
+	asn  Assignment
+	plan fault.Plan // retry schedule for reliable transfers
+	adj  map[graph.Vertex][]graph.Vertex
+	tr   Transport
+	met  *metrics.Shard
+
+	mu       sync.Mutex
+	inc      int64
+	seqCount uint64
+	peers    map[int]*peerState
+	seeds    []string // unresolved bootstrap addresses
+	store    map[graph.Vertex]*record
+	storeGen int64
+	views    map[graph.Vertex]*boundView
+	ready    bool // latched: every addressed vertex has a record
+	stopped  bool
+
+	waitMu  sync.Mutex
+	waiters map[uint64]chan *RouteReply
+	nextID  atomic.Uint64
+
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	startOnce sync.Once
+	stopOnce  sync.Once
+}
+
+// NewMember builds a member for shard cfg.Index of asn. adj must be the
+// adjacency of exactly the owned vertices — the "every node knows its
+// own label and the labels of its neighbours" a-priori knowledge; the
+// rest of the topology is only ever learned through announcements.
+func NewMember(cfg Config, asn Assignment, adj map[graph.Vertex][]graph.Vertex, tr Transport) (*Member, error) {
+	if asn.shards == 0 {
+		return nil, fmt.Errorf("cluster: zero-value assignment")
+	}
+	if cfg.Index < 0 || cfg.Index >= asn.shards {
+		return nil, fmt.Errorf("cluster: shard index %d out of range [0, %d)", cfg.Index, asn.shards)
+	}
+	if cfg.Shards != 0 && cfg.Shards != asn.shards {
+		return nil, fmt.Errorf("cluster: config says %d shards, assignment has %d", cfg.Shards, asn.shards)
+	}
+	cfg.Shards = asn.shards
+	if cfg.Alg.Bind == nil {
+		return nil, fmt.Errorf("cluster: config needs a routing algorithm")
+	}
+	if tr == nil {
+		return nil, fmt.Errorf("cluster: nil transport")
+	}
+	cfg = cfg.withDefaults(asn.N())
+	owned := asn.Owned(cfg.Index)
+	if len(adj) != len(owned) {
+		return nil, fmt.Errorf("cluster: adjacency covers %d vertices, shard %d owns %d", len(adj), cfg.Index, len(owned))
+	}
+	m := &Member{
+		cfg:     cfg,
+		asn:     asn,
+		plan:    fault.Plan{MaxAttempts: cfg.MaxAttempts, BackoffCap: cfg.BackoffCap},
+		adj:     make(map[graph.Vertex][]graph.Vertex, len(owned)),
+		tr:      tr,
+		met:     metrics.NewShard(),
+		inc:     cfg.Incarnation,
+		peers:   make(map[int]*peerState),
+		store:   make(map[graph.Vertex]*record),
+		views:   make(map[graph.Vertex]*boundView),
+		waiters: make(map[uint64]chan *RouteReply),
+		stop:    make(chan struct{}),
+	}
+	for _, s := range cfg.Seeds {
+		if s != "" && s != cfg.SelfAddr {
+			m.seeds = append(m.seeds, s)
+		}
+	}
+	for _, v := range owned {
+		nbrs, ok := adj[v]
+		if !ok {
+			return nil, fmt.Errorf("cluster: adjacency missing owned vertex %d", v)
+		}
+		own := make([]graph.Vertex, len(nbrs))
+		copy(own, nbrs)
+		sort.Slice(own, func(i, j int) bool { return own[i] < own[j] })
+		m.adj[v] = own
+	}
+	m.mu.Lock()
+	for _, v := range owned {
+		m.reOriginateLocked(v)
+	}
+	m.checkReadyLocked()
+	m.mu.Unlock()
+	return m, nil
+}
+
+// seqEpochLocked folds the incarnation into the high half of the
+// sequence space so every announcement of a later lifetime supersedes
+// every announcement (and tombstone) of an earlier one.
+func (m *Member) seqEpochLocked() uint64 {
+	return uint64(m.inc&0x7fffffff) << 32
+}
+
+// Index returns this member's shard index.
+func (m *Member) Index() int { return m.cfg.Index }
+
+// Addr returns the advertised address.
+func (m *Member) Addr() string { return m.cfg.SelfAddr }
+
+// Assignment returns the shared vertex→shard map.
+func (m *Member) Assignment() Assignment { return m.asn }
+
+// Start launches the background heartbeat and retransmission loops.
+// Members used with Converge (deterministic in-process settling) need
+// not be started.
+func (m *Member) Start() {
+	m.startOnce.Do(func() {
+		m.wg.Add(2)
+		go m.helloLoop()
+		go m.retryLoop()
+	})
+}
+
+// Stop shuts the member down: loops exit, in-flight forwards resolve or
+// are dropped, and pending waiters are released. Idempotent.
+func (m *Member) Stop() {
+	m.stopOnce.Do(func() {
+		m.mu.Lock()
+		m.stopped = true
+		m.mu.Unlock()
+		close(m.stop)
+	})
+	m.wg.Wait()
+}
+
+func (m *Member) isStopped() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stopped
+}
+
+func (m *Member) helloLoop() {
+	defer m.wg.Done()
+	t := time.NewTicker(m.cfg.HelloInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-t.C:
+			m.helloPass()
+		}
+	}
+}
+
+func (m *Member) retryLoop() {
+	defer m.wg.Done()
+	t := time.NewTicker(m.cfg.RetryTick)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case now := <-t.C:
+			m.retryPass(now)
+		}
+	}
+}
+
+// checkReadyLocked latches readiness once every addressed vertex has a
+// record (live or tombstoned) — the member has heard from (or about)
+// the whole vertex space and can assemble views for any destination.
+func (m *Member) checkReadyLocked() {
+	if !m.ready && len(m.store) == m.asn.N() {
+		m.ready = true
+	}
+}
+
+// Ready reports whether discovery has covered the whole vertex space.
+func (m *Member) Ready() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ready && !m.stopped
+}
+
+// Stats is a point-in-time summary of the member's protocol state.
+type Stats struct {
+	Index       int   `json:"index"`
+	Shards      int   `json:"shards"`
+	Incarnation int64 `json:"incarnation"`
+	Ready       bool  `json:"ready"`
+	PeersAlive  int   `json:"peers_alive"`
+	PeersDead   int   `json:"peers_dead"`
+	Tombstones  int   `json:"tombstones"`
+	Coverage    int   `json:"coverage"`
+	Vertices    int   `json:"vertices"`
+	StoreGen    int64 `json:"store_gen"`
+	PendingLSAs int   `json:"pending_lsas"`
+}
+
+// Stats snapshots the protocol state (for /cluster/status, the e2e
+// tests, and the smoke driver).
+func (m *Member) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := Stats{
+		Index:       m.cfg.Index,
+		Shards:      m.asn.shards,
+		Incarnation: m.inc,
+		Ready:       m.ready && !m.stopped,
+		Coverage:    len(m.store),
+		Vertices:    m.asn.N(),
+		StoreGen:    m.storeGen,
+	}
+	for _, p := range m.peers {
+		if p.dead {
+			st.PeersDead++
+		} else {
+			st.PeersAlive++
+		}
+		st.PendingLSAs += len(p.pending)
+	}
+	for _, rec := range m.store {
+		if rec.tomb {
+			st.Tombstones++
+		}
+	}
+	return st
+}
+
+// pendingCount reports outstanding reliable transfers (Converge's
+// quiescence criterion).
+func (m *Member) pendingCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, p := range m.peers {
+		n += len(p.pending)
+	}
+	return n
+}
+
+// report attaches the derived gauges to a snapshot of the counters —
+// the shared body of /metrics and FinalReport. The per-class fault
+// counters (lsa_retransmits, tombstones_issued/refuted, hello_timeouts,
+// deaths_declared) ride along in the shard's counter set.
+func (m *Member) report(name string) *metrics.Report {
+	st := m.Stats()
+	rep := m.met.Clone().Snapshot()
+	rep.Name = name
+	if reqs := rep.Counter("requests"); reqs > 0 {
+		rep.Put("delivery_rate", float64(rep.Counter("delivered"))/float64(reqs))
+	}
+	rep.Put("peers_alive", float64(st.PeersAlive))
+	rep.Put("peers_dead", float64(st.PeersDead))
+	rep.Put("tombstones", float64(st.Tombstones))
+	rep.Put("coverage", float64(st.Coverage))
+	rep.Put("store_gen", float64(st.StoreGen))
+	ready := 0.0
+	if st.Ready {
+		ready = 1
+	}
+	rep.Put("ready", ready)
+	return rep
+}
+
+// Metrics renders the live cumulative report.
+func (m *Member) Metrics() *metrics.Report {
+	return m.report(fmt.Sprintf("klocald member %d/%d", m.cfg.Index, m.asn.shards))
+}
+
+// FinalReport is the shutdown summary, fault counters included.
+func (m *Member) FinalReport() *metrics.Report {
+	return m.report(fmt.Sprintf("klocald member %d/%d final", m.cfg.Index, m.asn.shards))
+}

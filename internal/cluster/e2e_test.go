@@ -1,0 +1,285 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"klocal/internal/gen"
+	"klocal/internal/graph"
+)
+
+// tcpMember is one e2e cluster participant on a real loopback listener.
+type tcpMember struct {
+	m  *Member
+	ln net.Listener
+	hs *http.Server
+}
+
+func (tm *tcpMember) addr() string { return tm.ln.Addr().String() }
+
+// kill simulates a crash: the listener closes (peers get connection
+// refused) and the member stops without any goodbye.
+func (tm *tcpMember) kill() {
+	tm.hs.Close()
+	tm.m.Stop()
+}
+
+// startTCPMember boots shard idx of g on a fresh loopback port.
+func startTCPMember(t *testing.T, g *graph.Graph, shards, idx, k int, inc int64, seeds []string) *tcpMember {
+	t.Helper()
+	asn, err := NewAssignment(g.Vertices(), shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj := make(map[graph.Vertex][]graph.Vertex)
+	for _, v := range asn.Owned(idx) {
+		var nbrs []graph.Vertex
+		g.EachAdj(v, func(w graph.Vertex) bool {
+			nbrs = append(nbrs, w)
+			return true
+		})
+		adj[v] = nbrs
+	}
+	cfg := Config{
+		Index:           idx,
+		K:               k,
+		Alg:             alg2(t),
+		Incarnation:     inc,
+		SelfAddr:        ln.Addr().String(),
+		Seeds:           seeds,
+		HelloInterval:   25 * time.Millisecond,
+		DeadAfter:       300 * time.Millisecond,
+		RetryTick:       10 * time.Millisecond,
+		RetryBase:       20 * time.Millisecond,
+		PeerDeadline:    250 * time.Millisecond,
+		ForwardAttempts: 2,
+		RequestTimeout:  2 * time.Second,
+	}
+	m, err := NewMember(cfg, asn, adj, NewHTTPTransport(nil))
+	if err != nil {
+		ln.Close()
+		t.Fatal(err)
+	}
+	tm := &tcpMember{m: m, ln: ln, hs: &http.Server{Handler: m.Handler()}}
+	go tm.hs.Serve(ln)
+	m.Start()
+	return tm
+}
+
+func waitUntil(t *testing.T, what string, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(15 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestE2EClusterSurvivesCrash is the issue's acceptance scenario: a
+// 5-member cluster over real TCP serves live traffic, one member is
+// killed mid-traffic, and the cluster (a) keeps delivering requests
+// that do not cross the dead shard, (b) fails requests through it fast
+// with typed errors, and (c) fully recovers delivery and G_k(u)
+// discovery after tombstone propagation and a rejoin under a fresh
+// incarnation.
+func TestE2EClusterSurvivesCrash(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-listener e2e in -short mode")
+	}
+	const (
+		shards = 5
+		size   = 40 // cycle; shard i owns [8i, 8i+8)
+		k      = 16 // ≥ alg2's threshold before (T(40)=14) and after (32-path: T(32)=12) the crash
+		dead   = 2  // the shard that crashes (owns 16..23)
+	)
+	g := gen.Cycle(size)
+	members := make([]*tcpMember, shards)
+	var seeds []string
+	for i := 0; i < shards; i++ {
+		// Staggered seeds: each member only knows the ones before it;
+		// gossip must complete the mesh.
+		members[i] = startTCPMember(t, g, shards, i, k, 1, seeds)
+		seeds = append(seeds, members[i].addr())
+	}
+	defer func() {
+		for _, tm := range members {
+			tm.kill()
+		}
+	}()
+
+	waitUntil(t, "initial discovery", 15*time.Second, func() bool {
+		for _, tm := range members {
+			if !tm.m.Ready() {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Healthy cluster: cross-shard delivery through every entry member.
+	for i, tm := range members {
+		rep, err := tm.m.Route(context.Background(), 2, 30, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Delivered {
+			t.Fatalf("healthy route 2->30 via member %d: %s (%s)", i, rep.Err, rep.ErrKind)
+		}
+	}
+
+	// Live traffic through the crash: random pairs via surviving
+	// entries. Every outcome must be delivered or a *typed* failure —
+	// no hangs, no untyped errors.
+	trafficStop := make(chan struct{})
+	var trafficWG sync.WaitGroup
+	var trafficErr atomic.Value
+	var requests, deliveredCnt atomic.Int64
+	liveEntries := []int{0, 1, 3, 4}
+	trafficWG.Add(1)
+	go func() {
+		defer trafficWG.Done()
+		rng := rand.New(rand.NewSource(11))
+		for {
+			select {
+			case <-trafficStop:
+				return
+			default:
+			}
+			entry := liveEntries[rng.Intn(len(liveEntries))]
+			s := graph.Vertex(rng.Intn(size))
+			d := graph.Vertex(rng.Intn(size))
+			rep, err := members[entry].m.Route(context.Background(), s, d, false)
+			if err != nil {
+				trafficErr.Store(fmt.Errorf("route %d->%d via %d: %v", s, d, entry, err))
+				return
+			}
+			requests.Add(1)
+			if rep.Delivered {
+				deliveredCnt.Add(1)
+			} else if rep.ErrKind == "" {
+				trafficErr.Store(fmt.Errorf("route %d->%d via %d failed untyped: %s", s, d, entry, rep.Err))
+				return
+			}
+		}
+	}()
+
+	// Crash shard 2 mid-traffic.
+	time.Sleep(100 * time.Millisecond)
+	members[dead].kill()
+
+	// (b) Requests into the dead shard fail fast with a typed error —
+	// bounded by handoff retries or the request timeout, not a hang.
+	start := time.Now()
+	rep, err := members[0].m.Route(context.Background(), 2, 20, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Delivered {
+		t.Fatal("route into the crashed shard delivered")
+	}
+	if rep.ErrKind == "" {
+		t.Fatalf("dead-shard failure not typed: %s", rep.Err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("dead-shard failure took %v, not fast", elapsed)
+	}
+
+	// (a) A request whose walk stays clear of the dead shard delivers
+	// even before failure detection converges: 36->4 crosses only
+	// shards 4 and 0.
+	rep, err = members[4].m.Route(context.Background(), 36, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Delivered {
+		t.Fatalf("route 36->4 avoiding the dead shard failed: %s (%s)", rep.Err, rep.ErrKind)
+	}
+
+	// Tombstone propagation: every survivor withdraws the 8 dead
+	// vertices from its discovered topology.
+	waitUntil(t, "tombstone propagation", 15*time.Second, func() bool {
+		for _, i := range liveEntries {
+			if members[i].m.Stats().Tombstones != 8 {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Route-around: 12->28's short arc runs through the dead shard; the
+	// rebuilt views must route the long way and deliver.
+	rep, err = members[1].m.Route(context.Background(), 12, 28, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Delivered {
+		t.Fatalf("post-tombstone route 12->28 failed: %s (%s)", rep.Err, rep.ErrKind)
+	}
+	for _, v := range rep.Route {
+		if v >= 16 && v <= 23 {
+			t.Fatalf("post-tombstone walk %v crosses the dead shard", rep.Route)
+		}
+	}
+
+	// Fault counters observable through the member reports.
+	var timeouts, tombs int64
+	for _, i := range liveEntries {
+		repMet := members[i].m.Metrics()
+		timeouts += repMet.Counter("hello_timeouts")
+		tombs += repMet.Counter("tombstones_issued")
+	}
+	if timeouts == 0 || tombs == 0 {
+		t.Fatalf("fault counters silent across a crash: hello_timeouts=%d tombstones_issued=%d",
+			timeouts, tombs)
+	}
+
+	close(trafficStop)
+	trafficWG.Wait()
+	if err, ok := trafficErr.Load().(error); ok && err != nil {
+		t.Fatal(err)
+	}
+	if requests.Load() == 0 || deliveredCnt.Load() == 0 {
+		t.Fatalf("traffic generator routed %d requests (%d delivered); crash window unexercised",
+			requests.Load(), deliveredCnt.Load())
+	}
+
+	// (c) Rejoin under a fresh incarnation on a new port: discovery,
+	// tombstone refutation, and delivery into the shard all recover.
+	members[dead] = startTCPMember(t, g, shards, dead, k, 2,
+		[]string{members[0].addr(), members[4].addr()})
+	waitUntil(t, "rejoin recovery", 15*time.Second, func() bool {
+		for _, tm := range members {
+			st := tm.m.Stats()
+			if !st.Ready || st.Tombstones != 0 {
+				return false
+			}
+		}
+		return true
+	})
+	waitUntil(t, "post-rejoin delivery", 15*time.Second, func() bool {
+		rep, err := members[0].m.Route(context.Background(), 2, 20, false)
+		return err == nil && rep.Delivered
+	})
+	// And the rejoined member serves as an entry again.
+	rep, err = members[dead].m.Route(context.Background(), 18, 38, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Delivered {
+		t.Fatalf("rejoined member cannot route 18->38: %s (%s)", rep.Err, rep.ErrKind)
+	}
+}

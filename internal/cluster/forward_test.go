@@ -1,0 +1,183 @@
+package cluster
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"klocal/internal/gen"
+	"klocal/internal/graph"
+)
+
+// converged builds a settled 3-shard loop cluster over a 12-cycle.
+func converged(t *testing.T, lc LocalClusterConfig) ([]*Member, *LoopTransport) {
+	t.Helper()
+	g := gen.Cycle(12)
+	lc.Shards = 3
+	if lc.K == 0 {
+		lc.K = 6
+	}
+	lc.Alg = alg2(t)
+	members, lt, err := NewLocalCluster(g, lc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Converge(members, 0); err != nil {
+		t.Fatal(err)
+	}
+	return members, lt
+}
+
+// TestHopBudgetExhaustion pins the typed budget failure: the reply
+// carries ErrKind "hop_budget", the partial walk up to the hop that
+// exhausted it, and the per-member trace of exactly those hops.
+func TestHopBudgetExhaustion(t *testing.T) {
+	members, _ := converged(t, LocalClusterConfig{HopBudget: 2})
+	rep, err := members[0].Route(context.Background(), 0, 6, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Delivered {
+		t.Fatal("2-hop budget delivered a 6-hop route")
+	}
+	if rep.ErrKind != "hop_budget" {
+		t.Fatalf("ErrKind = %q (%s), want hop_budget", rep.ErrKind, rep.Err)
+	}
+	if !strings.Contains(rep.Err, ErrHopBudget.Error()) {
+		t.Fatalf("reply error %q does not carry the typed message", rep.Err)
+	}
+	if rep.Hops != 2 || len(rep.Route) != 3 {
+		t.Fatalf("partial walk = %v (%d hops), want the 2 budgeted hops", rep.Route, rep.Hops)
+	}
+	if len(rep.Steps) != len(rep.Route) {
+		t.Fatalf("trace has %d steps for partial walk %v", len(rep.Steps), rep.Route)
+	}
+	for i, st := range rep.Steps {
+		if st.Node != rep.Route[i] {
+			t.Fatalf("trace step %d is %d, walk says %d", i, st.Node, rep.Route[i])
+		}
+	}
+}
+
+// TestPerHopDeadlineExpiry pins the typed deadline failure: a handoff
+// whose transport blows the per-hop deadline surfaces ErrKind
+// "peer_deadline" with the partial walk including the hop that could
+// not be handed over.
+func TestPerHopDeadlineExpiry(t *testing.T) {
+	members, lt := converged(t, LocalClusterConfig{
+		ForwardAttempts: 2,
+		PeerDeadline:    50 * time.Millisecond,
+	})
+	// Member 1 owns vertices 4..7; stall every handoff to it.
+	stalled := members[1].Addr()
+	lt.Before = func(op, addr string) error {
+		if op == "forward" && addr == stalled {
+			return context.DeadlineExceeded
+		}
+		return nil
+	}
+	rep, err := members[0].Route(context.Background(), 2, 6, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Delivered {
+		t.Fatal("stalled handoff delivered")
+	}
+	if rep.ErrKind != "peer_deadline" {
+		t.Fatalf("ErrKind = %q (%s), want peer_deadline", rep.ErrKind, rep.Err)
+	}
+	retries := members[0].Metrics().Counter("forward_retries")
+	if retries == 0 {
+		t.Fatal("deadline expiry did not retry before failing")
+	}
+	// The partial walk must reach the shard boundary: the last vertex is
+	// the one that could not be handed to shard 1.
+	last := rep.Route[len(rep.Route)-1]
+	if owner, _ := members[0].asn.Owner(last); owner != 1 {
+		t.Fatalf("partial walk %v does not end at the undeliverable hop", rep.Route)
+	}
+	if len(rep.Steps) == 0 {
+		t.Fatal("partial walk carried no trace")
+	}
+}
+
+// TestPeerDownFailsFast pins the crash failure mode before detection
+// has caught up: the transport refuses, the forwarder retries its
+// bounded budget, and the entry gets ErrKind "peer_down" with the
+// partial walk.
+func TestPeerDownFailsFast(t *testing.T) {
+	members, lt := converged(t, LocalClusterConfig{
+		ForwardAttempts: 1,
+	})
+	lt.Deregister(members[1].Addr())
+	rep, err := members[0].Route(context.Background(), 2, 6, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Delivered {
+		t.Fatal("route through a deregistered shard delivered")
+	}
+	if rep.ErrKind != "peer_down" {
+		t.Fatalf("ErrKind = %q (%s), want peer_down", rep.ErrKind, rep.Err)
+	}
+	if len(rep.Route) == 0 || rep.Route[0] != graph.Vertex(2) {
+		t.Fatalf("partial walk %v lost its origin", rep.Route)
+	}
+}
+
+// TestEntryValidation covers the request-shape failures: unknown
+// vertices and a not-yet-converged member.
+func TestEntryValidation(t *testing.T) {
+	members, _ := converged(t, LocalClusterConfig{})
+	rep, err := members[0].Route(context.Background(), 0, 99, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ErrKind != "unknown_vertex" {
+		t.Fatalf("ErrKind = %q, want unknown_vertex", rep.ErrKind)
+	}
+
+	// A fresh, unconverged member must refuse with not_ready.
+	g := gen.Cycle(12)
+	fresh, _, err := NewLocalCluster(g, LocalClusterConfig{Shards: 3, K: 6, Alg: alg2(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err = fresh[0].Route(context.Background(), 0, 6, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ErrKind != "not_ready" {
+		t.Fatalf("ErrKind = %q, want not_ready", rep.ErrKind)
+	}
+}
+
+// TestRequestTimeout pins the lost-message backstop: a reply that never
+// comes back (dropped by the transport) resolves as a typed timeout at
+// the entry, not a hang.
+func TestRequestTimeout(t *testing.T) {
+	members, lt := converged(t, LocalClusterConfig{
+		RequestTimeout: 100 * time.Millisecond,
+	})
+	lt.Before = func(op, addr string) error {
+		if op == "reply" {
+			return context.DeadlineExceeded
+		}
+		return nil
+	}
+	rep, err := members[0].Route(context.Background(), 2, 6, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ErrKind != "timeout" {
+		t.Fatalf("ErrKind = %q (%s), want timeout", rep.ErrKind, rep.Err)
+	}
+	lost := int64(0)
+	for _, m := range members {
+		lost += m.Metrics().Counter("replies_lost")
+	}
+	if lost == 0 {
+		t.Fatal("dropped reply was not counted as lost")
+	}
+}

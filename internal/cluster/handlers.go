@@ -1,0 +1,151 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"klocal/internal/graph"
+)
+
+// RouteRequest is the JSON body of POST /route on a cluster member —
+// the same shape the single-process daemon accepts, so clients can
+// point at any member unchanged (the cluster has exactly one algorithm,
+// so Algo is accepted and ignored).
+type RouteRequest struct {
+	S     int    `json:"s"`
+	T     int    `json:"t"`
+	Algo  string `json:"algo,omitempty"`
+	Trace bool   `json:"trace,omitempty"`
+}
+
+// Handler returns a member's HTTP surface:
+//
+//	POST /route           route one (s, t) pair from this entry member
+//	POST /cluster/hello   membership heartbeat (peer-to-peer)
+//	POST /cluster/lsa     link-state batch (peer-to-peer)
+//	POST /cluster/forward hop handoff (peer-to-peer)
+//	POST /cluster/reply   terminal reply to the entry member
+//	GET  /cluster/status  protocol state (Stats)
+//	GET  /metrics         member metrics (text; ?format=json)
+//	GET  /healthz         process liveness
+//	GET  /readyz          503 until discovery covers the vertex space
+func (m *Member) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /route", m.handleRouteHTTP)
+	mux.HandleFunc("POST /cluster/hello", m.handleHelloHTTP)
+	mux.HandleFunc("POST /cluster/lsa", m.handleLSAHTTP)
+	mux.HandleFunc("POST /cluster/forward", m.handleForwardHTTP)
+	mux.HandleFunc("POST /cluster/reply", m.handleReplyHTTP)
+	mux.HandleFunc("GET /cluster/status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.Stats())
+	})
+	mux.HandleFunc("GET /metrics", m.handleMetricsHTTP)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !m.Ready() {
+			http.Error(w, "discovering", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+type errorReply struct {
+	Error string `json:"error"`
+}
+
+func decodeInto(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorReply{Error: "bad request body: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+// replyStatus maps a RouteReply to its HTTP status: delivered walks are
+// 200, malformed requests 400, and every typed routing failure is a 503
+// whose body still carries the partial walk and trace.
+func replyStatus(rep *RouteReply) int {
+	switch {
+	case rep.Delivered:
+		return http.StatusOK
+	case rep.ErrKind == "unknown_vertex":
+		return http.StatusBadRequest
+	default:
+		return http.StatusServiceUnavailable
+	}
+}
+
+func (m *Member) handleRouteHTTP(w http.ResponseWriter, r *http.Request) {
+	var req RouteRequest
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	rep, err := m.Route(r.Context(), graph.Vertex(req.S), graph.Vertex(req.T), req.Trace)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorReply{Error: err.Error()})
+		return
+	}
+	writeJSON(w, replyStatus(rep), rep)
+}
+
+func (m *Member) handleHelloHTTP(w http.ResponseWriter, r *http.Request) {
+	var msg HelloMsg
+	if !decodeInto(w, r, &msg) {
+		return
+	}
+	writeJSON(w, http.StatusOK, m.handleHello(&msg))
+}
+
+func (m *Member) handleLSAHTTP(w http.ResponseWriter, r *http.Request) {
+	var batch LSABatch
+	if !decodeInto(w, r, &batch) {
+		return
+	}
+	writeJSON(w, http.StatusOK, m.handleLSAs(&batch))
+}
+
+func (m *Member) handleForwardHTTP(w http.ResponseWriter, r *http.Request) {
+	var msg WireMessage
+	if !decodeInto(w, r, &msg) {
+		return
+	}
+	if err := m.acceptForward(&msg); err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, errorReply{Error: err.Error()})
+		return
+	}
+	w.WriteHeader(http.StatusAccepted)
+}
+
+func (m *Member) handleReplyHTTP(w http.ResponseWriter, r *http.Request) {
+	var rep RouteReply
+	if !decodeInto(w, r, &rep) {
+		return
+	}
+	m.deliverReply(&rep)
+	w.WriteHeader(http.StatusAccepted)
+}
+
+func (m *Member) handleMetricsHTTP(w http.ResponseWriter, r *http.Request) {
+	rep := m.Metrics()
+	if r.URL.Query().Get("format") == "json" ||
+		strings.Contains(r.Header.Get("Accept"), "application/json") {
+		writeJSON(w, http.StatusOK, rep)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	rep.WriteText(w)
+}

@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"fmt"
+
+	"klocal/internal/graph"
+	"klocal/internal/route"
+)
+
+// boundView is one owned vertex's discovered G_k(u) with the routing
+// algorithm bound to it. It is immutable once built; a store change
+// (higher generation) invalidates it and the next request rebuilds.
+type boundView struct {
+	gen      int64
+	view     *graph.Graph
+	complete bool
+	router   route.Func
+}
+
+// decide takes one forwarding step for the owned vertex u using only
+// the algorithm bound to u's locally discovered view. This is the
+// cluster's entire decision path: klocalvet seeds it by signature and
+// verifies the closure never escapes to global topology.
+func (bv *boundView) decide(s, t, u, v graph.Vertex) (graph.Vertex, error) {
+	return bv.router(s, t, u, v)
+}
+
+// viewFor returns the current bound view for owned vertex u, rebuilding
+// it outside the member lock when the link-state store has moved on.
+func (m *Member) viewFor(u graph.Vertex) (*boundView, error) {
+	if _, owned := m.adj[u]; !owned {
+		return nil, fmt.Errorf("cluster: vertex %d not owned by shard %d", u, m.cfg.Index)
+	}
+	m.mu.Lock()
+	gen := m.storeGen
+	if bv := m.views[u]; bv != nil && bv.gen == gen {
+		m.mu.Unlock()
+		return bv, nil
+	}
+	// Snapshot the store for an unlocked build; records are immutable
+	// once stored, so sharing pointers is safe.
+	recs := make(map[graph.Vertex]*record, len(m.store))
+	for v, rec := range m.store {
+		recs[v] = rec
+	}
+	m.mu.Unlock()
+
+	view, complete := assembleView(recs, u, m.cfg.K)
+	bv := &boundView{gen: gen, view: view, complete: complete, router: m.cfg.Alg.Bind(view, m.cfg.K)}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.storeGen == gen {
+		m.views[u] = bv
+	}
+	// A store that moved on mid-build just means this bound view serves
+	// one request from a slightly stale (still locally-consistent)
+	// snapshot; the next request rebuilds at the new generation.
+	return bv, nil
+}
+
+// assembleView is netsim's buildView over the member's record store:
+// the union of announced adjacencies — tombstoned origins and edges
+// into them excluded — trimmed to paths of length at most k rooted at
+// u. The second result reports completeness: no vertex sits on the
+// distance-k horizon, so u's whole component is inside the view and
+// absence of a destination proves a partition.
+func assembleView(recs map[graph.Vertex]*record, u graph.Vertex, k int) (*graph.Graph, bool) {
+	dead := make(map[graph.Vertex]bool)
+	for origin, rec := range recs {
+		if rec.tomb {
+			dead[origin] = true
+		}
+	}
+	b := graph.NewBuilder()
+	b.AddVertex(u)
+	for origin, rec := range recs {
+		if rec.tomb {
+			continue
+		}
+		for _, w := range rec.adj {
+			if dead[w] {
+				continue
+			}
+			b.AddEdge(origin, w)
+		}
+	}
+	full := b.Build()
+	trimmed := graph.NewBuilder()
+	trimmed.AddVertex(u)
+	dist := full.BFSBounded(u, k)
+	complete := true
+	for v, dv := range dist {
+		if dv >= k {
+			complete = false
+			continue
+		}
+		full.EachAdj(v, func(w graph.Vertex) bool {
+			if _, ok := dist[w]; ok {
+				trimmed.AddEdge(v, w)
+			}
+			return true
+		})
+	}
+	return trimmed.Build(), complete
+}
+
+// View exposes the discovered k-neighbourhood of an owned vertex for
+// tests and the differential property (nil when u is not owned).
+func (m *Member) View(u graph.Vertex) *graph.Graph {
+	bv, err := m.viewFor(u)
+	if err != nil {
+		return nil
+	}
+	return bv.view
+}

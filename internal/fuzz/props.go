@@ -1,12 +1,14 @@
 package fuzz
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
 	"strings"
 
+	"klocal/internal/cluster"
 	"klocal/internal/engine"
 	"klocal/internal/gen"
 	"klocal/internal/netsim"
@@ -65,6 +67,11 @@ func AllProperties() []Property {
 			Name:  "differential",
 			Doc:   "the in-memory engine and the fault-free netsim route the same walk",
 			Check: checkDifferential,
+		},
+		{
+			Name:  "cluster",
+			Doc:   "a fault-free sharded cluster (local views, hop-by-hop handoffs) routes the engine's walk",
+			Check: checkCluster,
 		},
 	}
 }
@@ -189,6 +196,61 @@ func checkRelabel(sc *Scenario) error {
 	if bound := sc.DilationBound(); bound > 0 {
 		if err := verify.CheckDilation(res.Route, relabeled.G, relabeled.S, relabeled.T, bound); err != nil {
 			return fmt.Errorf("relabelling breaks the dilation bound: %w", err)
+		}
+	}
+	return nil
+}
+
+// checkCluster is the distributed form of the differential: shard the
+// scenario graph across an in-process cluster, let the members discover
+// their G_k(u) views over the (fault-free) loop transport, and require
+// the hop-by-hop forwarded walk to be hop-identical to the global-graph
+// engine's. Every decision on the cluster side runs against a locally
+// assembled view, so a mismatch means discovery, view assembly, or the
+// forwarder corrupted the routing model.
+func checkCluster(sc *Scenario) error {
+	if !sc.AtThreshold() || sc.G.N() > DifferentialMaxN {
+		return nil
+	}
+	snap, err := engine.NewSnapshot(sc.G, sc.K, sc.Alg)
+	if err != nil {
+		return fmt.Errorf("engine snapshot: %v", err)
+	}
+	mem := snap.Route(sc.S, sc.T, 0)
+	if mem.Outcome != sim.Delivered {
+		return nil // the delivery property owns in-memory failures
+	}
+
+	shards := 3
+	if n := sc.G.N(); n < shards {
+		shards = n
+	}
+	members, _, err := cluster.NewLocalCluster(sc.G, cluster.LocalClusterConfig{
+		Shards: shards, K: sc.K, Alg: sc.Alg,
+	})
+	if err != nil {
+		return fmt.Errorf("cluster setup: %v", err)
+	}
+	if err := cluster.Converge(members, 0); err != nil {
+		return fmt.Errorf("fault-free cluster discovery failed: %v", err)
+	}
+	entry := int(sc.Seed%int64(shards)+int64(shards)) % shards
+	rep, err := members[entry].Route(context.Background(), sc.S, sc.T, false)
+	if err != nil {
+		return fmt.Errorf("cluster route: %v", err)
+	}
+	if !rep.Delivered {
+		return fmt.Errorf("engine delivered in %d hops but cluster failed: %s (%s)",
+			mem.Len(), rep.Err, rep.ErrKind)
+	}
+	if len(rep.Route) != len(mem.Route) {
+		return fmt.Errorf("walk lengths differ: engine %d hops, cluster %d hops",
+			mem.Len(), len(rep.Route)-1)
+	}
+	for i := range rep.Route {
+		if rep.Route[i] != mem.Route[i] {
+			return fmt.Errorf("walks diverge at hop %d: engine %d, cluster %d",
+				i, mem.Route[i], rep.Route[i])
 		}
 	}
 	return nil

@@ -93,27 +93,47 @@ type deployment struct {
 	algs  []string
 	byAlg map[string]*algEngine
 
-	refs     atomic.Int64
-	draining atomic.Bool
-	drained  chan struct{}
-	once     sync.Once
+	// state packs the refcount and the draining flag into one atomic
+	// word: refs<<1 | drainBit. A single CAS'd word closes the window
+	// the old two-atomics scheme left open between reading the refcount
+	// and reading the flag: an acquire either lands strictly before the
+	// drain bit (the drainer then sees its reference and waits for it)
+	// or observes the bit and never registers — so a drain can neither
+	// return early with a request in flight nor be signalled twice by a
+	// release racing a concurrent swap's retire.
+	state   atomic.Int64
+	drained chan struct{}
+	once    sync.Once
 }
 
+const drainBit = int64(1)
+const refUnit = int64(2)
+
 // acquire registers an in-flight request. It fails when the deployment
-// is already draining (the caller should reload the current pointer).
+// is already draining (the caller should reload the current pointer),
+// and a failed acquire is never visible to the drainer.
 func (d *deployment) acquire() bool {
-	d.refs.Add(1)
-	if d.draining.Load() {
-		d.release()
-		return false
+	for {
+		s := d.state.Load()
+		if s&drainBit != 0 {
+			return false
+		}
+		if d.state.CompareAndSwap(s, s+refUnit) {
+			return true
+		}
 	}
-	return true
 }
 
 // release unregisters an in-flight request, signalling the drainer when
-// it was the last one out.
+// it was the last one out. Releasing more than acquired is a refcount
+// corruption that would otherwise let a drain return with requests
+// still running — fail loudly instead.
 func (d *deployment) release() {
-	if d.refs.Add(-1) == 0 && d.draining.Load() {
+	s := d.state.Add(-refUnit)
+	if s < 0 {
+		panic("serve: deployment released more times than acquired")
+	}
+	if s == drainBit {
 		d.signal()
 	}
 }
@@ -123,9 +143,17 @@ func (d *deployment) signal() { d.once.Do(func() { close(d.drained) }) }
 // drain marks the deployment draining and blocks until every in-flight
 // request has released it.
 func (d *deployment) drain() {
-	d.draining.Store(true)
-	if d.refs.Load() == 0 {
-		d.signal()
+	for {
+		s := d.state.Load()
+		if s&drainBit != 0 {
+			break // already draining (idempotent under swapMu)
+		}
+		if d.state.CompareAndSwap(s, s|drainBit) {
+			if s == 0 {
+				d.signal()
+			}
+			break
+		}
 	}
 	<-d.drained
 }
