@@ -6,9 +6,9 @@ GO ?= go
 # notice when none is installed.
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: tier1 check race build test vet lint klocalvet staticcheck bench serve-smoke fuzz-smoke go-fuzz-smoke cluster-smoke
+.PHONY: tier1 check race build test vet lint klocalvet staticcheck bench bench-scale serve-smoke fuzz-smoke go-fuzz-smoke cluster-smoke scale-smoke
 
-tier1: vet build test serve-smoke fuzz-smoke cluster-smoke
+tier1: vet build test serve-smoke fuzz-smoke cluster-smoke scale-smoke
 
 # The full local gate: everything CI runs except the benchmarks.
 check: lint tier1 race
@@ -52,6 +52,12 @@ serve-smoke:
 fuzz-smoke:
 	$(GO) run ./cmd/klocalcheck -budget 30s -props all -seed 1
 
+# The million-node pipeline scaled to CI time: stream a 10^5-node grid
+# into a binary .csr file, serve it store-backed (mmap) through klocald,
+# and route 1000 Zipf pairs through /batch.
+scale-smoke:
+	$(GO) run ./cmd/klocald -scale-smoke
+
 # Boot a 3-member cluster on loopback TCP, route cross-shard through
 # every member, kill one mid-traffic, check typed fast failure plus
 # tombstone route-around, then rejoin it under a fresh incarnation and
@@ -74,7 +80,7 @@ race:
 	$(GO) test -race -count=1 \
 		./internal/netsim/... ./internal/fault/... \
 		./internal/engine/... ./internal/metrics/... ./internal/prep/... \
-		./internal/serve/... ./internal/cluster/...
+		./internal/serve/... ./internal/cluster/... ./internal/bigraph/...
 	$(GO) test -race -count=1 -run Concurrent ./internal/route/...
 	$(MAKE) go-fuzz-smoke
 
@@ -83,3 +89,10 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngine' -benchmem -count=1 -json . \
 		| tee BENCH_engine.json | grep -o '"Output":".*msgs/sec.*"' || true
+
+# Million-node scale benchmarks over the CSR store (n = 10^4 … 10^6 grid
+# under a Zipf workload): routing throughput and store footprint; the
+# JSON event stream lands in BENCH_scale.json.
+bench-scale:
+	$(GO) test -run '^$$' -bench 'BenchmarkScale' -benchmem -count=1 -timeout 30m -json . \
+		| tee BENCH_scale.json | grep -o '"Output":".*\(msgs/sec\|bytes/vertex\).*"' || true

@@ -1,0 +1,110 @@
+// Command csrgen generates, converts, and inspects the binary CSR graph
+// files that back million-node routing runs (internal/bigraph,
+// DESIGN.md §12).
+//
+// Usage:
+//
+//	csrgen -kind grid -rows 1000 -cols 1000 -out grid.csr
+//	csrgen -kind tree -n 1000000 -out tree.csr
+//	csrgen -kind regular -n 1000000 -deg 4 -seed 7 -out reg.csr
+//	csrgen -kind convert -in edges.txt.gz -out g.csr
+//	csrgen -stats g.csr
+//
+// Generators stream through the two-pass CSR builder, so peak memory is
+// the CSR itself plus O(n) bookkeeping — no map-based graph is ever
+// built. -stats prints the vertex/edge counts and the bytes/vertex
+// footprint of an existing .csr (or edge-list) file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"klocal/internal/bigraph"
+	"klocal/internal/gen"
+)
+
+func main() {
+	var (
+		kind  = flag.String("kind", "", "what to build: grid|tree|regular|convert")
+		rows  = flag.Int("rows", 0, "grid rows")
+		cols  = flag.Int("cols", 0, "grid cols")
+		n     = flag.Int("n", 0, "vertex count (tree, regular)")
+		deg   = flag.Int("deg", 4, "target degree (regular; even)")
+		seed  = flag.Int64("seed", 1, "random seed (regular)")
+		in    = flag.String("in", "", "input edge list (convert): .txt or .txt.gz")
+		out   = flag.String("out", "", "output .csr path")
+		stats = flag.String("stats", "", "print stats for an existing graph file and exit")
+	)
+	flag.Parse()
+
+	if *stats != "" {
+		if err := printStats(*stats); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	var (
+		c   *bigraph.CSR
+		err error
+	)
+	switch *kind {
+	case "grid":
+		c, err = gen.GridCSR(*rows, *cols)
+	case "tree":
+		c, err = gen.TreeCSR(*n)
+	case "regular":
+		c, err = gen.RandomRegularCSR(rand.New(rand.NewSource(*seed)), *n, *deg)
+	case "convert":
+		if *in == "" {
+			err = fmt.Errorf("convert needs -in")
+		} else {
+			c, err = bigraph.LoadEdgeList(*in)
+		}
+	case "":
+		err = fmt.Errorf("one of -kind grid|tree|regular|convert or -stats is required")
+	default:
+		err = fmt.Errorf("unknown -kind %q (grid|tree|regular|convert)", *kind)
+	}
+	if err != nil {
+		fail(err)
+	}
+	if *out == "" {
+		fail(fmt.Errorf("-out is required"))
+	}
+	if err := c.WriteFile(*out); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %s: n=%d m=%d (%d bytes, %.1f bytes/vertex)\n",
+		*out, c.N(), c.M(), c.Bytes(), bytesPerVertex(c))
+}
+
+func printStats(path string) error {
+	c, err := bigraph.LoadFile(path)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	mapped := "heap"
+	if c.Mapped() {
+		mapped = "mmap"
+	}
+	fmt.Printf("%s: n=%d m=%d bytes=%d bytes/vertex=%.1f backing=%s\n",
+		path, c.N(), c.M(), c.Bytes(), bytesPerVertex(c), mapped)
+	return nil
+}
+
+func bytesPerVertex(c *bigraph.CSR) float64 {
+	if c.N() == 0 {
+		return 0
+	}
+	return float64(c.Bytes()) / float64(c.N())
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "csrgen:", err)
+	os.Exit(1)
+}

@@ -58,34 +58,47 @@ func parseShard(s string) (int, int, error) {
 }
 
 // buildMember assembles one cluster member from the shared GraphSpec:
-// the full graph is built only to carve out this shard's a-priori
-// knowledge (owned vertices and their adjacency) and is not retained —
-// everything else the member learns over the wire.
+// the topology is opened as a store (generated in memory, or an mmap'd
+// CSR file for kind "file") only to carve out this shard's a-priori
+// knowledge — owned vertices and their adjacency rows — and is released
+// before the member starts; everything else the member learns over the
+// wire. With a .csr file this means a member touches only its owned
+// pages of a million-node topology.
 func buildMember(opt clusterOptions, tr cluster.Transport) (*cluster.Member, error) {
 	idx, shards, err := parseShard(opt.shard)
 	if err != nil {
 		return nil, err
 	}
-	g, err := opt.spec.Build()
+	st, err := opt.spec.BuildStore()
 	if err != nil {
 		return nil, err
 	}
+	defer func() {
+		if c, ok := st.(io.Closer); ok {
+			c.Close()
+		}
+	}()
 	alg, err := serve.AlgorithmByName(opt.algo)
 	if err != nil {
 		return nil, err
 	}
 	k := opt.k
 	if k <= 0 {
-		k = alg.MinK(g.N())
+		k = alg.MinK(st.N())
 	}
-	asn, err := cluster.NewAssignment(g.Vertices(), shards)
+	vs := make([]graph.Vertex, 0, st.N())
+	st.EachVertex(func(v graph.Vertex) bool {
+		vs = append(vs, v)
+		return true
+	})
+	asn, err := cluster.NewAssignment(vs, shards)
 	if err != nil {
 		return nil, err
 	}
 	adj := make(map[graph.Vertex][]graph.Vertex)
 	for _, v := range asn.Owned(idx) {
-		var nbrs []graph.Vertex
-		g.EachAdj(v, func(w graph.Vertex) bool {
+		nbrs := make([]graph.Vertex, 0, st.Deg(v))
+		st.EachAdj(v, func(w graph.Vertex) bool {
 			nbrs = append(nbrs, w)
 			return true
 		})

@@ -36,22 +36,23 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", "127.0.0.1:7412", "listen address")
-		algos     = flag.String("algo", "alg2", "comma-separated algorithms to deploy (alg1|alg1b|alg2|alg3); first is the default")
-		k         = flag.Int("k", 0, "locality parameter (0 = each algorithm's own threshold)")
-		kind      = flag.String("graph", "lollipop", "graph generator kind (lollipop|cycle|path|grid|spider|wheel|barbell|complete|random|tree)")
-		size      = flag.Int("size", 48, "graph size for generated topologies")
-		seed      = flag.Int64("seed", 1, "generator seed")
-		p         = flag.Float64("p", 0.1, "extra-edge probability for -graph random")
-		graphFile = flag.String("graph-file", "", "JSON GraphSpec file (overrides the generator flags)")
-		workers   = flag.Int("workers", 0, "routing workers per algorithm (0 = GOMAXPROCS)")
-		queue     = flag.Int("queue", 0, "engine queue depth (0 = 4 × workers)")
-		maxSteps  = flag.Int("max-steps", 0, "per-walk step budget (0 = simulator default)")
-		admission = flag.Duration("admission", 100*time.Millisecond, "max queue wait before a request is rejected with 429 (0 = wait forever)")
-		cacheCap  = flag.Int("cache-cap", 0, "preprocessed-view cache capacity per snapshot (0 = unbounded)")
-		prewarm   = flag.Bool("prewarm", false, "precompute every vertex view at (re)deploy time")
-		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown budget for the HTTP listener")
-		smoke     = flag.Bool("smoke", false, "self-test: boot on a loopback port, exercise every endpoint, shut down")
+		addr       = flag.String("addr", "127.0.0.1:7412", "listen address")
+		algos      = flag.String("algo", "alg2", "comma-separated algorithms to deploy (alg1|alg1b|alg2|alg3); first is the default")
+		k          = flag.Int("k", 0, "locality parameter (0 = each algorithm's own threshold)")
+		kind       = flag.String("graph", "lollipop", "graph generator kind (lollipop|cycle|path|grid|spider|wheel|barbell|complete|random|tree)")
+		size       = flag.Int("size", 48, "graph size for generated topologies")
+		seed       = flag.Int64("seed", 1, "generator seed")
+		p          = flag.Float64("p", 0.1, "extra-edge probability for -graph random")
+		graphFile  = flag.String("graph-file", "", "graph file (overrides the generator flags): .json GraphSpec, or a topology to serve store-backed — binary .csr (mmap'd) or edge list .txt/.txt.gz")
+		workers    = flag.Int("workers", 0, "routing workers per algorithm (0 = GOMAXPROCS)")
+		queue      = flag.Int("queue", 0, "engine queue depth (0 = 4 × workers)")
+		maxSteps   = flag.Int("max-steps", 0, "per-walk step budget (0 = simulator default)")
+		admission  = flag.Duration("admission", 100*time.Millisecond, "max queue wait before a request is rejected with 429 (0 = wait forever)")
+		cacheCap   = flag.Int("cache-cap", 0, "preprocessed-view cache capacity per snapshot (0 = unbounded)")
+		prewarm    = flag.Bool("prewarm", false, "precompute every vertex view at (re)deploy time")
+		drain      = flag.Duration("drain", 10*time.Second, "graceful shutdown budget for the HTTP listener")
+		smoke      = flag.Bool("smoke", false, "self-test: boot on a loopback port, exercise every endpoint, shut down")
+		scaleSmoke = flag.Bool("scale-smoke", false, "self-test: generate a 10^5-node grid, serve its .csr store-backed, route 1000 Zipf pairs, shut down")
 
 		// Cluster mode (-shard selects it): N members each own a vertex
 		// range of the same GraphSpec, discover G_k(u) over HTTP, and
@@ -71,13 +72,21 @@ func main() {
 
 	spec := serve.GraphSpec{Kind: *kind, Size: *size, Seed: *seed, P: *p}
 	if *graphFile != "" {
-		data, err := os.ReadFile(*graphFile)
-		if err != nil {
-			fatal(err)
-		}
-		spec = serve.GraphSpec{}
-		if err := json.Unmarshal(data, &spec); err != nil {
-			fatal(fmt.Errorf("parse %s: %w", *graphFile, err))
+		switch {
+		case strings.HasSuffix(*graphFile, ".csr"),
+			strings.HasSuffix(*graphFile, ".txt"),
+			strings.HasSuffix(*graphFile, ".txt.gz"):
+			// A topology file: serve it store-backed (mmap'd for .csr).
+			spec = serve.GraphSpec{Kind: "file", Path: *graphFile}
+		default:
+			data, err := os.ReadFile(*graphFile)
+			if err != nil {
+				fatal(err)
+			}
+			spec = serve.GraphSpec{}
+			if err := json.Unmarshal(data, &spec); err != nil {
+				fatal(fmt.Errorf("parse %s: %w", *graphFile, err))
+			}
 		}
 	}
 	cfg := serve.Config{
@@ -97,6 +106,13 @@ func main() {
 			fatal(fmt.Errorf("smoke: %w", err))
 		}
 		fmt.Println("smoke: ok")
+		return
+	}
+	if *scaleSmoke {
+		if err := runScaleSmoke(*drain); err != nil {
+			fatal(fmt.Errorf("scale-smoke: %w", err))
+		}
+		fmt.Println("scale-smoke: ok")
 		return
 	}
 	if *clusterSmoke {

@@ -9,7 +9,8 @@
 //	loadgen [-algo alg2] [-workload zipf] [-n 100000] [-workers 8]
 //	        [-duration 0] [-report text]
 //	        [-graph lollipop] [-size 48] [-k 0] [-seed 1] [-p 0.1]
-//	        [-zipf-skew 1.2] [-queue 0] [-cache-cap 0] [-prewarm]
+//	        [-zipf-skew 1.2] [-queue 0] [-max-steps 0] [-cache-cap 0]
+//	        [-prewarm]
 //
 // Workloads: uniform (random pairs), zipf (skewed destinations),
 // allpairs (exhaustive coverage), adversarial (the Theorem 4 dilation
@@ -26,6 +27,18 @@
 // minimized counterexamples can be stress-tested under load:
 //
 //	loadgen -graph finding.json -workload allpairs -n 10000
+//
+// -graph-file loads an on-disk topology instead — a binary .csr file
+// (mmap'd; the million-node path, see DESIGN.md §12) or an edge list
+// (.txt, .txt.gz). Store-backed runs route as usual but report no
+// stretch/dist metrics (exact distances need the full topology), and
+// require an explicit small -k: the thresholds are Θ(n). Below
+// threshold, pairs whose destination never enters the k-view wander
+// until the step budget — cap it with -max-steps (≈2k) or undeliverable
+// pairs dominate the run:
+//
+//	csrgen -kind grid -rows 1000 -cols 1000 -out grid.csr
+//	loadgen -graph-file grid.csr -k 8 -max-steps 16 -n 10000
 package main
 
 import (
@@ -55,12 +68,14 @@ func run() error {
 		duration  = flag.Duration("duration", 0, "wall-clock bound for the run (0 = none)")
 		report    = flag.String("report", "text", "report format: text|json")
 		graphKind = flag.String("graph", "lollipop", "topology: lollipop|cycle|path|grid|spider|wheel|barbell|complete|random|tree, or a GraphSpec/case *.json file")
+		graphFile = flag.String("graph-file", "", "on-disk topology, routed store-backed: binary .csr (mmap'd) or edge list .txt/.txt.gz (overrides -graph)")
 		size      = flag.Int("size", 48, "number of nodes")
 		k         = flag.Int("k", 0, "locality parameter (0 = algorithm threshold)")
 		seed      = flag.Int64("seed", 1, "seed for graph generation and the workload")
 		p         = flag.Float64("p", 0.1, "extra-edge probability for -graph random")
 		zipfSkew  = flag.Float64("zipf-skew", klocal.ZipfSkew, "Zipf exponent for -workload zipf")
 		queue     = flag.Int("queue", 0, "request queue depth (0 = 4×workers)")
+		maxSteps  = flag.Int("max-steps", 0, "per-walk step budget (0 = simulator default, 8n+16; set ~2k when routing below threshold at scale)")
 		cacheCap  = flag.Int("cache-cap", 0, "max cached preprocessed views (0 = unbounded)")
 		prewarm   = flag.Bool("prewarm", false, "precompute every vertex's view before routing")
 	)
@@ -113,9 +128,25 @@ func run() error {
 	}
 
 	rng := klocal.NewRand(*seed)
+	var st klocal.GraphStore
 	var g *klocal.Graph
 	var w klocal.TrafficWorkload
-	if *workload == "adversarial" {
+	if *graphFile != "" {
+		if *workload == "adversarial" {
+			return fmt.Errorf("-workload adversarial builds its own extremal instance; it cannot run on -graph-file")
+		}
+		c, err := klocal.LoadGraphFile(*graphFile)
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		st = c
+		if *workload == "zipf" {
+			w = klocal.ZipfStoreWorkload(rng, st, *zipfSkew)
+		} else if w, err = klocal.NewTrafficWorkloadStore(*workload, rng, st); err != nil {
+			return err
+		}
+	} else if *workload == "adversarial" {
 		kk := *k
 		if kk == 0 {
 			kk = alg.MinK(*size)
@@ -175,12 +206,16 @@ func run() error {
 		}
 	}
 
+	if st == nil {
+		st = g // every generator branch materialized a graph
+	}
+
 	opts := klocal.SnapshotOptions{Cache: klocal.CacheOptions{Capacity: *cacheCap}}
 	if *prewarm {
 		opts.Prewarm = -1
 	}
 	warmStart := time.Now()
-	snap, err := klocal.NewSnapshotOpts(g, *k, alg, opts)
+	snap, err := klocal.NewSnapshotStore(st, *k, alg, opts)
 	if err != nil {
 		return err
 	}
@@ -190,15 +225,19 @@ func run() error {
 	}
 
 	if *report == "text" {
+		topo := *graphKind
+		if *graphFile != "" {
+			topo = *graphFile
+		}
 		fmt.Printf("loadgen: %s on %s n=%d m=%d, k=%d (threshold %d), workload %s, %d requests",
-			alg.Name, *graphKind, g.N(), g.M(), snap.K(), alg.MinK(g.N()), w.Name, *n)
+			alg.Name, topo, st.N(), st.M(), snap.K(), alg.MinK(st.N()), w.Name, *n)
 		if *duration > 0 {
 			fmt.Printf(", duration %v", *duration)
 		}
 		fmt.Println()
 	}
 
-	eng := klocal.NewEngine(snap, klocal.EngineConfig{Workers: *workers, QueueDepth: *queue})
+	eng := klocal.NewEngine(snap, klocal.EngineConfig{Workers: *workers, QueueDepth: *queue, MaxSteps: *maxSteps})
 	start := time.Now()
 	if err := eng.RunWorkload(w, *n, *duration); err != nil {
 		return err

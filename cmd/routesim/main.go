@@ -20,6 +20,12 @@
 //
 //	routesim -graph finding.json
 //
+// -graph-file loads an on-disk topology — a binary .csr file or an edge
+// list (.txt, .txt.gz) — and materializes it for tracing. routesim needs
+// the full graph (hop annotations, exact distances, the distributed
+// simulator), so this is for small and medium instances; route
+// million-node files store-backed through loadgen or klocald instead.
+//
 // With -pairs > 1 routesim routes a batch of uniformly sampled (s, t)
 // pairs instead of one: fault-free batches go through the traffic
 // engine's worker pool (-workers goroutines, 0 = GOMAXPROCS) and print a
@@ -61,6 +67,7 @@ func main() {
 func run() error {
 	var (
 		graphKind   = flag.String("graph", "random", "topology: random|tree|path|cycle|grid|spider|lollipop|complete, or a GraphSpec/case *.json file")
+		graphFile   = flag.String("graph-file", "", "on-disk topology to materialize and trace: binary .csr or edge list .txt/.txt.gz (overrides -graph)")
 		n           = flag.Int("n", 24, "number of nodes")
 		k           = flag.Int("k", 0, "locality parameter (0 = algorithm threshold)")
 		algName     = flag.String("alg", "alg1", "algorithm: alg1|alg1b|alg2|alg3|righthand|oracle|randomwalk")
@@ -82,7 +89,15 @@ func run() error {
 
 	rng := klocal.NewRand(*seed)
 	var g *klocal.Graph
-	if strings.HasSuffix(*graphKind, ".json") {
+	if *graphFile != "" {
+		c, err := klocal.LoadGraphFile(*graphFile)
+		if err != nil {
+			return err
+		}
+		g = c.ToGraph()
+		c.Close()
+		*graphKind = *graphFile // label reports with the file name
+	} else if strings.HasSuffix(*graphKind, ".json") {
 		c, err := fuzz.ReadCase(*graphKind)
 		if err != nil {
 			return err

@@ -1,0 +1,180 @@
+package bigraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder assembles a dense CSR in two streaming passes: CountEdge every
+// edge once to accumulate degrees, StartFill to carve the arrays, then
+// AddEdge the same edges again to place them. Finish sorts each row,
+// drops duplicate edges, and returns the validated CSR. Self-loops and
+// negative endpoints are ignored in both passes (the model is simple
+// undirected graphs).
+//
+// Memory is bounded by the output: one int64 per vertex of degree
+// scratch plus the final offsets/targets arrays — no maps, no per-vertex
+// allocations — which is what lets the edge-list loader stream files far
+// larger than a map-based graph could hold.
+type Builder struct {
+	deg     []int64
+	offsets []int64
+	targets []int32
+	fill    []int64
+	filling bool
+	err     error
+}
+
+// NewBuilder returns a builder over at least n vertices (GrowTo extends
+// the vertex space as higher labels appear during the counting pass).
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		n = 0
+	}
+	return &Builder{deg: make([]int64, n)}
+}
+
+// GrowTo extends the vertex space to n vertices (no-op when already that
+// large). Only valid before StartFill.
+func (b *Builder) GrowTo(n int) {
+	if b.filling {
+		b.fail(fmt.Errorf("bigraph: GrowTo after StartFill"))
+		return
+	}
+	for len(b.deg) < n {
+		b.deg = append(b.deg, 0)
+	}
+}
+
+// N returns the current vertex count.
+func (b *Builder) N() int { return len(b.deg) }
+
+func (b *Builder) fail(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+// skip reports whether the endpoint pair is dropped (self-loop or
+// negative label). Count and fill passes must agree on it exactly.
+func skip(u, v int) bool { return u == v || u < 0 || v < 0 }
+
+// CountEdge records one undirected edge in the degree-counting pass,
+// growing the vertex space to cover both endpoints.
+func (b *Builder) CountEdge(u, v int) {
+	if b.err != nil || skip(u, v) {
+		return
+	}
+	if b.filling {
+		b.fail(fmt.Errorf("bigraph: CountEdge after StartFill"))
+		return
+	}
+	if u >= len(b.deg) || v >= len(b.deg) {
+		hi := u
+		if v > hi {
+			hi = v
+		}
+		b.GrowTo(hi + 1)
+	}
+	b.deg[u]++
+	b.deg[v]++
+}
+
+// StartFill freezes the vertex space, allocates the CSR arrays from the
+// counted degrees, and switches the builder to the fill pass.
+func (b *Builder) StartFill() error {
+	if b.err != nil {
+		return b.err
+	}
+	if b.filling {
+		return fmt.Errorf("bigraph: StartFill called twice")
+	}
+	n := len(b.deg)
+	if n > 1<<31-1 {
+		return fmt.Errorf("bigraph: %d vertices exceed the int32 index space", n)
+	}
+	b.offsets = make([]int64, n+1)
+	for i := 0; i < n; i++ {
+		b.offsets[i+1] = b.offsets[i] + b.deg[i]
+	}
+	b.targets = make([]int32, b.offsets[n])
+	// Reuse the degree array as the per-row write cursor.
+	b.fill = b.deg
+	copy(b.fill, b.offsets[:n])
+	b.filling = true
+	return nil
+}
+
+// AddEdge places one undirected edge in the fill pass. The stream must
+// repeat the CountEdge stream exactly (same edges, any order).
+func (b *Builder) AddEdge(u, v int) {
+	if b.err != nil || skip(u, v) {
+		return
+	}
+	if !b.filling {
+		b.fail(fmt.Errorf("bigraph: AddEdge before StartFill"))
+		return
+	}
+	if u >= len(b.offsets)-1 || v >= len(b.offsets)-1 {
+		b.fail(fmt.Errorf("bigraph: fill-pass edge {%d,%d} beyond the counted vertex space", u, v))
+		return
+	}
+	if b.fill[u] >= b.offsets[u+1] || b.fill[v] >= b.offsets[v+1] {
+		b.fail(fmt.Errorf("bigraph: fill pass added more edges at {%d,%d} than were counted", u, v))
+		return
+	}
+	b.targets[b.fill[u]] = int32(v)
+	b.fill[u]++
+	b.targets[b.fill[v]] = int32(u)
+	b.fill[v]++
+}
+
+// Finish sorts each row, removes duplicate edges (compacting the arrays
+// in place), validates the structure, and returns the CSR. The builder
+// is spent afterwards.
+func (b *Builder) Finish() (*CSR, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if !b.filling {
+		if err := b.StartFill(); err != nil { // zero-edge graphs
+			return nil, err
+		}
+	}
+	n := len(b.offsets) - 1
+	for i := 0; i < n; i++ {
+		if b.fill[i] != b.offsets[i+1] {
+			return nil, fmt.Errorf("bigraph: fill pass placed %d edge ends at vertex %d, counted %d",
+				b.fill[i]-b.offsets[i], i, b.offsets[i+1]-b.offsets[i])
+		}
+	}
+	// Sort rows, then compact duplicates: read rows at their old
+	// offsets, write deduped rows left-to-right (write pos never passes
+	// the read pos, so in-place is safe).
+	w := int64(0)
+	for i := 0; i < n; i++ {
+		row := b.targets[b.offsets[i]:b.offsets[i+1]]
+		sort.Slice(row, func(a, b int) bool { return row[a] < row[b] })
+		start := w
+		prev := int32(-1)
+		for _, j := range row {
+			if j == prev {
+				continue
+			}
+			b.targets[w] = j
+			w++
+			prev = j
+		}
+		b.offsets[i] = start
+	}
+	b.offsets[n] = w
+	// Rows were rewritten over their own storage; restore offsets to the
+	// start-of-row convention (offsets[i] currently holds row i's start,
+	// which is already correct — only the tail shrank).
+	c := &CSR{offsets: b.offsets, targets: b.targets[:w:w]}
+	b.offsets, b.targets, b.fill, b.deg = nil, nil, nil, nil
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,133 @@
+package bigraph_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"klocal/internal/bigraph"
+	"klocal/internal/gen"
+	"klocal/internal/graph"
+)
+
+func TestBuilderMatchesFromGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	g := gen.RandomConnected(rng, 50, 0.1)
+	b := bigraph.NewBuilder(g.N())
+	each := func(fn func(u, v int)) {
+		for _, e := range g.Edges() {
+			fn(int(e.U), int(e.V))
+		}
+	}
+	each(func(u, v int) { b.CountEdge(u, v) })
+	if err := b.StartFill(); err != nil {
+		t.Fatal(err)
+	}
+	each(func(u, v int) { b.AddEdge(u, v) })
+	c, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameTopology(t, g, c)
+}
+
+func TestBuilderDedupAndSelfLoops(t *testing.T) {
+	b := bigraph.NewBuilder(0)
+	edges := [][2]int{{0, 1}, {1, 0}, {0, 1}, {2, 2}, {3, 1}, {1, 3}}
+	for _, e := range edges {
+		b.CountEdge(e[0], e[1])
+	}
+	if err := b.StartFill(); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	c, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != 4 || c.M() != 2 {
+		t.Fatalf("n=%d m=%d, want 4/2", c.N(), c.M())
+	}
+	if !c.HasEdge(0, 1) || !c.HasEdge(1, 3) || c.HasEdge(2, 2) {
+		t.Fatalf("wrong edge set after dedup")
+	}
+}
+
+func TestBuilderEmpty(t *testing.T) {
+	c, err := bigraph.NewBuilder(0).Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != 0 || c.M() != 0 {
+		t.Fatalf("n=%d m=%d, want 0/0", c.N(), c.M())
+	}
+	// All-isolated vertex space with no edges at all.
+	c, err = bigraph.NewBuilder(5).Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != 5 || c.M() != 0 {
+		t.Fatalf("n=%d m=%d, want 5/0", c.N(), c.M())
+	}
+	if c.HasEdge(0, 1) || !c.HasVertex(4) || c.HasVertex(5) {
+		t.Fatalf("isolated vertex space misbehaves")
+	}
+}
+
+func TestBuilderMismatchedPasses(t *testing.T) {
+	b := bigraph.NewBuilder(3)
+	b.CountEdge(0, 1)
+	b.CountEdge(1, 2)
+	if err := b.StartFill(); err != nil {
+		t.Fatal(err)
+	}
+	b.AddEdge(0, 1)
+	// Second pass added fewer edges than counted.
+	if _, err := b.Finish(); err == nil {
+		t.Fatal("Finish should reject an underfilled builder")
+	}
+
+	b2 := bigraph.NewBuilder(3)
+	b2.CountEdge(0, 1)
+	if err := b2.StartFill(); err != nil {
+		t.Fatal(err)
+	}
+	b2.AddEdge(0, 1)
+	// More fills than counts must fail loudly, not scribble out of range.
+	b2.AddEdge(1, 2)
+	if _, err := b2.Finish(); err == nil {
+		t.Fatal("Finish should reject an overfilled builder")
+	}
+}
+
+func TestBuilderAsStore(t *testing.T) {
+	g := gen.Grid(3, 4)
+	c := bigraph.FromGraph(g)
+	var st bigraph.Store = c
+	if st.N() != g.N() || st.M() != g.M() {
+		t.Fatalf("store size mismatch")
+	}
+	for _, u := range g.Vertices() {
+		if st.Deg(u) != g.Deg(u) {
+			t.Fatalf("deg(%d) mismatch", u)
+		}
+		var got []graph.Vertex
+		st.EachAdj(u, func(w graph.Vertex) bool { got = append(got, w); return true })
+		want := g.Adj(u)
+		if len(got) != len(want) {
+			t.Fatalf("adj(%d) length mismatch", u)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("adj(%d) order mismatch at %d: %d vs %d", u, i, got[i], want[i])
+			}
+		}
+	}
+	// Early-exit contract.
+	calls := 0
+	st.EachAdj(5, func(w graph.Vertex) bool { calls++; return false })
+	if calls != 1 {
+		t.Fatalf("EachAdj ignored early exit (%d calls)", calls)
+	}
+}

@@ -1,0 +1,135 @@
+package bigraph
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// LoadEdgeList streams a whitespace-separated edge-list file (one
+// "u v" pair per line, '#'-comments and blank lines ignored, ".gz"
+// suffix gunzipped on the fly) into a CSR in two passes: the first
+// counts degrees, the second places edges. Memory stays bounded by the
+// output arrays — the file itself is never held.
+//
+// Vertex ids must be non-negative integers; the vertex space is
+// 0..max-id, so ids that never appear on any line become isolated
+// vertices. Self-loops are dropped; duplicate edges collapse to one.
+func LoadEdgeList(path string) (*CSR, error) {
+	b := NewBuilder(0)
+	if err := scanEdges(path, b.CountEdge); err != nil {
+		return nil, err
+	}
+	if err := b.StartFill(); err != nil {
+		return nil, err
+	}
+	if err := scanEdges(path, b.AddEdge); err != nil {
+		return nil, err
+	}
+	return b.Finish()
+}
+
+// scanEdges runs one pass over the file, calling emit per edge line.
+func scanEdges(path string, emit func(u, v int)) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var r io.Reader = f
+	if strings.HasSuffix(path, ".gz") {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			return fmt.Errorf("bigraph: %s: %w", path, err)
+		}
+		defer gz.Close()
+		r = gz
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		u, v, ok, err := parseEdgeLine(sc.Text())
+		if err != nil {
+			return fmt.Errorf("bigraph: %s:%d: %w", path, line, err)
+		}
+		if ok {
+			emit(u, v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("bigraph: %s: %w", path, err)
+	}
+	return nil
+}
+
+// parseEdgeLine extracts the two endpoint ids from one line; ok=false
+// for blank and comment lines. Parsing is hand-rolled (no Fields, no
+// Atoi on substrings) because the counting pass runs it once per line of
+// a potentially multi-gigabyte file.
+func parseEdgeLine(s string) (u, v int, ok bool, err error) {
+	i, n := 0, len(s)
+	skipSpace := func() {
+		for i < n && (s[i] == ' ' || s[i] == '\t' || s[i] == '\r' || s[i] == ',') {
+			i++
+		}
+	}
+	parseInt := func() (int, bool) {
+		start := i
+		x := 0
+		for i < n && s[i] >= '0' && s[i] <= '9' {
+			d := int(s[i] - '0')
+			if x > (1<<62)/10 {
+				return 0, false
+			}
+			x = x*10 + d
+			i++
+		}
+		return x, i > start
+	}
+	skipSpace()
+	if i >= n || s[i] == '#' {
+		return 0, 0, false, nil
+	}
+	u, uok := parseInt()
+	if !uok {
+		return 0, 0, false, fmt.Errorf("expected vertex id, got %q", s)
+	}
+	skipSpace()
+	v, vok := parseInt()
+	if !vok {
+		return 0, 0, false, fmt.Errorf("expected second vertex id, got %q", s)
+	}
+	skipSpace()
+	if i < n && s[i] != '#' {
+		return 0, 0, false, fmt.Errorf("trailing junk after edge pair: %q", s)
+	}
+	return u, v, true, nil
+}
+
+// ConvertEdgeList streams an edge-list file into a CSR file — the
+// "ingest once, mmap forever" path cmd/csrgen exposes.
+func ConvertEdgeList(in, out string) (*CSR, error) {
+	c, err := LoadEdgeList(in)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.WriteFile(out); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// LoadFile loads any supported graph file by extension: ".csr" binary
+// files mmap via Open; everything else parses as an edge list
+// (optionally ".gz"-compressed).
+func LoadFile(path string) (*CSR, error) {
+	if strings.HasSuffix(path, ".csr") {
+		return Open(path)
+	}
+	return LoadEdgeList(path)
+}

@@ -1,0 +1,160 @@
+package bigraph_test
+
+import (
+	"compress/gzip"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"klocal/internal/bigraph"
+	"klocal/internal/graph"
+)
+
+func writeEdgeList(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if strings.HasSuffix(name, ".gz") {
+		f, err := os.Create(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		zw := gzip.NewWriter(f)
+		if _, err := zw.Write([]byte(content)); err != nil {
+			t.Fatal(err)
+		}
+		if err := zw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLoadEdgeListBasic(t *testing.T) {
+	p := writeEdgeList(t, "g.txt", `
+# a comment
+0 1
+1 2   # trailing comment
+2 0
+`)
+	c, err := bigraph.LoadEdgeList(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != 3 || c.M() != 3 {
+		t.Fatalf("n=%d m=%d, want 3/3", c.N(), c.M())
+	}
+	want := graph.FromEdges([]graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}})
+	if got := c.ToGraph().String(); got != want.String() {
+		t.Fatalf("got %s want %s", got, want)
+	}
+}
+
+func TestLoadEdgeListGzip(t *testing.T) {
+	content := "0 1\n1 2\n2 3\n"
+	plain, err := bigraph.LoadEdgeList(writeEdgeList(t, "g.txt", content))
+	if err != nil {
+		t.Fatal(err)
+	}
+	zipped, err := bigraph.LoadEdgeList(writeEdgeList(t, "g.txt.gz", content))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.ToGraph().String() != zipped.ToGraph().String() {
+		t.Fatalf("gzip load differs from plain load")
+	}
+}
+
+func TestLoadEdgeListEmptyFile(t *testing.T) {
+	c, err := bigraph.LoadEdgeList(writeEdgeList(t, "empty.txt", ""))
+	if err != nil {
+		t.Fatalf("empty file should load as the empty graph, got %v", err)
+	}
+	if c.N() != 0 || c.M() != 0 {
+		t.Fatalf("empty file: n=%d m=%d, want 0/0", c.N(), c.M())
+	}
+	// Comment-only files are equally empty.
+	c, err = bigraph.LoadEdgeList(writeEdgeList(t, "comments.txt", "# nothing\n\n  \n"))
+	if err != nil || c.N() != 0 {
+		t.Fatalf("comment-only file: n=%d err=%v", c.N(), err)
+	}
+}
+
+func TestLoadEdgeListIsolatedVertices(t *testing.T) {
+	// Ids 1..4 never appear: the vertex space is 0..5 with 4 isolated
+	// vertices (dense ids are positional, not symbolic).
+	c, err := bigraph.LoadEdgeList(writeEdgeList(t, "iso.txt", "0 5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != 6 || c.M() != 1 {
+		t.Fatalf("n=%d m=%d, want 6/1", c.N(), c.M())
+	}
+	for v := 1; v <= 4; v++ {
+		if c.Deg(graph.Vertex(v)) != 0 {
+			t.Fatalf("vertex %d should be isolated", v)
+		}
+	}
+	if !c.HasEdge(0, 5) || !c.HasEdge(5, 0) {
+		t.Fatalf("edge {0,5} missing or asymmetric")
+	}
+}
+
+func TestLoadEdgeListDuplicatesAndSelfLoops(t *testing.T) {
+	c, err := bigraph.LoadEdgeList(writeEdgeList(t, "dup.txt", `
+0 1
+1 0
+0 1
+2 2
+1 2
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != 3 || c.M() != 2 {
+		t.Fatalf("n=%d m=%d, want 3/2 (dups collapsed, self-loop dropped)", c.N(), c.M())
+	}
+	if c.Deg(0) != 1 || c.Deg(1) != 2 || c.Deg(2) != 1 {
+		t.Fatalf("degrees %d/%d/%d, want 1/2/1", c.Deg(0), c.Deg(1), c.Deg(2))
+	}
+}
+
+func TestLoadEdgeListMalformed(t *testing.T) {
+	for _, bad := range []string{"0\n", "a b\n", "0 1 2\n", "0 -1\n"} {
+		if _, err := bigraph.LoadEdgeList(writeEdgeList(t, "bad.txt", bad)); err == nil {
+			t.Fatalf("malformed line %q loaded without error", bad)
+		}
+	}
+}
+
+func TestConvertEdgeList(t *testing.T) {
+	in := writeEdgeList(t, "g.txt", "0 1\n1 2\n0 2\n2 3\n")
+	out := filepath.Join(t.TempDir(), "g.csr")
+	c, err := bigraph.ConvertEdgeList(in, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := bigraph.LoadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+	if c.ToGraph().String() != loaded.ToGraph().String() {
+		t.Fatalf("converted CSR differs from the in-memory one")
+	}
+	// LoadFile also dispatches the raw edge list by extension.
+	direct, err := bigraph.LoadFile(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.ToGraph().String() != c.ToGraph().String() {
+		t.Fatalf("LoadFile(.txt) differs from LoadEdgeList")
+	}
+}

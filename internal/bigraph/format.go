@@ -1,0 +1,207 @@
+package bigraph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// The on-disk CSR format, version 1 (see DESIGN.md §12):
+//
+//	offset  size  field
+//	0       8     magic "KLBIGCSR"
+//	8       4     version (uint32, currently 1)
+//	12      4     flags (uint32, must be 0; reserved)
+//	16      8     n  — vertex count (uint64)
+//	24      8     m2 — directed arc count, i.e. len(targets) = 2m (uint64)
+//	32      4     crc32 (IEEE) of the offsets and targets bytes
+//	36      4     padding (must be 0)
+//	40      ...   offsets: (n+1) × int64
+//	...     ...   targets: m2 × int32
+//
+// All integers are little-endian. Vertex ids in a file are dense
+// (0..n-1): the format has no labels table by design — relabelling is a
+// streaming preprocessing concern, not a storage one. The header is 40
+// bytes so the offsets array lands 8-byte aligned for the mmap fast
+// path.
+const (
+	magic      = "KLBIGCSR"
+	version    = 1
+	headerSize = 40
+)
+
+// Typed load errors, matchable with errors.Is. A corrupt or truncated
+// file must surface as one of these — never as a panic.
+var (
+	// ErrBadMagic means the file is not a bigraph CSR file at all.
+	ErrBadMagic = errors.New("bigraph: bad magic (not a CSR file)")
+	// ErrBadVersion means the file is a CSR file of an unsupported
+	// format version (or uses reserved flags).
+	ErrBadVersion = errors.New("bigraph: unsupported CSR format version")
+	// ErrTruncated means the file ends before the header-declared arrays
+	// do.
+	ErrTruncated = errors.New("bigraph: truncated CSR file")
+	// ErrChecksum means the payload bytes do not match the header CRC.
+	ErrChecksum = errors.New("bigraph: CSR payload checksum mismatch")
+	// ErrCorrupt means the arrays decode but violate CSR invariants
+	// (non-monotone offsets, out-of-range targets, unsorted rows,
+	// asymmetric arcs).
+	ErrCorrupt = errors.New("bigraph: corrupt CSR structure")
+	// ErrNotDense means WriteFile was asked to serialize a CSR whose
+	// labels are not the identity; the file format is dense-only.
+	ErrNotDense = errors.New("bigraph: on-disk CSR requires dense 0..n-1 labels")
+)
+
+// header is the decoded fixed-size prefix.
+type header struct {
+	n   uint64
+	m2  uint64
+	crc uint32
+}
+
+func decodeHeader(buf []byte) (header, error) {
+	var h header
+	if len(buf) < headerSize {
+		return h, fmt.Errorf("%w: %d header bytes, want %d", ErrTruncated, len(buf), headerSize)
+	}
+	if string(buf[0:8]) != magic {
+		return h, ErrBadMagic
+	}
+	if v := binary.LittleEndian.Uint32(buf[8:12]); v != version {
+		return h, fmt.Errorf("%w: version %d, support %d", ErrBadVersion, v, version)
+	}
+	if f := binary.LittleEndian.Uint32(buf[12:16]); f != 0 {
+		return h, fmt.Errorf("%w: reserved flags %#x set", ErrBadVersion, f)
+	}
+	h.n = binary.LittleEndian.Uint64(buf[16:24])
+	h.m2 = binary.LittleEndian.Uint64(buf[24:32])
+	h.crc = binary.LittleEndian.Uint32(buf[32:36])
+	if h.n > 1<<31-1 {
+		return h, fmt.Errorf("%w: %d vertices exceed the int32 index space", ErrCorrupt, h.n)
+	}
+	return h, nil
+}
+
+// payloadSize returns the byte length of the offsets+targets arrays.
+func (h header) payloadSize() int64 { return int64(h.n+1)*8 + int64(h.m2)*4 }
+
+// WriteFile serializes the CSR to path in format v1. Labels must be the
+// identity (ErrNotDense otherwise): files speak dense ids only.
+func (c *CSR) WriteFile(path string) (err error) {
+	if c.labels != nil {
+		return ErrNotDense
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	w := bufio.NewWriterSize(f, 1<<20)
+
+	crc := crc32.NewIEEE()
+	var scratch [8]byte
+	writeInto := func(dst io.Writer) error {
+		for _, o := range c.offsets {
+			binary.LittleEndian.PutUint64(scratch[:8], uint64(o))
+			if _, err := dst.Write(scratch[:8]); err != nil {
+				return err
+			}
+		}
+		for _, t := range c.targets {
+			binary.LittleEndian.PutUint32(scratch[:4], uint32(t))
+			if _, err := dst.Write(scratch[:4]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Pass 1: checksum the payload (cheap — pure CPU over the arrays).
+	if err := writeInto(crc); err != nil {
+		return err
+	}
+
+	var hdr [headerSize]byte
+	copy(hdr[0:8], magic)
+	binary.LittleEndian.PutUint32(hdr[8:12], version)
+	binary.LittleEndian.PutUint32(hdr[12:16], 0)
+	binary.LittleEndian.PutUint64(hdr[16:24], uint64(len(c.offsets)-1))
+	binary.LittleEndian.PutUint64(hdr[24:32], uint64(len(c.targets)))
+	binary.LittleEndian.PutUint32(hdr[32:36], crc.Sum32())
+	binary.LittleEndian.PutUint32(hdr[36:40], 0)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	// Pass 2: the payload itself.
+	if err := writeInto(w); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// ReadFile loads a CSR file fully into memory with the portable decoder
+// (no mmap, works on any platform and endianness). It verifies the
+// checksum and the structural invariants.
+func ReadFile(path string) (*CSR, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, fmt.Errorf("%w: file smaller than the %d-byte header", ErrTruncated, headerSize)
+		}
+		return nil, err
+	}
+	h, err := decodeHeader(hdr[:])
+	if err != nil {
+		return nil, err
+	}
+	payload := make([]byte, h.payloadSize())
+	if _, err := io.ReadFull(f, payload); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, fmt.Errorf("%w: header declares %d payload bytes", ErrTruncated, h.payloadSize())
+		}
+		return nil, err
+	}
+	if got := crc32.ChecksumIEEE(payload); got != h.crc {
+		return nil, fmt.Errorf("%w: crc %#x, header says %#x", ErrChecksum, got, h.crc)
+	}
+	c := &CSR{
+		offsets: make([]int64, h.n+1),
+		targets: make([]int32, h.m2),
+	}
+	for i := range c.offsets {
+		c.offsets[i] = int64(binary.LittleEndian.Uint64(payload[i*8:]))
+	}
+	tbase := int(h.n+1) * 8
+	for i := range c.targets {
+		c.targets[i] = int32(binary.LittleEndian.Uint32(payload[tbase+i*4:]))
+	}
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Open loads a CSR file, preferring the zero-copy mmap path where the
+// platform supports it (linux, little-endian hosts) and falling back to
+// ReadFile everywhere else. Both paths verify the checksum and validate
+// the structure; byte-for-byte they yield identical adjacency (the
+// cross-check test pins this). Close the returned CSR to release a
+// mapping.
+func Open(path string) (*CSR, error) {
+	if c, err, handled := openMmap(path); handled {
+		return c, err
+	}
+	return ReadFile(path)
+}

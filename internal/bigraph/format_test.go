@@ -1,0 +1,191 @@
+package bigraph_test
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"klocal/internal/bigraph"
+	"klocal/internal/gen"
+	"klocal/internal/graph"
+)
+
+// writeTempCSR serializes g to a fresh .csr file under t.TempDir.
+func writeTempCSR(t *testing.T, g *graph.Graph) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.csr")
+	if err := bigraph.FromGraph(g).WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	return path
+}
+
+func sameTopology(t *testing.T, want *graph.Graph, c *bigraph.CSR) {
+	t.Helper()
+	if got := c.ToGraph().String(); got != want.String() {
+		t.Fatalf("topology mismatch:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, g := range []*graph.Graph{
+		gen.Path(2),
+		gen.Cycle(9),
+		gen.Grid(4, 5),
+		gen.RandomConnected(rng, 40, 0.15),
+		gen.RandomTree(rng, 33),
+	} {
+		path := writeTempCSR(t, g)
+		for name, load := range map[string]func(string) (*bigraph.CSR, error){
+			"ReadFile": bigraph.ReadFile,
+			"Open":     bigraph.Open,
+		} {
+			c, err := load(path)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if c.N() != g.N() || c.M() != g.M() {
+				t.Fatalf("%s: n=%d m=%d, want n=%d m=%d", name, c.N(), c.M(), g.N(), g.M())
+			}
+			sameTopology(t, g, c)
+			if err := c.Close(); err != nil {
+				t.Fatalf("%s: Close: %v", name, err)
+			}
+		}
+	}
+}
+
+// TestMmapFallbackCrossCheck pins the mmap view and the portable decoder
+// to byte-for-byte identical adjacency arrays.
+func TestMmapFallbackCrossCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := gen.RandomConnected(rng, 120, 0.06)
+	path := writeTempCSR(t, g)
+
+	mapped, err := bigraph.Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer mapped.Close()
+	heap, err := bigraph.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if runtime.GOOS == "linux" && !mapped.Mapped() {
+		t.Fatalf("Open on linux did not take the mmap path")
+	}
+	if heap.Mapped() {
+		t.Fatalf("ReadFile produced a mapped CSR")
+	}
+	if mapped.N() != heap.N() || mapped.M() != heap.M() {
+		t.Fatalf("size mismatch: mmap n=%d m=%d, heap n=%d m=%d",
+			mapped.N(), mapped.M(), heap.N(), heap.M())
+	}
+	for v := 0; v < mapped.N(); v++ {
+		var a, b []graph.Vertex
+		mapped.EachAdj(graph.Vertex(v), func(w graph.Vertex) bool { a = append(a, w); return true })
+		heap.EachAdj(graph.Vertex(v), func(w graph.Vertex) bool { b = append(b, w); return true })
+		if len(a) != len(b) {
+			t.Fatalf("vertex %d: row lengths differ (%d vs %d)", v, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("vertex %d: rows differ at %d: %d vs %d", v, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestTruncatedFile cuts a valid file at every interesting boundary and
+// requires the typed ErrTruncated from both loaders — never a panic.
+func TestTruncatedFile(t *testing.T) {
+	g := gen.Grid(5, 5)
+	path := writeTempCSR(t, g)
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 7, 39, 40, 41, 40 + 8*10, len(whole) - 4, len(whole) - 1} {
+		if cut >= len(whole) {
+			continue
+		}
+		short := filepath.Join(t.TempDir(), "short.csr")
+		if err := os.WriteFile(short, whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		for name, load := range map[string]func(string) (*bigraph.CSR, error){
+			"ReadFile": bigraph.ReadFile,
+			"Open":     bigraph.Open,
+		} {
+			_, err := load(short)
+			if !errors.Is(err, bigraph.ErrTruncated) {
+				t.Fatalf("%s at cut %d: got %v, want ErrTruncated", name, cut, err)
+			}
+		}
+	}
+}
+
+func TestBadMagicAndVersion(t *testing.T) {
+	g := gen.Cycle(6)
+	path := writeTempCSR(t, g)
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(t *testing.T, f func(b []byte)) string {
+		t.Helper()
+		b := append([]byte(nil), whole...)
+		f(b)
+		p := filepath.Join(t.TempDir(), "mut.csr")
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	p := mutate(t, func(b []byte) { b[0] = 'X' })
+	if _, err := bigraph.Open(p); !errors.Is(err, bigraph.ErrBadMagic) {
+		t.Fatalf("bad magic: got %v", err)
+	}
+	p = mutate(t, func(b []byte) { binary.LittleEndian.PutUint32(b[8:12], 99) })
+	if _, err := bigraph.Open(p); !errors.Is(err, bigraph.ErrBadVersion) {
+		t.Fatalf("bad version: got %v", err)
+	}
+	p = mutate(t, func(b []byte) { binary.LittleEndian.PutUint32(b[12:16], 1) })
+	if _, err := bigraph.Open(p); !errors.Is(err, bigraph.ErrBadVersion) {
+		t.Fatalf("reserved flags: got %v", err)
+	}
+	// Flip one payload byte: checksum must catch it.
+	p = mutate(t, func(b []byte) { b[len(b)-1] ^= 0xff })
+	if _, err := bigraph.Open(p); !errors.Is(err, bigraph.ErrChecksum) {
+		t.Fatalf("payload flip: got %v", err)
+	}
+	// Structurally corrupt payload with a fixed-up checksum: the
+	// validator must catch what the CRC no longer can.
+	p = mutate(t, func(b []byte) {
+		binary.LittleEndian.PutUint64(b[40:48], 1<<40) // offsets[0] != 0
+		binary.LittleEndian.PutUint32(b[32:36], crc32.ChecksumIEEE(b[40:]))
+	})
+	if _, err := bigraph.Open(p); !errors.Is(err, bigraph.ErrCorrupt) {
+		t.Fatalf("corrupt offsets: got %v", err)
+	}
+}
+
+func TestWriteFileRejectsSparseLabels(t *testing.T) {
+	// Labels {3, 5, 9}: a valid Store, but not a valid file.
+	g := graph.FromEdges([]graph.Edge{{U: 3, V: 5}, {U: 5, V: 9}})
+	c := bigraph.FromGraph(g)
+	if !c.HasEdge(3, 5) || c.HasEdge(3, 9) || c.Deg(5) != 2 {
+		t.Fatalf("sparse-label CSR misbehaves as a Store")
+	}
+	err := c.WriteFile(filepath.Join(t.TempDir(), "sparse.csr"))
+	if !errors.Is(err, bigraph.ErrNotDense) {
+		t.Fatalf("got %v, want ErrNotDense", err)
+	}
+}

@@ -1,0 +1,12 @@
+//go:build !linux
+
+package bigraph
+
+// mapping is a stub off linux; no CSR is ever backed by one.
+type mapping struct{}
+
+func (m *mapping) close() error { return nil }
+
+// openMmap reports handled=false: Open falls back to the portable
+// read-into-memory loader on platforms without the mmap fast path.
+func openMmap(string) (*CSR, error, bool) { return nil, nil, false }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package bigraph_test
+
+const raceEnabled = false

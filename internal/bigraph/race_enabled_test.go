@@ -1,0 +1,7 @@
+//go:build race
+
+package bigraph_test
+
+// raceEnabled lets allocation-count gates skip under -race, where the
+// instrumentation itself allocates.
+const raceEnabled = true

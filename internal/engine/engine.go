@@ -469,7 +469,7 @@ func (e *Engine) LiveShard() *metrics.Shard {
 func (e *Engine) report(merged *metrics.Shard) *metrics.Report {
 	rep := merged.Snapshot()
 	rep.Name = fmt.Sprintf("%s k=%d n=%d workers=%d",
-		e.snap.alg.Name, e.snap.k, e.snap.g.N(), e.cfg.Workers)
+		e.snap.alg.Name, e.snap.k, e.snap.st.N(), e.cfg.Workers)
 
 	total, active := e.TotalElapsed(), e.ActiveElapsed()
 	rep.Put("elapsed_total_s", total.Seconds())

@@ -19,8 +19,9 @@ import (
 func slowSnapshot(perHop time.Duration) *Snapshot {
 	g := gen.Path(2)
 	return &Snapshot{
-		g: g,
-		k: 1,
+		st: g,
+		g:  g,
+		k:  1,
 		alg: route.Algorithm{
 			Name: "slow",
 			MinK: func(int) int { return 1 },

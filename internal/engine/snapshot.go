@@ -21,6 +21,7 @@ package engine
 import (
 	"fmt"
 
+	"klocal/internal/bigraph"
 	"klocal/internal/graph"
 	"klocal/internal/prep"
 	"klocal/internal/route"
@@ -33,7 +34,8 @@ import (
 // contracts), and preprocessing is cached behind the sharded view cache.
 // Build a new Snapshot when the topology changes.
 type Snapshot struct {
-	g   *graph.Graph
+	st  bigraph.Store
+	g   *graph.Graph // nil for store-backed snapshots
 	k   int
 	alg route.Algorithm
 	f   route.Func
@@ -69,13 +71,56 @@ func NewSnapshotOpts(g *graph.Graph, k int, alg route.Algorithm, opts SnapshotOp
 	if k < 0 {
 		return nil, fmt.Errorf("engine: negative locality %d", k)
 	}
-	s := &Snapshot{g: g, k: k, alg: alg}
+	s := &Snapshot{st: g, g: g, k: k, alg: alg}
 	if alg.BindCached != nil {
 		s.pre = prep.NewPreprocessorOpts(g, k, alg.Policy, opts.Cache)
 		s.f = alg.BindCached(s.pre)
 	} else {
 		s.f = alg.Bind(g, k)
 	}
+	s.prewarm(opts)
+	return s, nil
+}
+
+// NewSnapshotStore binds alg to a bigraph.Store at locality k — the
+// million-node entry point: the store may be an mmap'd CSR file, and
+// routing never materializes the network as a *graph.Graph. A store that
+// is itself a *graph.Graph takes the classic path (full metrics). k = 0
+// means the algorithm's own threshold T(n) (minimum 1).
+//
+// Store-backed results have Result.Dist == 0 ("unknown"): stretch metrics
+// are skipped, delivery/loop/error counters are exact.
+func NewSnapshotStore(st bigraph.Store, k int, alg route.Algorithm, opts SnapshotOptions) (*Snapshot, error) {
+	if g, ok := st.(*graph.Graph); ok {
+		return NewSnapshotOpts(g, k, alg, opts)
+	}
+	if st == nil || st.N() == 0 {
+		return nil, fmt.Errorf("engine: empty network")
+	}
+	if k == 0 {
+		k = alg.MinK(st.N())
+		if k == 0 {
+			k = 1
+		}
+	}
+	if k < 0 {
+		return nil, fmt.Errorf("engine: negative locality %d", k)
+	}
+	s := &Snapshot{st: st, k: k, alg: alg}
+	switch {
+	case alg.BindCached != nil:
+		s.pre = prep.NewPreprocessorStoreOpts(st, k, alg.Policy, opts.Cache)
+		s.f = alg.BindCached(s.pre)
+	case alg.BindStore != nil:
+		s.f = alg.BindStore(st, k)
+	default:
+		return nil, fmt.Errorf("engine: algorithm %s needs full topology and cannot bind to a graph store", alg.Name)
+	}
+	s.prewarm(opts)
+	return s, nil
+}
+
+func (s *Snapshot) prewarm(opts SnapshotOptions) {
 	if opts.Prewarm != 0 && s.pre != nil {
 		w := opts.Prewarm
 		if w < 0 {
@@ -83,11 +128,14 @@ func NewSnapshotOpts(g *graph.Graph, k int, alg route.Algorithm, opts SnapshotOp
 		}
 		s.pre.Prewarm(w)
 	}
-	return s, nil
 }
 
-// Graph returns the underlying immutable network.
+// Graph returns the underlying network as a *graph.Graph, or nil for
+// store-backed snapshots (use Store for the universal handle).
 func (s *Snapshot) Graph() *graph.Graph { return s.g }
+
+// Store returns the underlying network store (never nil).
+func (s *Snapshot) Store() bigraph.Store { return s.st }
 
 // K returns the locality parameter the snapshot is bound at.
 func (s *Snapshot) K() int { return s.k }
@@ -108,11 +156,16 @@ func (s *Snapshot) CacheStats() prep.CacheStats {
 }
 
 // Route routes one message on the snapshot (the engine's per-request
-// body, also usable standalone).
+// body, also usable standalone). Store-backed snapshots skip the global
+// dist(s, t) computation (Result.Dist stays 0).
 func (s *Snapshot) Route(src, dst graph.Vertex, maxSteps int) *sim.Result {
-	return sim.Run(s.g, sim.Func(s.f), src, dst, sim.Options{
+	opts := sim.Options{
 		MaxSteps:         maxSteps,
 		DetectLoops:      !s.alg.Randomized,
 		PredecessorAware: s.alg.PredecessorAware,
-	})
+	}
+	if s.g != nil {
+		return sim.Run(s.g, sim.Func(s.f), src, dst, opts)
+	}
+	return sim.RunStore(s.st, sim.Func(s.f), src, dst, opts)
 }

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"klocal/internal/adversary"
+	"klocal/internal/bigraph"
 	"klocal/internal/gen"
 	"klocal/internal/graph"
 )
@@ -20,10 +21,30 @@ type Workload struct {
 	Next func() Request
 }
 
+// StoreVertices materializes the vertex set of st in ascending label
+// order — the rank list workload generators draw from. At 10^6 vertices
+// this is ~8 MB, negligible next to the store itself.
+func StoreVertices(st bigraph.Store) []graph.Vertex {
+	vs := make([]graph.Vertex, 0, st.N())
+	st.EachVertex(func(v graph.Vertex) bool {
+		vs = append(vs, v)
+		return true
+	})
+	return vs
+}
+
 // Uniform routes between independently uniform random distinct (s, t)
 // pairs — the throughput baseline.
 func Uniform(rng *rand.Rand, g *graph.Graph) Workload {
-	vs := g.Vertices()
+	return uniformOver(rng, g.Vertices())
+}
+
+// UniformStore is Uniform over any bigraph.Store.
+func UniformStore(rng *rand.Rand, st bigraph.Store) Workload {
+	return uniformOver(rng, StoreVertices(st))
+}
+
+func uniformOver(rng *rand.Rand, vs []graph.Vertex) Workload {
 	return Workload{
 		Name: "uniform",
 		Next: func() Request {
@@ -45,7 +66,16 @@ const ZipfSkew = 1.2
 // vertex list) — the "popular destination" traffic shape that makes the
 // per-source view cache earn its keep. skew ≤ 1 uses ZipfSkew.
 func Zipf(rng *rand.Rand, g *graph.Graph, skew float64) Workload {
-	vs := g.Vertices() // label-sorted: rank = label order
+	return zipfOver(rng, g.Vertices(), skew)
+}
+
+// ZipfStore is Zipf over any bigraph.Store.
+func ZipfStore(rng *rand.Rand, st bigraph.Store, skew float64) Workload {
+	return zipfOver(rng, StoreVertices(st), skew)
+}
+
+func zipfOver(rng *rand.Rand, vs []graph.Vertex, skew float64) Workload {
+	// vs is label-sorted: rank = label order
 	if skew <= 1 {
 		skew = ZipfSkew
 	}
@@ -67,7 +97,15 @@ func Zipf(rng *rand.Rand, g *graph.Graph, skew float64) Workload {
 // label order — the exhaustive coverage workload (n·(n−1) distinct
 // requests per cycle).
 func AllPairs(g *graph.Graph) Workload {
-	vs := g.Vertices()
+	return allPairsOver(g.Vertices())
+}
+
+// AllPairsStore is AllPairs over any bigraph.Store.
+func AllPairsStore(st bigraph.Store) Workload {
+	return allPairsOver(StoreVertices(st))
+}
+
+func allPairsOver(vs []graph.Vertex) Workload {
 	i, j := 0, 1
 	return Workload{
 		Name: "allpairs",
@@ -124,13 +162,18 @@ func adversarialPairs(inst gen.Instance) Workload {
 // NewWorkload builds a named workload over g: "uniform", "zipf" or
 // "allpairs". ("adversarial" carries its own graph; use Adversarial.)
 func NewWorkload(kind string, rng *rand.Rand, g *graph.Graph) (Workload, error) {
+	return NewWorkloadStore(kind, rng, g)
+}
+
+// NewWorkloadStore is NewWorkload over any bigraph.Store.
+func NewWorkloadStore(kind string, rng *rand.Rand, st bigraph.Store) (Workload, error) {
 	switch kind {
 	case "uniform":
-		return Uniform(rng, g), nil
+		return UniformStore(rng, st), nil
 	case "zipf":
-		return Zipf(rng, g, 0), nil
+		return ZipfStore(rng, st, 0), nil
 	case "allpairs":
-		return AllPairs(g), nil
+		return AllPairsStore(st), nil
 	default:
 		return Workload{}, fmt.Errorf("engine: unknown workload %q (uniform|zipf|allpairs|adversarial)", kind)
 	}

@@ -8,9 +8,11 @@ import (
 	"sort"
 	"strings"
 
+	"klocal/internal/bigraph"
 	"klocal/internal/cluster"
 	"klocal/internal/engine"
 	"klocal/internal/gen"
+	"klocal/internal/nbhd"
 	"klocal/internal/netsim"
 	"klocal/internal/sim"
 	"klocal/internal/verify"
@@ -72,6 +74,11 @@ func AllProperties() []Property {
 			Name:  "cluster",
 			Doc:   "a fault-free sharded cluster (local views, hop-by-hop handoffs) routes the engine's walk",
 			Check: checkCluster,
+		},
+		{
+			Name:  "csr",
+			Doc:   "CSR store views G_k(u) are vertex-, distance- and edge-identical to nbhd.Extract, and store-backed routing walks the graph-backed walk",
+			Check: checkCSR,
 		},
 	}
 }
@@ -251,6 +258,76 @@ func checkCluster(sc *Scenario) error {
 		if rep.Route[i] != mem.Route[i] {
 			return fmt.Errorf("walks diverge at hop %d: engine %d, cluster %d",
 				i, mem.Route[i], rep.Route[i])
+		}
+	}
+	return nil
+}
+
+// checkCSR is the store differential: the same scenario topology held as
+// an int-indexed CSR (internal/bigraph) must produce, at every vertex,
+// exactly the G_k(u) view the map-based extractor computes — both via the
+// zero-alloc scratch fast path and the generic Store BFS — and the
+// store-bound routing function must then walk hop-for-hop the walk the
+// graph-bound one walks. A mismatch means the CSR layout, the scratch
+// epochs, or the Store adapters corrupted the locality model.
+func checkCSR(sc *Scenario) error {
+	c := bigraph.FromGraph(sc.G)
+	scratch := bigraph.NewScratch()
+	for _, u := range sc.G.Vertices() {
+		want := nbhd.Extract(sc.G, u, sc.K)
+		got, err := nbhd.ExtractCSR(c, u, sc.K, scratch)
+		if err != nil {
+			return fmt.Errorf("ExtractCSR(%d, k=%d): %v", u, sc.K, err)
+		}
+		if err := sameView(got, want); err != nil {
+			return fmt.Errorf("CSR scratch view G_%d(%d): %w", sc.K, u, err)
+		}
+		if err := sameView(nbhd.ExtractStore(c, u, sc.K), want); err != nil {
+			return fmt.Errorf("store BFS view G_%d(%d): %w", sc.K, u, err)
+		}
+	}
+	if sc.Alg.BindStore == nil {
+		return nil
+	}
+	mem := routeScenario(sc)
+	st := sim.RunStore(c, sim.Func(sc.Alg.BindStore(c, sc.K)), sc.S, sc.T, sim.Options{
+		DetectLoops:      !sc.Alg.Randomized,
+		PredecessorAware: sc.Alg.PredecessorAware,
+	})
+	if st.Outcome != mem.Outcome {
+		return fmt.Errorf("store-backed outcome %v, graph-backed %v (err %v vs %v)",
+			st.Outcome, mem.Outcome, st.Err, mem.Err)
+	}
+	if len(st.Route) != len(mem.Route) {
+		return fmt.Errorf("walk lengths differ: graph %d hops, store %d hops", mem.Len(), st.Len())
+	}
+	for i := range st.Route {
+		if st.Route[i] != mem.Route[i] {
+			return fmt.Errorf("walks diverge at hop %d: graph %d, store %d", i, mem.Route[i], st.Route[i])
+		}
+	}
+	return nil
+}
+
+// sameView compares two G_k(u) views structurally: same vertex set, same
+// per-vertex distances, same edge set.
+func sameView(got, want *nbhd.Neighborhood) error {
+	if got.Center != want.Center || got.K != want.K {
+		return fmt.Errorf("center/k (%d, %d), want (%d, %d)", got.Center, got.K, want.Center, want.K)
+	}
+	if got.G.N() != want.G.N() || got.G.M() != want.G.M() {
+		return fmt.Errorf("size n=%d m=%d, want n=%d m=%d", got.G.N(), got.G.M(), want.G.N(), want.G.M())
+	}
+	for v, d := range want.Dist {
+		if gd, ok := got.Dist[v]; !ok {
+			return fmt.Errorf("vertex %d missing", v)
+		} else if gd != d {
+			return fmt.Errorf("dist(%d) = %d, want %d", v, gd, d)
+		}
+	}
+	for _, e := range want.G.Edges() {
+		if !got.G.HasEdge(e.U, e.V) {
+			return fmt.Errorf("edge {%d, %d} missing", e.U, e.V)
 		}
 	}
 	return nil

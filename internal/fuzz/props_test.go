@@ -180,3 +180,26 @@ func TestPropertyDocsMentionContracts(t *testing.T) {
 		}
 	}
 }
+
+func TestCSRPropertyAcrossFamiliesAndK(t *testing.T) {
+	// The store differential has no threshold precondition: views must
+	// match at every k, including far below T(n).
+	rng := rand.New(rand.NewSource(11))
+	graphs := []*graph.Graph{
+		gen.Cycle(14),
+		gen.Grid(4, 4),
+		gen.Lollipop(8, 5),
+		gen.RandomConnected(rng, 18, 0.15),
+		gen.RandomTree(rng, 15),
+	}
+	for _, g := range graphs {
+		for _, k := range []int{0, 1, 2, 5, g.N()} {
+			for _, algo := range []string{"alg1", "alg2", "alg3"} {
+				sc := scenarioOn(t, algo, g, k, 0, graph.Vertex(g.N()/2))
+				if err := checkCSR(sc); err != nil {
+					t.Errorf("%s k=%d n=%d: %v", algo, k, g.N(), err)
+				}
+			}
+		}
+	}
+}

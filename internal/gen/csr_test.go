@@ -1,0 +1,90 @@
+package gen_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"klocal/internal/bigraph"
+	"klocal/internal/gen"
+	"klocal/internal/graph"
+)
+
+func TestGridCSRMatchesGrid(t *testing.T) {
+	for _, d := range [][2]int{{1, 1}, {1, 7}, {4, 5}, {6, 6}} {
+		c, err := gen.GridCSR(d[0], d[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := gen.Grid(d[0], d[1])
+		if got := c.ToGraph().String(); got != want.String() {
+			t.Fatalf("%d×%d:\n got %s\nwant %s", d[0], d[1], got, want)
+		}
+	}
+	if _, err := gen.GridCSR(0, 5); err == nil {
+		t.Fatal("degenerate grid accepted")
+	}
+}
+
+func TestTreeCSR(t *testing.T) {
+	c, err := gen.TreeCSR(15) // complete 4-level tree
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := gen.BinaryTree(4)
+	if got := c.ToGraph().String(); got != want.String() {
+		t.Fatalf("got %s want %s", got, want)
+	}
+	if c, err = gen.TreeCSR(1); err != nil || c.N() != 1 || c.M() != 0 {
+		t.Fatalf("single-node tree: n=%d m=%d err=%v", c.N(), c.M(), err)
+	}
+}
+
+func TestRandomRegularCSR(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	c, err := gen.RandomRegularCSR(rng, 500, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != 500 {
+		t.Fatalf("n=%d, want 500", c.N())
+	}
+	// Union of 2 Hamiltonian cycles: m ≤ 2n, and close to it for n ≫ d.
+	if c.M() > 1000 || c.M() < 990 {
+		t.Fatalf("m=%d, want within a few of 1000", c.M())
+	}
+	short := 0
+	for v := 0; v < 500; v++ {
+		if d := c.Deg(graph.Vertex(v)); d > 4 {
+			t.Fatalf("vertex %d has degree %d > 4", v, d)
+		} else if d < 4 {
+			short++
+		}
+	}
+	if short > 20 {
+		t.Fatalf("%d vertices fell short of degree 4", short)
+	}
+	if !c.ToGraph().Connected() {
+		t.Fatal("random regular graph disconnected (each cycle spans)")
+	}
+	for _, bad := range [][2]int{{500, 3}, {500, 0}, {4, 4}} {
+		if _, err := gen.RandomRegularCSR(rng, bad[0], bad[1]); err == nil {
+			t.Fatalf("accepted n=%d d=%d", bad[0], bad[1])
+		}
+	}
+}
+
+// TestCSRGeneratorsRoute sanity-checks that generated CSRs route end to
+// end through a store-backed neighbourhood extraction.
+func TestCSRGeneratorsRoute(t *testing.T) {
+	c, err := gen.GridCSR(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bigraph.NewScratch()
+	if err := c.Extract(0, 3, sc); err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Verts) != 10 { // corner of a grid: 1+2+3+4 within dist 3
+		t.Fatalf("|G_3(corner)| = %d, want 10", len(sc.Verts))
+	}
+}

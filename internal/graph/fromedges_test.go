@@ -1,0 +1,90 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// builderFromEdges is the previous map-of-maps implementation, kept as
+// the differential reference (and benchmark baseline) for the direct
+// sorted construction.
+func builderFromEdges(edges []Edge, isolated ...Vertex) *Graph {
+	b := NewBuilder()
+	for _, e := range edges {
+		b.AddEdge(e.U, e.V)
+	}
+	for _, v := range isolated {
+		b.AddVertex(v)
+	}
+	return b.Build()
+}
+
+func randomEdges(rng *rand.Rand, n, m int) []Edge {
+	edges := make([]Edge, 0, m)
+	for len(edges) < m {
+		u := Vertex(rng.Intn(n))
+		v := Vertex(rng.Intn(n))
+		edges = append(edges, Edge{U: u, V: v}) // self-loops and dups on purpose
+	}
+	return edges
+}
+
+func TestFromEdgesMatchesBuilder(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cases := []struct {
+		edges    []Edge
+		isolated []Vertex
+	}{
+		{nil, nil},
+		{nil, []Vertex{4, 2, 2, 4}},
+		{[]Edge{{U: 1, V: 1}}, nil}, // self-loop only
+		{[]Edge{{U: 3, V: 1}, {U: 1, V: 3}, {U: 3, V: 1}}, []Vertex{1, 9}},
+		{randomEdges(rng, 30, 120), []Vertex{50, 51}},
+		{randomEdges(rng, 200, 1000), nil},
+	}
+	for i, tc := range cases {
+		got := FromEdges(tc.edges, tc.isolated...)
+		want := builderFromEdges(tc.edges, tc.isolated...)
+		if got.String() != want.String() {
+			t.Fatalf("case %d:\n got %s\nwant %s", i, got, want)
+		}
+		if gv, wv := fmt.Sprint(got.Vertices()), fmt.Sprint(want.Vertices()); gv != wv {
+			t.Fatalf("case %d: vertices %s, want %s", i, gv, wv)
+		}
+		for _, v := range want.Vertices() {
+			if ga, wa := fmt.Sprint(got.Adj(v)), fmt.Sprint(want.Adj(v)); ga != wa {
+				t.Fatalf("case %d: adj(%d) %s, want %s", i, v, ga, wa)
+			}
+		}
+	}
+}
+
+func benchmarkEdges(n int) []Edge {
+	rng := rand.New(rand.NewSource(9))
+	// A connected-ish sparse graph: a ring plus random chords.
+	edges := make([]Edge, 0, 3*n)
+	for i := 0; i < n; i++ {
+		edges = append(edges, Edge{U: Vertex(i), V: Vertex((i + 1) % n)})
+	}
+	edges = append(edges, randomEdges(rng, n, 2*n)...)
+	return edges
+}
+
+func BenchmarkFromEdges(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		edges := benchmarkEdges(n)
+		b.Run(fmt.Sprintf("direct/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				FromEdges(edges)
+			}
+		})
+		b.Run(fmt.Sprintf("builder/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				builderFromEdges(edges)
+			}
+		})
+	}
+}

@@ -13,7 +13,9 @@
 package graph
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 )
@@ -154,16 +156,65 @@ func (b *Builder) Build() *Graph {
 }
 
 // FromEdges builds a graph from an edge list (plus optional isolated
-// vertices).
+// vertices). Unlike the Builder it constructs the sorted adjacency
+// directly — one arc slice sorted once and sliced into per-vertex rows —
+// instead of a map of maps, so bulk construction does O(m log m) work
+// with O(m) allocations rather than one small map per vertex.
 func FromEdges(edges []Edge, isolated ...Vertex) *Graph {
-	b := NewBuilder()
+	arcs := make([]Edge, 0, 2*len(edges))
 	for _, e := range edges {
-		b.AddEdge(e.U, e.V)
+		if e.U == e.V {
+			continue // simple graphs: self-loops are ignored, as in Builder
+		}
+		arcs = append(arcs, Edge{U: e.U, V: e.V}, Edge{U: e.V, V: e.U})
+	}
+	slices.SortFunc(arcs, func(a, b Edge) int {
+		if c := cmp.Compare(a.U, b.U); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.V, b.V)
+	})
+	w := 0
+	for i, a := range arcs {
+		if i > 0 && a == arcs[i-1] {
+			continue
+		}
+		arcs[w] = a
+		w++
+	}
+	arcs = arcs[:w]
+
+	g := &Graph{adj: make(map[Vertex][]Vertex, len(arcs)/2+len(isolated))}
+	targets := make([]Vertex, len(arcs))
+	for i, a := range arcs {
+		targets[i] = a.V
+	}
+	for start := 0; start < len(arcs); {
+		u := arcs[start].U
+		end := start
+		for end < len(arcs) && arcs[end].U == u {
+			end++
+		}
+		g.adj[u] = targets[start:end:end]
+		g.vertices = append(g.vertices, u)
+		start = end
 	}
 	for _, v := range isolated {
-		b.AddVertex(v)
+		if _, ok := g.adj[v]; !ok {
+			g.adj[v] = nil
+			g.vertices = append(g.vertices, v)
+		}
 	}
-	return b.Build()
+	sort.Slice(g.vertices, func(i, j int) bool { return g.vertices[i] < g.vertices[j] })
+	// Arcs are sorted lexicographically, so keeping the U < V half yields
+	// the canonical rank order without a second sort.
+	g.edges = make([]Edge, 0, len(arcs)/2)
+	for _, a := range arcs {
+		if a.U < a.V {
+			g.edges = append(g.edges, a)
+		}
+	}
+	return g
 }
 
 // N returns the number of vertices.
@@ -177,6 +228,16 @@ func (g *Graph) Vertices() []Vertex {
 	out := make([]Vertex, len(g.vertices))
 	copy(out, g.vertices)
 	return out
+}
+
+// EachVertex calls fn for every vertex in label order, without
+// allocating. It stops early if fn returns false.
+func (g *Graph) EachVertex(fn func(v Vertex) bool) {
+	for _, v := range g.vertices {
+		if !fn(v) {
+			return
+		}
+	}
 }
 
 // Edges returns the edges in canonical rank order. The slice is a copy.

@@ -23,6 +23,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"klocal/internal/bigraph"
 	"klocal/internal/graph"
 	"klocal/internal/nbhd"
 )
@@ -92,7 +93,41 @@ func Preprocess(g *graph.Graph, u graph.Vertex, k int) *View {
 
 // PreprocessPolicy computes the view under an explicit dormancy policy.
 func PreprocessPolicy(g *graph.Graph, u graph.Vertex, k int, pol Policy) *View {
-	raw := nbhd.Extract(g, u, k)
+	return preprocessRaw(nbhd.Extract(g, u, k), u, k, pol)
+}
+
+// csrScratch pools the BFS scratch buffers of the CSR extraction fast
+// path across preprocessing calls.
+var csrScratch = sync.Pool{New: func() any { return bigraph.NewScratch() }}
+
+// PreprocessStore computes the view reading topology through a
+// bigraph.Store. For a *graph.Graph store it is PreprocessPolicy exactly;
+// for a *bigraph.CSR it extracts G_k(u) through the zero-alloc CSR walk
+// before handing the (small) view to the dormancy machinery.
+func PreprocessStore(st bigraph.Store, u graph.Vertex, k int, pol Policy) *View {
+	switch s := st.(type) {
+	case *graph.Graph:
+		return PreprocessPolicy(s, u, k, pol)
+	case *bigraph.CSR:
+		sc := csrScratch.Get().(*bigraph.Scratch)
+		raw, err := nbhd.ExtractCSR(s, u, k, sc)
+		csrScratch.Put(sc)
+		if err == nil {
+			return preprocessRaw(raw, u, k, pol)
+		}
+		// Absent centre or degenerate k: the generic path yields the
+		// same empty view Extract would.
+		return preprocessRaw(nbhd.ExtractStore(st, u, k), u, k, pol)
+	default:
+		return preprocessRaw(nbhd.ExtractStore(st, u, k), u, k, pol)
+	}
+}
+
+// preprocessRaw runs dormancy classification and component analysis over
+// an already-extracted raw neighbourhood — the shared body of the graph-
+// and store-backed entry points. Everything past the G_k(u) extraction
+// operates on the small view graph, never the full network.
+func preprocessRaw(raw *nbhd.Neighborhood, u graph.Vertex, k int, pol Policy) *View {
 	v := &View{
 		Center:     u,
 		K:          k,
@@ -245,7 +280,8 @@ type prepShard struct {
 // lock-free, which beats serializing whole shards behind preprocessing
 // (BFS-heavy) critical sections.
 type Preprocessor struct {
-	g   *graph.Graph
+	st  bigraph.Store
+	g   *graph.Graph // non-nil only when st is a materialized *graph.Graph
 	k   int
 	pol Policy
 
@@ -274,6 +310,17 @@ func NewPreprocessorPolicy(g *graph.Graph, k int, pol Policy) *Preprocessor {
 // NewPreprocessorOpts returns a caching preprocessor with explicit cache
 // tuning — the traffic engine's entry point.
 func NewPreprocessorOpts(g *graph.Graph, k int, pol Policy, opts CacheOptions) *Preprocessor {
+	return NewPreprocessorStoreOpts(g, k, pol, opts)
+}
+
+// NewPreprocessorStore returns a caching preprocessor over any
+// bigraph.Store (mmap'd CSR files included) with default cache options.
+func NewPreprocessorStore(st bigraph.Store, k int, pol Policy) *Preprocessor {
+	return NewPreprocessorStoreOpts(st, k, pol, CacheOptions{})
+}
+
+// NewPreprocessorStoreOpts is NewPreprocessorOpts over any bigraph.Store.
+func NewPreprocessorStoreOpts(st bigraph.Store, k int, pol Policy, opts CacheOptions) *Preprocessor {
 	n := opts.Shards
 	if n <= 0 {
 		n = DefaultShards
@@ -284,12 +331,15 @@ func NewPreprocessorOpts(g *graph.Graph, k int, pol Policy, opts CacheOptions) *
 		shards <<= 1
 	}
 	p := &Preprocessor{
-		g:        g,
+		st:       st,
 		k:        k,
 		pol:      pol,
 		shards:   make([]prepShard, shards),
 		mask:     uint64(shards - 1),
 		capacity: opts.Capacity,
+	}
+	if g, ok := st.(*graph.Graph); ok {
+		p.g = g
 	}
 	for i := range p.shards {
 		p.shards[i].views = make(map[graph.Vertex]*View)
@@ -300,8 +350,12 @@ func NewPreprocessorOpts(g *graph.Graph, k int, pol Policy, opts CacheOptions) *
 // K returns the locality parameter.
 func (p *Preprocessor) K() int { return p.k }
 
-// Graph returns the underlying network.
+// Graph returns the underlying network as a *graph.Graph, or nil for a
+// store-backed preprocessor (use Store for the universal handle).
 func (p *Preprocessor) Graph() *graph.Graph { return p.g }
+
+// Store returns the underlying network store (never nil).
+func (p *Preprocessor) Store() bigraph.Store { return p.st }
 
 // Policy returns the dormancy policy.
 func (p *Preprocessor) Policy() Policy { return p.pol }
@@ -334,7 +388,7 @@ func (p *Preprocessor) At(u graph.Vertex) *View {
 		return v
 	}
 	p.misses.Add(1)
-	v = PreprocessPolicy(p.g, u, p.k, p.pol)
+	v = PreprocessStore(p.st, u, p.k, p.pol)
 	sh.mu.Lock()
 	if cur, ok := sh.views[u]; ok {
 		// A concurrent miss published first; keep its view so every
@@ -365,10 +419,18 @@ func (p *Preprocessor) Prewarm(workers int) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	vs := p.g.Vertices()
-	if p.capacity > 0 && len(vs) > p.capacity {
-		vs = vs[:p.capacity]
+	limit := p.st.N()
+	if p.capacity > 0 && limit > p.capacity {
+		limit = p.capacity
 	}
+	if limit == 0 {
+		return
+	}
+	vs := make([]graph.Vertex, 0, limit)
+	p.st.EachVertex(func(v graph.Vertex) bool {
+		vs = append(vs, v)
+		return len(vs) < limit
+	})
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {

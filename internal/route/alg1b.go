@@ -3,6 +3,7 @@ package route
 import (
 	"sort"
 
+	"klocal/internal/bigraph"
 	"klocal/internal/graph"
 	"klocal/internal/prep"
 )
@@ -36,6 +37,9 @@ func Algorithm1BPolicy(pol prep.Policy) Algorithm {
 		BindCached:       bind,
 		Bind: func(g *graph.Graph, k int) Func {
 			return bind(prep.NewPreprocessorPolicy(g, k, pol))
+		},
+		BindStore: func(st bigraph.Store, k int) Func {
+			return bind(prep.NewPreprocessorStore(st, k, pol))
 		},
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"klocal/internal/bigraph"
 	"klocal/internal/graph"
 	"klocal/internal/nbhd"
 )
@@ -16,41 +17,59 @@ import (
 // rank order of all neighbours. It guarantees delivery on trees for any
 // k ≥ 1 but is defeated by cycles longer than 2k.
 func TreeRightHand() Algorithm {
+	step := func(extract viewAt, k int) Func {
+		return func(_, t, u, v graph.Vertex) (graph.Vertex, error) {
+			view := extract(u, k)
+			if view.Contains(t) {
+				if hop := view.G.NextHopToward(u, t); hop != graph.NoVertex {
+					return hop, nil
+				}
+			}
+			// G_k(u) carries every edge at u for k ≥ 1, so the view's
+			// adjacency at u is the true port list. A router always
+			// knows its own ports (Section 2), so at k == 0 — where
+			// the view has no edges — take them from G_1(u).
+			adj := view.G.Adj(u)
+			if k < 1 {
+				adj = extract(u, 1).G.Adj(u)
+			}
+			if len(adj) == 0 {
+				return graph.NoVertex, fmt.Errorf("%w: isolated node", ErrNoRoute)
+			}
+			if v == graph.NoVertex {
+				return adj[0], nil
+			}
+			i := sort.Search(len(adj), func(i int) bool { return adj[i] >= v })
+			if i == len(adj) || adj[i] != v {
+				return adj[0], nil
+			}
+			return adj[(i+1)%len(adj)], nil
+		}
+	}
 	return Algorithm{
 		Name:             "RightHandRule",
 		OriginAware:      false,
 		PredecessorAware: true,
 		MinK:             func(int) int { return 0 },
 		Bind: func(g *graph.Graph, k int) Func {
-			return func(_, t, u, v graph.Vertex) (graph.Vertex, error) {
-				view := nbhd.Extract(g, u, k)
-				if view.Contains(t) {
-					if hop := view.G.NextHopToward(u, t); hop != graph.NoVertex {
-						return hop, nil
-					}
-				}
-				// G_k(u) carries every edge at u for k ≥ 1, so the view's
-				// adjacency at u is the true port list. A router always
-				// knows its own ports (Section 2), so at k == 0 — where
-				// the view has no edges — take them from G_1(u).
-				adj := view.G.Adj(u)
-				if k < 1 {
-					adj = nbhd.Extract(g, u, 1).G.Adj(u)
-				}
-				if len(adj) == 0 {
-					return graph.NoVertex, fmt.Errorf("%w: isolated node", ErrNoRoute)
-				}
-				if v == graph.NoVertex {
-					return adj[0], nil
-				}
-				i := sort.Search(len(adj), func(i int) bool { return adj[i] >= v })
-				if i == len(adj) || adj[i] != v {
-					return adj[0], nil
-				}
-				return adj[(i+1)%len(adj)], nil
-			}
+			return step(graphViews(g), k)
+		},
+		BindStore: func(st bigraph.Store, k int) Func {
+			return step(storeViews(st), k)
 		},
 	}
+}
+
+// viewAt abstracts where G_k(u) views come from, so baselines bind
+// identically over graphs and stores.
+type viewAt func(u graph.Vertex, k int) *nbhd.Neighborhood
+
+func graphViews(g *graph.Graph) viewAt {
+	return func(u graph.Vertex, k int) *nbhd.Neighborhood { return nbhd.Extract(g, u, k) }
+}
+
+func storeViews(st bigraph.Store) viewAt {
+	return func(u graph.Vertex, k int) *nbhd.Neighborhood { return nbhd.ExtractStore(st, u, k) }
 }
 
 // ShortestPathOracle returns the centralized baseline: a router with full
@@ -103,6 +122,29 @@ func RandomWalkRand(rng *rand.Rand) Algorithm {
 // with distinct seeds.
 func randomWalk(newRNG func() *rand.Rand) Algorithm {
 	var mu sync.Mutex
+	step := func(extract viewAt, k int) Func {
+		rng := newRNG()
+		return func(_, t, u, _ graph.Vertex) (graph.Vertex, error) {
+			view := extract(u, k)
+			if view.Contains(t) {
+				if hop := view.G.NextHopToward(u, t); hop != graph.NoVertex {
+					return hop, nil
+				}
+			}
+			adj := view.G.Adj(u)
+			if k < 1 {
+				// Ports are always known (Section 2): use G_1(u).
+				adj = extract(u, 1).G.Adj(u)
+			}
+			if len(adj) == 0 {
+				return graph.NoVertex, fmt.Errorf("%w: isolated node", ErrNoRoute)
+			}
+			mu.Lock()
+			hop := adj[rng.Intn(len(adj))]
+			mu.Unlock()
+			return hop, nil
+		}
+	}
 	return Algorithm{
 		Name:             "RandomWalk",
 		OriginAware:      false,
@@ -110,27 +152,10 @@ func randomWalk(newRNG func() *rand.Rand) Algorithm {
 		Randomized:       true,
 		MinK:             func(int) int { return 0 },
 		Bind: func(g *graph.Graph, k int) Func {
-			rng := newRNG()
-			return func(_, t, u, _ graph.Vertex) (graph.Vertex, error) {
-				view := nbhd.Extract(g, u, k)
-				if view.Contains(t) {
-					if hop := view.G.NextHopToward(u, t); hop != graph.NoVertex {
-						return hop, nil
-					}
-				}
-				adj := view.G.Adj(u)
-				if k < 1 {
-					// Ports are always known (Section 2): use G_1(u).
-					adj = nbhd.Extract(g, u, 1).G.Adj(u)
-				}
-				if len(adj) == 0 {
-					return graph.NoVertex, fmt.Errorf("%w: isolated node", ErrNoRoute)
-				}
-				mu.Lock()
-				hop := adj[rng.Intn(len(adj))]
-				mu.Unlock()
-				return hop, nil
-			}
+			return step(graphViews(g), k)
+		},
+		BindStore: func(st bigraph.Store, k int) Func {
+			return step(storeViews(st), k)
 		},
 	}
 }

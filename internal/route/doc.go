@@ -32,6 +32,24 @@ package route
 //     builds an independent preprocessor (memory-heavy); the engine's
 //     Snapshot exists precisely to bind once and share.
 //
+// Store contract (BindStore). The paper's model never lets a routing
+// decision at u see more than G_k(u); the representation of the rest of
+// the graph is therefore irrelevant to the algorithm, and BindStore
+// makes that literal: it binds the same routing function over a
+// bigraph.Store — an int-indexed CSR array store, possibly an mmap'd
+// on-disk file, for graphs too large to materialize as *graph.Graph.
+// The contract is that the k-neighbourhoods extracted from the store
+// are vertex-, distance- and edge-identical to those extracted from the
+// equivalent materialized graph (nbhd.ExtractStore/ExtractCSR vs
+// nbhd.Extract — held by the klocalcheck "csr" property on every
+// scenario), so a store-bound Func walks exactly the walk its
+// graph-bound twin walks; the only thing that changes is what the
+// process holds in memory. A Store must be immutable while bound, just
+// as Graph is; concurrency guarantees above carry over unchanged (the
+// CSR arrays are read-only after load). Only ShortestPathOracle lacks a
+// BindStore — it is defined by whole-graph knowledge, which is exactly
+// what a bounded store view cannot provide.
+//
 // Model contracts (k-locality, determinism, statelessness) are enforced
 // mechanically on every decision path in this package by the klocalvet
 // analyzers — run `make lint`, and see internal/analysis plus DESIGN.md

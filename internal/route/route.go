@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 
+	"klocal/internal/bigraph"
 	"klocal/internal/graph"
 	"klocal/internal/nbhd"
 	"klocal/internal/prep"
@@ -54,6 +55,12 @@ type Algorithm struct {
 	// across Bind calls that would otherwise each build their own).
 	// The preprocessor must have been built for the same policy.
 	BindCached func(p *prep.Preprocessor) Func
+	// BindStore, when non-nil, binds the routing function over a
+	// bigraph.Store — CSR-backed (possibly mmap'd) million-node
+	// topologies included. Nil for baselines that need full topology
+	// knowledge (the oracle), which a k-local store deliberately cannot
+	// provide.
+	BindStore func(st bigraph.Store, k int) Func
 }
 
 // Errors reported by routing functions. A routing error means the
@@ -232,6 +239,9 @@ func Algorithm1Policy(pol prep.Policy) Algorithm {
 		Bind: func(g *graph.Graph, k int) Func {
 			return bind(prep.NewPreprocessorPolicy(g, k, pol))
 		},
+		BindStore: func(st bigraph.Store, k int) Func {
+			return bind(prep.NewPreprocessorStore(st, k, pol))
+		},
 	}
 }
 
@@ -272,6 +282,9 @@ func Algorithm2Policy(pol prep.Policy) Algorithm {
 		Bind: func(g *graph.Graph, k int) Func {
 			return bind(prep.NewPreprocessorPolicy(g, k, pol))
 		},
+		BindStore: func(st bigraph.Store, k int) Func {
+			return bind(prep.NewPreprocessorStore(st, k, pol))
+		},
 	}
 }
 
@@ -288,45 +301,56 @@ func Algorithm3() Algorithm {
 		MinK:             MinK3,
 		Bind: func(g *graph.Graph, k int) Func {
 			return func(_, t, u, _ graph.Vertex) (graph.Vertex, error) {
-				view := nbhd.Extract(g, u, k)
-				if view.Contains(t) {
-					hop := view.G.NextHopToward(u, t)
-					if hop == graph.NoVertex {
-						return graph.NoVertex, fmt.Errorf("%w: t unreachable in view", ErrNoRoute)
-					}
-					return hop, nil
-				}
-				var constrained *nbhd.Component
-				active := 0
-				for _, c := range view.Components() {
-					if !c.Active {
-						continue
-					}
-					active++
-					if c.Constrained {
-						constrained = c
-					}
-				}
-				if active != 1 || constrained == nil {
-					return graph.NoVertex, fmt.Errorf("%w: Lemma 12 precondition violated (%d active components)", ErrLocalityTooSmall, active)
-				}
-				// The furthest constraint vertex; ties broken by rank
-				// (ConstraintVertices is label-sorted, so the first
-				// maximum is canonical).
-				target := graph.NoVertex
-				best := -1
-				for _, w := range constrained.ConstraintVertices {
-					if d := view.Dist[w]; d > best {
-						best = d
-						target = w
-					}
-				}
-				hop := view.G.NextHopToward(u, target)
-				if hop == graph.NoVertex {
-					return graph.NoVertex, fmt.Errorf("%w: constraint vertex unreachable", ErrNoRoute)
-				}
-				return hop, nil
+				return alg3Step(nbhd.Extract(g, u, k), t, u)
+			}
+		},
+		BindStore: func(st bigraph.Store, k int) Func {
+			return func(_, t, u, _ graph.Vertex) (graph.Vertex, error) {
+				return alg3Step(nbhd.ExtractStore(st, u, k), t, u)
 			}
 		},
 	}
+}
+
+// alg3Step is Algorithm 3's forwarding decision over an extracted view:
+// shortest path when t is visible, otherwise the Lemma 12 move toward the
+// furthest constraint vertex of the unique constrained active component.
+func alg3Step(view *nbhd.Neighborhood, t, u graph.Vertex) (graph.Vertex, error) {
+	if view.Contains(t) {
+		hop := view.G.NextHopToward(u, t)
+		if hop == graph.NoVertex {
+			return graph.NoVertex, fmt.Errorf("%w: t unreachable in view", ErrNoRoute)
+		}
+		return hop, nil
+	}
+	var constrained *nbhd.Component
+	active := 0
+	for _, c := range view.Components() {
+		if !c.Active {
+			continue
+		}
+		active++
+		if c.Constrained {
+			constrained = c
+		}
+	}
+	if active != 1 || constrained == nil {
+		return graph.NoVertex, fmt.Errorf("%w: Lemma 12 precondition violated (%d active components)", ErrLocalityTooSmall, active)
+	}
+	// The furthest constraint vertex; ties broken by rank
+	// (ConstraintVertices is label-sorted, so the first maximum is
+	// canonical).
+	target := graph.NoVertex
+	best := -1
+	for _, w := range constrained.ConstraintVertices {
+		if d := view.Dist[w]; d > best {
+			best = d
+			target = w
+		}
+	}
+	hop := view.G.NextHopToward(u, target)
+	if hop == graph.NoVertex {
+		return graph.NoVertex, fmt.Errorf("%w: constraint vertex unreachable", ErrNoRoute)
+	}
+	return hop, nil
 }

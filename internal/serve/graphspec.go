@@ -4,19 +4,22 @@ import (
 	"fmt"
 	"math/rand"
 
+	"klocal/internal/bigraph"
 	"klocal/internal/gen"
 	"klocal/internal/graph"
 	"klocal/internal/route"
 )
 
-// GraphSpec describes a topology the daemon can build — either one of
-// the named generators (the same family cmd/loadgen exposes) or an
-// explicit edge list. It is the JSON body of PUT /graph and the parsed
-// form of klocald's -graph/-size/-seed/-p flags.
+// GraphSpec describes a topology the daemon can build — one of the
+// named generators (the same family cmd/loadgen exposes), an explicit
+// edge list, or a graph file on disk (kind "file"). It is the JSON body
+// of PUT /graph and the parsed form of klocald's -graph/-size/-seed/-p
+// and -graph-file flags.
 type GraphSpec struct {
 	// Kind selects the generator: lollipop|cycle|path|grid|spider|wheel|
-	// barbell|complete|random|tree, or "edges" for an explicit topology.
-	// Empty means lollipop.
+	// barbell|complete|random|tree, "edges" for an explicit topology, or
+	// "file" for an on-disk graph (see Path). Empty means lollipop, or
+	// "file" when Path is set.
 	Kind string `json:"kind,omitempty"`
 	// Size is the number of nodes for generated topologies (default 48).
 	Size int `json:"size,omitempty"`
@@ -27,14 +30,23 @@ type GraphSpec struct {
 	// Edges is the explicit topology for Kind "edges" (or whenever
 	// non-empty): pairs of vertex labels. The graph must be connected.
 	Edges [][2]int64 `json:"edges,omitempty"`
+	// Path is the on-disk graph for Kind "file": a binary ".csr" file
+	// (mmap'd — the million-node path, see DESIGN.md §12) or an edge
+	// list (".txt", ".txt.gz"). File topologies deploy store-backed:
+	// routing works as usual but hop traces and exact s–t distances
+	// (stretch) are unavailable.
+	Path string `json:"path,omitempty"`
 }
 
 // withDefaults fills the zero values.
 func (sp GraphSpec) withDefaults() GraphSpec {
 	if sp.Kind == "" {
-		if len(sp.Edges) > 0 {
+		switch {
+		case sp.Path != "":
+			sp.Kind = "file"
+		case len(sp.Edges) > 0:
 			sp.Kind = "edges"
-		} else {
+		default:
 			sp.Kind = "lollipop"
 		}
 	}
@@ -53,15 +65,43 @@ func (sp GraphSpec) withDefaults() GraphSpec {
 // String renders the spec for logs and report names.
 func (sp GraphSpec) String() string {
 	sp = sp.withDefaults()
-	if sp.Kind == "edges" {
+	switch sp.Kind {
+	case "edges":
 		return fmt.Sprintf("edges(m=%d)", len(sp.Edges))
+	case "file":
+		return fmt.Sprintf("file(%s)", sp.Path)
 	}
 	return fmt.Sprintf("%s(n=%d seed=%d)", sp.Kind, sp.Size, sp.Seed)
 }
 
-// Build constructs the (deterministic) graph the spec describes.
+// BuildStore constructs the graph store the spec describes: a loaded
+// (mmap'd when possible) CSR for Kind "file", a materialized
+// *graph.Graph for every generator kind. File topologies skip the
+// connectivity check — a full-graph BFS at every deploy defeats the
+// point of the mmap path; csrgen-produced families are connected by
+// construction.
+func (sp GraphSpec) BuildStore() (bigraph.Store, error) {
+	sp = sp.withDefaults()
+	if sp.Kind == "file" {
+		if sp.Path == "" {
+			return nil, fmt.Errorf("serve: kind \"file\" needs a path")
+		}
+		return bigraph.LoadFile(sp.Path)
+	}
+	g, err := sp.Build()
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Build constructs the (deterministic) graph the spec describes. Kind
+// "file" has no materialized graph — use BuildStore.
 func (sp GraphSpec) Build() (*graph.Graph, error) {
 	sp = sp.withDefaults()
+	if sp.Kind == "file" {
+		return nil, fmt.Errorf("serve: kind \"file\" is store-backed; use BuildStore")
+	}
 	if sp.Kind != "edges" && sp.Size < 2 {
 		return nil, fmt.Errorf("serve: graph size %d too small", sp.Size)
 	}

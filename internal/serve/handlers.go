@@ -22,7 +22,9 @@ type RouteRequest struct {
 	T graph.Vertex `json:"t"`
 	// Algo names the algorithm ("" = the daemon's default).
 	Algo string `json:"algo,omitempty"`
-	// Trace asks for the hop-by-hop annotation of the walk.
+	// Trace asks for the hop-by-hop annotation of the walk. Ignored on
+	// store-backed (kind "file") deployments, where the full topology
+	// needed to annotate hops is never materialized.
 	Trace bool `json:"trace,omitempty"`
 }
 
@@ -32,15 +34,15 @@ type RouteReply struct {
 	// Rev identifies the graph generation that routed the request, so
 	// clients (and the hot-swap test) can validate the walk against the
 	// right topology.
-	Rev       int64          `json:"rev"`
-	Algo      string         `json:"algo"`
-	K         int            `json:"k"`
-	S         graph.Vertex   `json:"s"`
-	T         graph.Vertex   `json:"t"`
-	Outcome   string         `json:"outcome"`
-	Delivered bool           `json:"delivered"`
-	Hops      int            `json:"hops"`
-	Dist      int            `json:"dist"`
+	Rev       int64        `json:"rev"`
+	Algo      string       `json:"algo"`
+	K         int          `json:"k"`
+	S         graph.Vertex `json:"s"`
+	T         graph.Vertex `json:"t"`
+	Outcome   string       `json:"outcome"`
+	Delivered bool         `json:"delivered"`
+	Hops      int          `json:"hops"`
+	Dist      int          `json:"dist"`
 	// Stretch is hops/dist for delivered messages with dist > 0.
 	Stretch   float64        `json:"stretch,omitempty"`
 	LatencyNS int64          `json:"latency_ns"`
@@ -152,7 +154,7 @@ func (d *deployment) reply(ae *algEngine, resp engine.Response, withTrace bool) 
 	if res.Err != nil {
 		rr.Err = res.Err.Error()
 	}
-	if withTrace {
+	if withTrace && d.g != nil {
 		rr.Trace = trace.RouteHops(d.g, res.Route, resp.T)
 	}
 	return rr
@@ -171,7 +173,7 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer d.release()
-	if !d.g.HasVertex(req.S) || !d.g.HasVertex(req.T) {
+	if !d.st.HasVertex(req.S) || !d.st.HasVertex(req.T) {
 		s.fail(w, http.StatusBadRequest,
 			fmt.Errorf("vertex pair (%d, %d) not in graph rev %d", req.S, req.T, d.rev))
 		return
@@ -217,7 +219,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	reqs := make([]engine.Request, len(req.Pairs))
 	for i, p := range req.Pairs {
-		if !d.g.HasVertex(p[0]) || !d.g.HasVertex(p[1]) {
+		if !d.st.HasVertex(p[0]) || !d.st.HasVertex(p[1]) {
 			s.fail(w, http.StatusBadRequest,
 				fmt.Errorf("pair %d: (%d, %d) not in graph rev %d", i, p[0], p[1], d.rev))
 			return
@@ -268,8 +270,8 @@ func (s *Server) describe(d *deployment) GraphReply {
 	return GraphReply{
 		Rev:   d.rev,
 		Spec:  d.spec,
-		N:     d.g.N(),
-		M:     d.g.M(),
+		N:     d.st.N(),
+		M:     d.st.M(),
 		Built: d.built,
 		Algos: d.algs,
 	}

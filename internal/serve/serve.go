@@ -30,10 +30,12 @@ package serve
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"klocal/internal/bigraph"
 	"klocal/internal/engine"
 	"klocal/internal/graph"
 	"klocal/internal/metrics"
@@ -86,8 +88,13 @@ type algEngine struct {
 // engines, so no request ever observes a half-built or half-torn-down
 // generation.
 type deployment struct {
-	rev   int64
-	spec  GraphSpec
+	rev  int64
+	spec GraphSpec
+	// st is the topology every engine routes over; g is the same value
+	// when the spec built a materialized *graph.Graph, and nil for
+	// store-backed (kind "file") generations, where hop traces and exact
+	// distances are degraded away.
+	st    bigraph.Store
 	g     *graph.Graph
 	built time.Time
 	algs  []string
@@ -231,13 +238,21 @@ func New(cfg Config) (*Server, error) {
 // buildDeployment constructs a full generation for spec: the graph and
 // one snapshot + engine per configured algorithm.
 func (s *Server) buildDeployment(spec GraphSpec) (*deployment, error) {
-	g, err := spec.Build()
+	st, err := spec.BuildStore()
 	if err != nil {
 		return nil, err
 	}
+	g, _ := st.(*graph.Graph) // nil for store-backed (file) topologies
+	ok := false
+	defer func() {
+		if !ok {
+			closeStore(st) // builds can fail per-algorithm; don't leak the mapping
+		}
+	}()
 	d := &deployment{
 		rev:     s.nextRev.Add(1),
 		spec:    spec.withDefaults(),
+		st:      st,
 		g:       g,
 		built:   time.Now(),
 		byAlg:   make(map[string]*algEngine),
@@ -252,7 +267,7 @@ func (s *Server) buildDeployment(spec GraphSpec) (*deployment, error) {
 		if s.cfg.Prewarm {
 			opts.Prewarm = -1
 		}
-		snap, err := engine.NewSnapshotOpts(g, s.cfg.K, alg, opts)
+		snap, err := engine.NewSnapshotStore(st, s.cfg.K, alg, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -264,7 +279,17 @@ func (s *Server) buildDeployment(spec GraphSpec) (*deployment, error) {
 		d.algs = append(d.algs, name)
 		d.byAlg[name] = &algEngine{name: name, snap: snap, eng: eng}
 	}
+	ok = true
 	return d, nil
+}
+
+// closeStore releases a deployment's topology backing (the mmap of a
+// file-backed CSR); materialized graphs are not closers and are left to
+// the garbage collector.
+func closeStore(st bigraph.Store) {
+	if c, ok := st.(io.Closer); ok {
+		_ = c.Close()
+	}
 }
 
 // current returns the live deployment with a reference held, retrying
@@ -316,6 +341,7 @@ func (s *Server) retire(old *deployment) {
 	for _, ae := range old.byAlg {
 		ae.eng.Close()
 	}
+	closeStore(old.st) // safe: the drain means no request can touch it again
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for name, ae := range old.byAlg {

@@ -102,6 +102,15 @@ type Options struct {
 	PredecessorAware bool
 }
 
+// Network is the minimal topology surface the simulator needs: sizes for
+// the default step budget and edge membership for hop legality. Both
+// *graph.Graph and the bigraph stores satisfy it.
+type Network interface {
+	N() int
+	M() int
+	HasEdge(u, v graph.Vertex) bool
+}
+
 // Run simulates routing a message from s to t on g with the bound routing
 // function f. The predecessor-awareness of the algorithm determines the
 // livelock criterion:
@@ -111,7 +120,21 @@ type Options struct {
 //   - predecessor-oblivious: the decision depends only on u, so
 //     revisiting any node repeats forever.
 func Run(g *graph.Graph, f Func, s, t graph.Vertex, opts Options) *Result {
-	res := &Result{Dist: g.Dist(s, t), Route: []graph.Vertex{s}}
+	res := run(g, f, s, t, opts)
+	res.Dist = g.Dist(s, t)
+	return res
+}
+
+// RunStore is Run over any Network. Computing dist(s, t) needs global
+// topology knowledge, which a store may be too large to pay for, so
+// Result.Dist stays 0 ("unknown"): consumers guard dilation-derived
+// metrics with Dist > 0 and are unaffected.
+func RunStore(net Network, f Func, s, t graph.Vertex, opts Options) *Result {
+	return run(net, f, s, t, opts)
+}
+
+func run(g Network, f Func, s, t graph.Vertex, opts Options) *Result {
+	res := &Result{Route: []graph.Vertex{s}}
 	if s == t {
 		res.Outcome = Delivered
 		return res
@@ -119,6 +142,9 @@ func Run(g *graph.Graph, f Func, s, t graph.Vertex, opts Options) *Result {
 	maxSteps := opts.MaxSteps
 	if maxSteps == 0 {
 		maxSteps = 4 * (g.N() + 1) * (g.M() + 1)
+		if maxSteps < 0 { // overflow on huge stores: effectively unbounded
+			maxSteps = int(^uint(0) >> 1)
+		}
 	}
 	type dirEdge struct{ from, to graph.Vertex }
 	seenEdges := make(map[dirEdge]bool)

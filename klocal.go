@@ -31,6 +31,7 @@ import (
 	"math/rand"
 
 	"klocal/internal/adversary"
+	"klocal/internal/bigraph"
 	"klocal/internal/digraph"
 	"klocal/internal/diroute"
 	"klocal/internal/engine"
@@ -496,4 +497,44 @@ var (
 	// NewPreprocessorOpts builds a sharded, size-bounded view cache for
 	// direct use with Algorithm.BindCached.
 	NewPreprocessorOpts = prep.NewPreprocessorOpts
+)
+
+// The mmap-able CSR graph store (internal/bigraph, DESIGN.md §12):
+// million-node topologies served without materializing a map-based
+// graph. A *Graph is itself a GraphStore, so every store-suffixed
+// constructor below also accepts classic in-memory graphs.
+type (
+	// GraphStore is the minimal read-only topology contract routing
+	// needs (see route/doc.go for the locality terms).
+	GraphStore = bigraph.Store
+	// CSR is the int-indexed compressed-sparse-row store behind .csr
+	// files, with zero-alloc G_k(u) extraction.
+	CSR = bigraph.CSR
+)
+
+var (
+	// LoadGraphFile opens a topology file by extension: binary ".csr"
+	// (mmap'd where the platform allows), or an edge list
+	// (".txt"/".txt.gz"). Close the returned CSR when done.
+	LoadGraphFile = bigraph.LoadFile
+	// CSRFromGraph converts an in-memory graph to its CSR form.
+	CSRFromGraph = bigraph.FromGraph
+	// GridCSR, TreeCSR and RandomRegularCSR stream million-node topology
+	// families straight into CSR form without a map-based intermediate.
+	GridCSR          = gen.GridCSR
+	TreeCSR          = gen.TreeCSR
+	RandomRegularCSR = gen.RandomRegularCSR
+	// NewCSRScratch allocates the reusable scratch for zero-alloc
+	// CSR.Extract calls.
+	NewCSRScratch = bigraph.NewScratch
+	// NewSnapshotStore binds an algorithm to any GraphStore; walks over
+	// store-backed snapshots leave Result.Dist at 0 (unknown).
+	NewSnapshotStore = engine.NewSnapshotStore
+	// UniformStoreWorkload, ZipfStoreWorkload and AllPairsStoreWorkload
+	// are the request generators over a GraphStore;
+	// NewTrafficWorkloadStore resolves one by name.
+	UniformStoreWorkload    = engine.UniformStore
+	ZipfStoreWorkload       = engine.ZipfStore
+	AllPairsStoreWorkload   = engine.AllPairsStore
+	NewTrafficWorkloadStore = engine.NewWorkloadStore
 )
