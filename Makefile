@@ -1,5 +1,15 @@
 GO ?= go
 
+# Recipes run under bash with pipefail so a failing `go test` is never
+# masked by a downstream pipe stage (tee/grep in the bench targets).
+SHELL := bash
+.SHELLFLAGS := -o pipefail -ec
+
+# Extra flags for the klocalvet lint run, e.g.
+# `make lint KLOCALVET_FLAGS=-github` in CI for inline PR annotations,
+# or KLOCALVET_FLAGS=-json for tooling.
+KLOCALVET_FLAGS ?=
+
 # Pinned staticcheck release for reproducible lint runs (the last line
 # supporting go 1.22). CI installs exactly this version; locally the
 # lint target uses whatever staticcheck is on PATH and skips it with a
@@ -29,7 +39,7 @@ test:
 lint: vet klocalvet staticcheck
 
 klocalvet:
-	$(GO) run ./cmd/klocalvet ./...
+	$(GO) run ./cmd/klocalvet $(KLOCALVET_FLAGS) ./...
 
 staticcheck:
 	@if command -v staticcheck >/dev/null 2>&1; then \
@@ -74,25 +84,29 @@ go-fuzz-smoke:
 # protocol and injector, the traffic engine and its metric shards, the
 # sharded preprocessing cache, the routing daemon's hot-swap/drain
 # machinery, the cluster membership/LSA/forwarding stack (including the
-# 5-member TCP crash e2e), and the shared routing closures the engine's
-# workers route through.
+# 5-member TCP crash e2e), the graph substrate and neighborhood
+# extraction (shared-Scratch misuse shows up here first), and the shared
+# routing closures the engine's workers route through.
 race:
 	$(GO) test -race -count=1 \
 		./internal/netsim/... ./internal/fault/... \
 		./internal/engine/... ./internal/metrics/... ./internal/prep/... \
-		./internal/serve/... ./internal/cluster/... ./internal/bigraph/...
+		./internal/serve/... ./internal/cluster/... ./internal/bigraph/... \
+		./internal/nbhd/... ./internal/graph/...
 	$(GO) test -race -count=1 -run Concurrent ./internal/route/...
 	$(MAKE) go-fuzz-smoke
 
 # Traffic-engine benchmarks (throughput vs workers, cache cold vs warm,
 # workload shapes); the JSON event stream lands in BENCH_engine.json.
+# The `grep || true` only forgives grep finding no matching lines; a
+# go test failure still fails the target through pipefail.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngine' -benchmem -count=1 -json . \
-		| tee BENCH_engine.json | grep -o '"Output":".*msgs/sec.*"' || true
+		| tee BENCH_engine.json | { grep -o '"Output":".*msgs/sec.*"' || true; }
 
 # Million-node scale benchmarks over the CSR store (n = 10^4 … 10^6 grid
 # under a Zipf workload): routing throughput and store footprint; the
 # JSON event stream lands in BENCH_scale.json.
 bench-scale:
 	$(GO) test -run '^$$' -bench 'BenchmarkScale' -benchmem -count=1 -timeout 30m -json . \
-		| tee BENCH_scale.json | grep -o '"Output":".*\(msgs/sec\|bytes/vertex\).*"' || true
+		| tee BENCH_scale.json | { grep -o '"Output":".*\(msgs/sec\|bytes/vertex\).*"' || true; }

@@ -149,6 +149,7 @@ func runCluster(opt clusterOptions) error {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
 	errc := make(chan error, 1)
+	//klocal:allow exits when Serve returns on shutdown; errc is buffered so the send never blocks
 	go func() { errc <- hs.Serve(ln) }()
 	select {
 	case err := <-errc:
@@ -188,6 +189,7 @@ func startSmokeMember(opt clusterOptions) (*smokeMember, error) {
 		return nil, err
 	}
 	sm := &smokeMember{m: m, ln: ln, hs: &http.Server{Handler: m.Handler()}}
+	//klocal:allow smoke-member server; kill() closes the listener, unblocking Serve
 	go sm.hs.Serve(ln)
 	m.Start()
 	return sm, nil

@@ -160,6 +160,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
 	errc := make(chan error, 1)
+	//klocal:allow exits when Serve returns on shutdown; errc is buffered so the send never blocks
 	go func() { errc <- hs.Serve(ln) }()
 	select {
 	case err := <-errc:
@@ -208,6 +209,7 @@ func runSmoke(cfg serve.Config, drain time.Duration) error {
 	}
 	hs := &http.Server{Handler: s.Handler()}
 	errc := make(chan error, 1)
+	//klocal:allow smoke server; the run closes the listener on return, unblocking Serve
 	go func() { errc <- hs.Serve(ln) }()
 	base := "http://" + ln.Addr().String()
 	fmt.Printf("smoke: daemon on %s\n", base)

@@ -72,6 +72,7 @@ func runScaleSmoke(drain time.Duration) error {
 		return err
 	}
 	hs := &http.Server{Handler: s.Handler()}
+	//klocal:allow smoke-run server; the process exits when the run completes
 	go hs.Serve(ln)
 	base := "http://" + ln.Addr().String()
 

@@ -1,31 +1,46 @@
 // Command klocalvet is the repository's model-contract checker: a
 // multichecker over the internal/analysis suite that mechanically
 // enforces the routing-model obligations of PAPER.md §2 — k-locality,
-// determinism, statelessness — plus the concurrency hygiene the
-// simulator's hot paths rely on.
+// determinism, statelessness — plus the concurrency and hot-path
+// hygiene the simulator's scale subsystems rely on (no allocation on
+// //klocal:hotpath code, no mmap view escapes, no cyclic lock orders,
+// no fire-and-forget goroutines).
 //
 // Usage:
 //
-//	klocalvet [-list] [-v] [packages...]
+//	klocalvet [-list] [-v] [-json] [-github] [-stale=false] [packages...]
 //
 // With no package patterns it checks ./... relative to the current
 // directory. -list prints the analyzers and exits. Exit status is 0
 // when the tree is clean, 1 when any analyzer reported a diagnostic,
 // and 2 when the packages failed to load or type-check.
 //
+// Output formats: the default is the conventional file:line:col text
+// form. -json emits one JSON record per finding, one per line
+// ({"analyzer","file","line","col","message"}), for tooling. -github
+// emits GitHub Actions workflow annotations (::error file=...), so a CI
+// run surfaces findings inline on the pull-request diff.
+//
 // Deliberate exceptions are suppressed in source with a documented
 // directive on or directly above the flagged line:
 //
 //	//klocal:allow <reason>
 //
+// Because klocalvet always runs the full suite, stale-allow reporting
+// is on by default: a //klocal:allow whose diagnostic no longer fires
+// is itself reported, so suppressions cannot outlive the code they
+// excuse. -stale=false disables that (useful while bisecting).
+//
 // See `go doc klocal/internal/analysis` for the analyzer catalogue and
-// the //klocal:decision opt-in marker.
+// the //klocal:decision / //klocal:hotpath opt-in markers.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"klocal/internal/analysis"
 )
@@ -37,6 +52,9 @@ func main() {
 func run() int {
 	list := flag.Bool("list", false, "list the analyzers and exit")
 	verbose := flag.Bool("v", false, "report the number of packages checked")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON records, one per line")
+	github := flag.Bool("github", false, "emit findings as GitHub Actions ::error annotations")
+	stale := flag.Bool("stale", true, "report //klocal:allow directives whose diagnostic no longer fires")
 	flag.Parse()
 
 	analyzers := analysis.All()
@@ -57,9 +75,16 @@ func run() int {
 		return 2
 	}
 
-	diags := analysis.Run(analyzers, pkgs)
+	diags := analysis.RunWithOptions(analyzers, pkgs, analysis.Options{StaleAllows: *stale})
 	for _, d := range diags {
-		fmt.Println(d)
+		switch {
+		case *jsonOut:
+			printJSON(d)
+		case *github:
+			printGitHub(d)
+		default:
+			fmt.Println(d)
+		}
 	}
 	if *verbose {
 		fmt.Fprintf(os.Stderr, "klocalvet: %d packages, %d analyzers, %d findings\n",
@@ -69,4 +94,51 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// finding is the stable -json record shape; tooling depends on these
+// field names.
+type finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+func printJSON(d analysis.Diagnostic) {
+	rec, err := formatJSON(d)
+	if err != nil { // a flat struct of strings and ints cannot fail
+		fmt.Fprintf(os.Stderr, "klocalvet: encoding finding: %v\n", err)
+		return
+	}
+	fmt.Println(rec)
+}
+
+func formatJSON(d analysis.Diagnostic) (string, error) {
+	rec, err := json.Marshal(finding{
+		Analyzer: d.Analyzer,
+		File:     d.Pos.Filename,
+		Line:     d.Pos.Line,
+		Col:      d.Pos.Column,
+		Message:  d.Message,
+	})
+	return string(rec), err
+}
+
+// printGitHub renders d as a GitHub Actions workflow command, which the
+// runner turns into an inline annotation on the diff. Message payloads
+// must %-escape newlines and the command characters.
+func printGitHub(d analysis.Diagnostic) {
+	fmt.Println(formatGitHub(d))
+}
+
+func formatGitHub(d analysis.Diagnostic) string {
+	return fmt.Sprintf("::error file=%s,line=%d,col=%d,title=%s::%s",
+		d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, githubEscape(d.Message))
+}
+
+func githubEscape(s string) string {
+	r := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A")
+	return r.Replace(s)
 }

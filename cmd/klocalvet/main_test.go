@@ -1,0 +1,91 @@
+package main
+
+import (
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+
+	"klocal/internal/analysis"
+)
+
+// TestJSONRecordShape pins the -json record contract: one line per
+// finding, stable field names, values round-tripping exactly. CI's lint
+// job and editor tooling both parse this shape.
+func TestJSONRecordShape(t *testing.T) {
+	d := analysis.Diagnostic{
+		Analyzer: "kalloc",
+		Pos:      token.Position{Filename: "internal/route/route.go", Line: 42, Column: 7},
+		Message:  `hot path allocates with make; size caller-owned scratch at bind time instead`,
+	}
+	rec, err := formatJSON(d)
+	if err != nil {
+		t.Fatalf("formatJSON: %v", err)
+	}
+	if strings.ContainsAny(rec, "\n\r") {
+		t.Fatalf("record is not a single line: %q", rec)
+	}
+	var got finding
+	if err := json.Unmarshal([]byte(rec), &got); err != nil {
+		t.Fatalf("record is not valid JSON: %v\n%s", err, rec)
+	}
+	want := finding{Analyzer: "kalloc", File: "internal/route/route.go", Line: 42, Col: 7, Message: d.Message}
+	if got != want {
+		t.Errorf("round-trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	// The field names are the contract, not just the struct tags.
+	var fields map[string]any
+	if err := json.Unmarshal([]byte(rec), &fields); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"analyzer", "file", "line", "col", "message"} {
+		if _, ok := fields[key]; !ok {
+			t.Errorf("record is missing field %q: %s", key, rec)
+		}
+	}
+}
+
+// TestGitHubAnnotation pins the ::error workflow-command form and its
+// payload escaping.
+func TestGitHubAnnotation(t *testing.T) {
+	d := analysis.Diagnostic{
+		Analyzer: "klockorder",
+		Pos:      token.Position{Filename: "internal/engine/engine.go", Line: 210, Column: 3},
+		Message:  "50% held\nsecond line",
+	}
+	got := formatGitHub(d)
+	want := "::error file=internal/engine/engine.go,line=210,col=3,title=klockorder::50%25 held%0Asecond line"
+	if got != want {
+		t.Errorf("annotation mismatch:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestJSONOverFixture runs the real suite over a seeded fixture package
+// and checks that every finding renders as one well-formed JSON record —
+// the end-to-end shape CI consumes.
+func TestJSONOverFixture(t *testing.T) {
+	pkg, err := analysis.NewLoader().LoadDir(
+		"klocal/internal/analysis/testdata/src/alloc",
+		"../../internal/analysis/testdata/src/alloc")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags := analysis.Run(analysis.All(), []*analysis.Package{pkg})
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no findings; the alloc fixture should seed several")
+	}
+	for _, d := range diags {
+		rec, err := formatJSON(d)
+		if err != nil {
+			t.Fatalf("formatJSON(%v): %v", d, err)
+		}
+		var got finding
+		if err := json.Unmarshal([]byte(rec), &got); err != nil {
+			t.Errorf("malformed record %q: %v", rec, err)
+			continue
+		}
+		if got.Analyzer == "" || got.File == "" || got.Line <= 0 || got.Message == "" {
+			t.Errorf("incomplete record: %s", rec)
+		}
+	}
+}

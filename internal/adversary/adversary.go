@@ -101,6 +101,7 @@ func ReplayHub(inst gen.Instance, hub graph.Vertex, strat HubStrategy) *sim.Resu
 			}
 			next := successor(strat.Perm, v)
 			if next == graph.NoVertex {
+				//klocal:allow cold error path: fires only on a model-contract violation, never on the measured route
 				return graph.NoVertex, fmt.Errorf("adversary: arrival %d not in the hub permutation", v)
 			}
 			return next, nil
@@ -122,6 +123,7 @@ func ReplayHub(inst gen.Instance, hub graph.Vertex, strat HubStrategy) *sim.Resu
 			// deterministic choice works; take the lower rank.
 			return adj[0], nil
 		default:
+			//klocal:allow cold error path: fires only on a model-contract violation, never on the measured route
 			return graph.NoVertex, fmt.Errorf("adversary: unexpected degree-%d node %d off the hub", len(adj), u)
 		}
 	}

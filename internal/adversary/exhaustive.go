@@ -125,6 +125,7 @@ func replayHubFunction(inst gen.Instance, hub graph.Vertex, roots []graph.Vertex
 			}
 			i := idxOf(v)
 			if i < 0 {
+				//klocal:allow cold error path: fires only on a model-contract violation, never on the measured route
 				return graph.NoVertex, fmt.Errorf("adversary: arrival %d not a hub port", v)
 			}
 			return roots[fn.next[i]], nil

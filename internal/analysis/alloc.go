@@ -1,0 +1,339 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerAlloc enforces the zero-allocation contract on hot paths: the
+// ROADMAP's "zero-alloc routing core" is pinned at runtime by
+// testing.AllocsPerRun gates, and this analyzer is the static
+// complement — it rejects the allocation a refactor sneaks in long
+// before a benchmark notices the regression. Inside decision paths and
+// functions opted in with //klocal:hotpath it flags every construct
+// that heap-allocates (or may): make and new, append that can grow its
+// backing array, slice and map literals, address-taken composite
+// literals, variable-capturing closures, string concatenation,
+// string<->slice conversions, variadic calls (the argument slice), and
+// interface boxing of non-pointer-shaped values.
+//
+// One shape is exempt by design: a self-append whose destination is
+// reachable from a parameter or the receiver (sc.Verts =
+// append(sc.Verts, x), including through a re-slice like buf =
+// append(buf[:0], x)). That is the caller-owned scratch idiom the
+// bigraph extraction is built on — the buffer grows to a high-water
+// mark once and is then reused allocation-free, which is exactly what
+// the AllocsPerRun gates prove.
+//
+// Unlike //klocal:decision seeds, hotpath marks do not spread
+// transitively: a dispatcher may legitimately call into per-request
+// allocation (snapshot.Route builds a fresh Result by design), so every
+// function held to the zero-alloc contract opts in explicitly.
+var AnalyzerAlloc = &Analyzer{
+	Name: "kalloc",
+	Doc:  "no heap allocation inside decision paths and //klocal:hotpath functions",
+	Run:  runAlloc,
+}
+
+func runAlloc(pass *Pass) {
+	seen := make(map[ast.Node]bool)
+	check := func(s scope) {
+		if s.body == nil || seen[s.node] {
+			return
+		}
+		seen[s.node] = true
+		checkAllocScope(pass, s)
+	}
+	for _, s := range pass.Decisions() {
+		check(s)
+	}
+	for _, s := range pass.Hotpaths() {
+		check(s)
+	}
+}
+
+func checkAllocScope(pass *Pass, s scope) {
+	params := scopeParams(pass, s)
+	exempt := exemptAppends(pass, s, params)
+	handled := make(map[ast.Node]bool) // composites claimed by an enclosing &
+	ast.Inspect(s.body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			checkAllocCall(pass, node, exempt)
+		case *ast.CompositeLit:
+			if handled[node] {
+				return true
+			}
+			switch pass.TypeOf(node).Underlying().(type) {
+			case *types.Slice:
+				pass.Reportf(node.Pos(), "hot path allocates a slice literal; preallocate caller-owned scratch instead")
+			case *types.Map:
+				pass.Reportf(node.Pos(), "hot path allocates a map literal; preallocate caller-owned scratch instead")
+			}
+		case *ast.UnaryExpr:
+			if node.Op == token.AND {
+				if cl, ok := node.X.(*ast.CompositeLit); ok {
+					handled[cl] = true
+					pass.Reportf(node.Pos(), "hot path heap-allocates &%s{...}; reuse a caller-owned value instead", typeLabel(pass.TypeOf(cl)))
+				}
+			}
+		case *ast.FuncLit:
+			// The literal is only an allocation when it captures: a
+			// capture-free literal compiles to a static function value.
+			if v := capturedVar(pass, node); v != nil {
+				pass.Reportf(node.Pos(), "hot path allocates a closure capturing %s; hoist the function or pass state explicitly", v.Name())
+			}
+		case *ast.BinaryExpr:
+			if node.Op == token.ADD {
+				if t := pass.TypeOf(node); t != nil && isStringType(t) && !isConstExpr(pass, node) {
+					pass.Reportf(node.Pos(), "hot path concatenates strings (allocates); precompute or use a caller-owned buffer")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkAllocCall flags the allocating call shapes: make/new, growing
+// append, string<->slice conversions, variadic argument slices, and
+// interface boxing of non-pointer-shaped arguments.
+func checkAllocCall(pass *Pass, call *ast.CallExpr, exempt map[*ast.CallExpr]bool) {
+	// Builtins.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := pass.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				pass.Reportf(call.Pos(), "hot path allocates with make; size caller-owned scratch at bind time instead")
+			case "new":
+				pass.Reportf(call.Pos(), "hot path allocates with new; reuse a caller-owned value instead")
+			case "append":
+				if !exempt[call] {
+					pass.Reportf(call.Pos(), "hot path append may grow its backing array; append into caller-owned scratch (self-append rooted in a parameter) instead")
+				}
+			}
+			return
+		}
+	}
+	// Conversions: string <-> []byte/[]rune copy their payload.
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst, src := tv.Type, pass.TypeOf(call.Args[0])
+		if dst != nil && src != nil && stringSliceConversion(dst, src) {
+			pass.Reportf(call.Pos(), "hot path converts between string and slice (copies the payload)")
+		}
+		return
+	}
+	sig, ok := pass.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	fixed := sig.Params().Len()
+	if sig.Variadic() {
+		fixed--
+		if !call.Ellipsis.IsValid() && len(call.Args) > fixed {
+			pass.Reportf(call.Pos(), "hot path variadic call to %s allocates its argument slice", calleeName(call))
+		}
+	}
+	// Interface boxing of the fixed arguments: storing a non-pointer-
+	// shaped concrete value in an interface heap-allocates the payload.
+	for i := 0; i < len(call.Args) && i < fixed; i++ {
+		pt := sig.Params().At(i).Type()
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at := pass.TypeOf(call.Args[i])
+		if at == nil || isConstExpr(pass, call.Args[i]) {
+			continue
+		}
+		if b, ok := at.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		if _, already := at.Underlying().(*types.Interface); already {
+			continue
+		}
+		if !pointerShaped(at) {
+			pass.Reportf(call.Args[i].Pos(), "hot path boxes a %s into an interface argument of %s (allocates)", typeLabel(at), calleeName(call))
+		}
+	}
+}
+
+// exemptAppends finds the caller-owned self-appends of the scope:
+// x = append(x, ...) and x = append(x[:0], ...) where x is an
+// ident/selector chain rooted in a parameter or the receiver.
+func exemptAppends(pass *Pass, s scope, params map[*types.Var]bool) map[*ast.CallExpr]bool {
+	exempt := make(map[*ast.CallExpr]bool)
+	ast.Inspect(s.body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i := range as.Lhs {
+			call, ok := as.Rhs[i].(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				continue
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if b, ok := pass.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+				continue
+			}
+			dst := call.Args[0]
+			if sl, ok := dst.(*ast.SliceExpr); ok {
+				dst = sl.X // append(buf[:0], ...) re-slices the same storage
+			}
+			lchain, lroot := exprChain(pass, as.Lhs[i])
+			dchain, droot := exprChain(pass, dst)
+			if lroot == nil || lroot != droot || !params[lroot] {
+				continue
+			}
+			if len(lchain) == len(dchain) {
+				same := true
+				for j := range lchain {
+					if lchain[j] != dchain[j] {
+						same = false
+						break
+					}
+				}
+				if same {
+					exempt[call] = true
+				}
+			}
+		}
+		return true
+	})
+	return exempt
+}
+
+// scopeParams collects the parameter and receiver variables of the
+// scope — the roots a caller-owned scratch buffer may hang off.
+func scopeParams(pass *Pass, s scope) map[*types.Var]bool {
+	params := make(map[*types.Var]bool)
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if v, ok := pass.Info.Defs[name].(*types.Var); ok {
+					params[v] = true
+				}
+			}
+		}
+	}
+	switch fn := s.node.(type) {
+	case *ast.FuncDecl:
+		addFields(fn.Recv)
+		addFields(fn.Type.Params)
+	case *ast.FuncLit:
+		addFields(fn.Type.Params)
+	}
+	return params
+}
+
+// exprChain flattens an ident/selector/deref chain (sc.Verts, e.shards,
+// *routeOut) into its path and resolves the root variable; any other
+// shape returns a nil root. Derefs participate so that appending through
+// a pointer parameter (*out = append(*out, x)) still reads as the
+// caller-owned idiom.
+func exprChain(pass *Pass, e ast.Expr) ([]string, *types.Var) {
+	var rev []string
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			rev = append(rev, "*")
+			e = x.X
+		case *ast.SelectorExpr:
+			rev = append(rev, x.Sel.Name)
+			e = x.X
+		case *ast.Ident:
+			rev = append(rev, x.Name)
+			v, _ := pass.Info.Uses[x].(*types.Var)
+			for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+				rev[i], rev[j] = rev[j], rev[i]
+			}
+			return rev, v
+		default:
+			return nil, nil
+		}
+	}
+}
+
+// capturedVar returns a variable the literal captures from its
+// enclosing function (not package scope), or nil.
+func capturedVar(pass *Pass, lit *ast.FuncLit) *types.Var {
+	var captured *types.Var
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != nil {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.Info.Uses[id].(*types.Var)
+		if !ok || isPackageLevel(pass, v) || v.IsField() {
+			return true
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			captured = v
+			return false
+		}
+		return true
+	})
+	return captured
+}
+
+// pointerShaped reports whether values of t fit an interface word
+// without allocating: pointers, channels, maps, functions and
+// unsafe.Pointer.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// stringSliceConversion reports whether a conversion between dst and
+// src crosses the string/byte-or-rune-slice boundary.
+func stringSliceConversion(dst, src types.Type) bool {
+	return (isStringType(dst) && isByteOrRuneSlice(src)) ||
+		(isByteOrRuneSlice(dst) && isStringType(src))
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// isConstExpr reports whether e is a compile-time constant (constants
+// box from static storage, and constant-folded concatenations cost
+// nothing at run time).
+func isConstExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// typeLabel renders t compactly for diagnostics.
+func typeLabel(t types.Type) string {
+	if t == nil {
+		return "value"
+	}
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}

@@ -19,12 +19,34 @@
 //     map values or by-value returns (copies the stock vet misses);
 //   - kdirective:   //klocal: control comments are well-formed.
 //
+// A second generation targets the scale/cluster-era subsystems — the
+// serve/cluster concurrency stack and the mmap-backed CSR store:
+//
+//   - kalloc:      no heap allocation (make/new/append growth,
+//     slice/map literals, interface boxing, capturing closures, string
+//     concatenation) inside decision paths and functions opted in with
+//     //klocal:hotpath — the static complement of the runtime
+//     testing.AllocsPerRun gates;
+//   - klifetime:   slices aliasing mmap-backed CSR storage (bigraph
+//     row views) must not outlive the store: no escapes into struct
+//     fields, package variables, channels, goroutines or returns;
+//   - klockorder:  per-package lock-acquisition graph over
+//     sync.Mutex/RWMutex; cyclic acquisition orders and blocking
+//     operations (channel ops, selects, Wait, network I/O) made while
+//     holding a lock are flagged;
+//   - kgoroutine:  every `go` statement must be tied to a stop signal
+//     — a context, a done/stop channel, a closing work channel, or a
+//     WaitGroup — so no goroutine is fire-and-forget.
+//
 // Deliberate exceptions are annotated in source with
 // "//klocal:allow <reason>" on (or immediately above) the offending
 // line; the runner suppresses matching diagnostics but kdirective
-// still rejects reason-less or unknown directives. Functions that the
-// structural signature match cannot see are opted in with
-// "//klocal:decision" on the declaration.
+// still rejects reason-less or unknown directives, and (under
+// Options.StaleAllows, the cmd/klocalvet default) reports allows whose
+// diagnostic no longer fires, so suppressions cannot outlive the code
+// they excuse. Functions that the structural signature match cannot
+// see are opted in with "//klocal:decision" on the declaration;
+// zero-alloc hot paths opt in with "//klocal:hotpath".
 //
 // The framework deliberately mirrors the golang.org/x/tools/go/analysis
 // API shape (Analyzer / Pass / Diagnostic) but is self-contained: it
@@ -98,13 +120,33 @@ func All() []*Analyzer {
 		AnalyzerStateless,
 		AnalyzerAtomic,
 		AnalyzerLockCopy,
+		AnalyzerAlloc,
+		AnalyzerLifetime,
+		AnalyzerLockOrder,
+		AnalyzerGoroutine,
 		AnalyzerDirective,
 	}
+}
+
+// Options tunes a Run.
+type Options struct {
+	// StaleAllows additionally reports every well-formed //klocal:allow
+	// directive that suppressed nothing — a suppression whose diagnostic
+	// no longer fires is dead weight that would silently excuse the next
+	// regression on its line. Enable it only when running the full
+	// suite: under a subset, an allow aimed at an analyzer that did not
+	// run is indistinguishable from a stale one.
+	StaleAllows bool
 }
 
 // Run executes the analyzers over the packages, applies //klocal:allow
 // suppression, and returns the surviving diagnostics sorted by position.
 func Run(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
+	return RunWithOptions(analyzers, pkgs, Options{})
+}
+
+// RunWithOptions is Run with explicit Options.
+func RunWithOptions(analyzers []*Analyzer, pkgs []*Package, opts Options) []Diagnostic {
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		var pkgDiags []Diagnostic
@@ -121,7 +163,7 @@ func Run(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
 			}
 			a.Run(pass)
 		}
-		diags = append(diags, suppress(pkg, pkgDiags)...)
+		diags = append(diags, suppress(pkg, pkgDiags, opts.StaleAllows)...)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -157,16 +199,19 @@ func dedupe(diags []Diagnostic) []Diagnostic {
 // suppress filters diagnostics covered by a well-formed //klocal:allow
 // directive on the same or the immediately preceding line. kdirective
 // findings are never suppressible (an allow cannot excuse itself).
-func suppress(pkg *Package, diags []Diagnostic) []Diagnostic {
-	allowed := make(map[string]map[int]bool) // file -> line
+// With stale set, every well-formed allow that suppressed nothing is
+// itself reported (as a kdirective finding, so it cannot be allowed
+// away in turn).
+func suppress(pkg *Package, diags []Diagnostic, stale bool) []Diagnostic {
+	allowed := make(map[string]map[int]*allowSite) // file -> line
 	for _, f := range pkg.Files {
 		name := pkg.Fset.Position(f.Pos()).Filename
 		for _, d := range directivesIn(pkg.Fset, f) {
 			if d.Verb == verbAllow && d.Reason != "" {
 				if allowed[name] == nil {
-					allowed[name] = make(map[int]bool)
+					allowed[name] = make(map[int]*allowSite)
 				}
-				allowed[name][d.Line] = true
+				allowed[name][d.Line] = &allowSite{pos: d.Pos}
 			}
 		}
 	}
@@ -174,11 +219,41 @@ func suppress(pkg *Package, diags []Diagnostic) []Diagnostic {
 	for _, d := range diags {
 		if d.Analyzer != AnalyzerDirective.Name {
 			lines := allowed[d.Pos.Filename]
-			if lines[d.Pos.Line] || lines[d.Pos.Line-1] {
+			if site := firstAllow(lines, d.Pos.Line); site != nil {
+				site.used = true
 				continue
 			}
 		}
 		out = append(out, d)
 	}
+	if stale {
+		for _, lines := range allowed {
+			for _, site := range lines {
+				if !site.used {
+					out = append(out, Diagnostic{
+						Analyzer: AnalyzerDirective.Name,
+						Pos:      pkg.Fset.Position(site.pos),
+						Message:  "stale klocal:allow: no diagnostic fires on this or the following line — delete it, or it will silently excuse the next regression here",
+					})
+				}
+			}
+		}
+	}
 	return out
+}
+
+// allowSite is one well-formed //klocal:allow directive and whether any
+// diagnostic claimed it.
+type allowSite struct {
+	pos  token.Pos
+	used bool
+}
+
+// firstAllow returns the allow covering line (same line, then the line
+// above), or nil.
+func firstAllow(lines map[int]*allowSite, line int) *allowSite {
+	if s := lines[line]; s != nil {
+		return s
+	}
+	return lines[line-1]
 }

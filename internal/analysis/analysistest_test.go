@@ -39,13 +39,21 @@ type want struct {
 // checks the diagnostics against the fixture's want comments.
 func runFixture(t *testing.T, analyzers []*Analyzer, name string) {
 	t.Helper()
+	runFixtureOpts(t, analyzers, name, Options{})
+}
+
+// runFixtureOpts is runFixture with explicit runner Options, so
+// fixtures can expect runner-level findings (stale //klocal:allow
+// reports) with the same want machinery.
+func runFixtureOpts(t *testing.T, analyzers []*Analyzer, name string, opts Options) {
+	t.Helper()
 	dir := filepath.Join("testdata", "src", name)
 	pkg, err := NewLoader().LoadDir("klocal/internal/analysis/testdata/src/"+name, dir)
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", name, err)
 	}
 	wants := parseWants(t, pkg)
-	for _, d := range Run(analyzers, []*Package{pkg}) {
+	for _, d := range RunWithOptions(analyzers, []*Package{pkg}, opts) {
 		got := fmt.Sprintf("%s: %s", d.Analyzer, d.Message)
 		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
 		if !claimWant(wants[key], got) {

@@ -97,6 +97,14 @@ type decisionSet struct {
 	// funcs are the declared functions among the scopes: the decision
 	// closure's members, each fully checked by the analyzers.
 	funcs map[*types.Func]bool
+
+	// hotComputed/hot cache the //klocal:hotpath opt-ins. Unlike the
+	// decision closure, hotpath marks do not spread transitively: a
+	// dispatcher may legitimately call into per-request allocation
+	// (snapshot.Route builds a fresh Result by design), so every
+	// function held to the zero-alloc contract opts in explicitly.
+	hotComputed bool
+	hot         []scope
 }
 
 // Decisions returns the decision scopes of the package: every function
@@ -125,7 +133,7 @@ func (p *Pass) Decisions() []scope {
 		}
 	}
 
-	marked := p.markedLines()
+	marked := p.markedLines(verbDecision)
 	seen := make(map[ast.Node]bool)
 	var work []scope
 	add := func(node ast.Node, body *ast.BlockStmt) {
@@ -194,18 +202,45 @@ func (p *Pass) decisionFunc(fn *types.Func) bool {
 	return p.decisions.funcs[fn]
 }
 
-// markedLines returns the file:line locations carrying a
-// //klocal:decision directive.
-func (p *Pass) markedLines() map[string]bool {
+// markedLines returns the file:line locations carrying a //klocal:
+// directive of the given verb.
+func (p *Pass) markedLines(verb string) map[string]bool {
 	marked := make(map[string]bool)
 	for _, f := range p.Files {
 		for _, d := range directivesIn(p.Fset, f) {
-			if d.Verb == verbDecision {
+			if d.Verb == verb {
 				marked[p.lineKey(d.Pos, 0)] = true
 			}
 		}
 	}
 	return marked
+}
+
+// Hotpaths returns the //klocal:hotpath-marked scopes of the package:
+// the functions and literals held to the zero-allocation contract.
+// Marks are explicit per function — they do not close transitively.
+func (p *Pass) Hotpaths() []scope {
+	if p.decisions.hotComputed {
+		return p.decisions.hot
+	}
+	p.decisions.hotComputed = true
+	marked := p.markedLines(verbHotpath)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if marked[p.declMarkLine(fn)] {
+					p.decisions.hot = append(p.decisions.hot, scope{node: fn, body: fn.Body})
+				}
+			case *ast.FuncLit:
+				if marked[p.lineKey(fn.Pos(), -1)] || marked[p.lineKey(fn.Pos(), 0)] {
+					p.decisions.hot = append(p.decisions.hot, scope{node: fn, body: fn.Body})
+				}
+			}
+			return true
+		})
+	}
+	return p.decisions.hot
 }
 
 // declMarkLine returns the location a //klocal:decision mark for fd

@@ -8,11 +8,14 @@ import (
 
 // Directive verbs. "//klocal:decision" opts a function into the
 // decision-path analyzers when the structural signature match cannot
-// see it; "//klocal:allow <reason>" suppresses the suite's diagnostics
-// on its own line and the line below, and must carry a reason.
+// see it; "//klocal:hotpath" opts a function into the zero-allocation
+// analyzer (kalloc) — the static complement of the AllocsPerRun gates;
+// "//klocal:allow <reason>" suppresses the suite's diagnostics on its
+// own line and the line below, and must carry a reason.
 const (
 	directivePrefix = "//klocal:"
 	verbDecision    = "decision"
+	verbHotpath     = "hotpath"
 	verbAllow       = "allow"
 )
 
@@ -63,12 +66,16 @@ func runDirective(pass *Pass) {
 				if d.Reason != "" {
 					pass.Reportf(d.Pos, "klocal:decision takes no argument (got %q)", d.Reason)
 				}
+			case verbHotpath:
+				if d.Reason != "" {
+					pass.Reportf(d.Pos, "klocal:hotpath takes no argument (got %q)", d.Reason)
+				}
 			case verbAllow:
 				if d.Reason == "" {
 					pass.Reportf(d.Pos, "klocal:allow must state a reason for the exception")
 				}
 			default:
-				pass.Reportf(d.Pos, "unknown directive klocal:%s (known: decision, allow)", d.Verb)
+				pass.Reportf(d.Pos, "unknown directive klocal:%s (known: decision, hotpath, allow)", d.Verb)
 			}
 		}
 	}

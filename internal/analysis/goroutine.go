@@ -1,0 +1,176 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerGoroutine enforces goroutine hygiene on the long-running
+// subsystems: every `go` statement must be tied to a stop signal so the
+// daemon can drain cleanly and tests do not leak runners. A goroutine
+// counts as tied when its body — or a same-package function it calls —
+// consults a context.Context, blocks on a channel receive/range/select
+// (a closing work or done channel reaches it), or participates in a
+// WaitGroup. Anything else is fire-and-forget: invisible to shutdown,
+// unwaitable in tests, and a use-after-free hazard once the state it
+// touches is retired.
+var AnalyzerGoroutine = &Analyzer{
+	Name: "kgoroutine",
+	Doc:  "every go statement is tied to a stop signal (context, done channel, or WaitGroup)",
+	Run:  runGoroutine,
+}
+
+func runGoroutine(pass *Pass) {
+	// Declarations by object, for one-hop expansion into callees.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !goroutineTied(pass, decls, gs) {
+				pass.Reportf(gs.Pos(), "goroutine is fire-and-forget: tie it to a stop signal (context, done/stop channel, closing work channel, or WaitGroup)")
+			}
+			return true
+		})
+	}
+}
+
+// goroutineTied reports whether the spawned body is reachable by a stop
+// signal. The body is the literal or the same-package declaration being
+// launched; the search expands one hop into same-package callees, so a
+// `go m.serve()` whose serve loop selects on a done channel counts.
+func goroutineTied(pass *Pass, decls map[*types.Func]*ast.FuncDecl, gs *ast.GoStmt) bool {
+	// Arguments count: `go process(ctx, job)` hands the goroutine its
+	// cancellation even when the body is in another package.
+	for _, arg := range gs.Call.Args {
+		if isContextType(pass.TypeOf(arg)) {
+			return true
+		}
+	}
+	body := goBody(pass, decls, gs.Call.Fun)
+	if body == nil {
+		// Out-of-package or dynamic target with no context argument:
+		// nothing ties it that we can see.
+		return false
+	}
+	seen := map[*ast.BlockStmt]bool{}
+	return bodyTied(pass, decls, body, seen, 1)
+}
+
+// goBody resolves the function being launched to its body when it is a
+// literal or a same-package declaration.
+func goBody(pass *Pass, decls map[*types.Func]*ast.FuncDecl, fun ast.Expr) *ast.BlockStmt {
+	switch x := fun.(type) {
+	case *ast.FuncLit:
+		return x.Body
+	case *ast.Ident:
+		if fn, ok := pass.Info.Uses[x].(*types.Func); ok {
+			if fd := decls[fn]; fd != nil {
+				return fd.Body
+			}
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pass.Info.Uses[x.Sel].(*types.Func); ok {
+			if fd := decls[fn]; fd != nil {
+				return fd.Body
+			}
+		}
+	case *ast.ParenExpr:
+		return goBody(pass, decls, x.X)
+	}
+	return nil
+}
+
+// bodyTied scans one body for a stop signal, expanding depth more hops
+// into same-package callees.
+func bodyTied(pass *Pass, decls map[*types.Func]*ast.FuncDecl, body *ast.BlockStmt, seen map[*ast.BlockStmt]bool, depth int) bool {
+	if body == nil || seen[body] {
+		return false
+	}
+	seen[body] = true
+	tied := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if tied {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SelectStmt:
+			tied = true
+		case *ast.UnaryExpr:
+			if x.Op.String() == "<-" {
+				tied = true
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypeOf(x.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					tied = true
+				}
+			}
+		case *ast.Ident:
+			// Consulting a context (ctx.Done(), ctx.Err(), or passing it
+			// on) counts; so does any reference to a context variable.
+			if v, ok := pass.Info.Uses[x].(*types.Var); ok && isContextType(v.Type()) {
+				tied = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+				if fn, ok := pass.Info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil {
+					if fn.Pkg().Path() == "sync" && (fn.Name() == "Done" || fn.Name() == "Wait") && isWaitGroupMethod(fn) {
+						tied = true
+						return false
+					}
+					if depth > 0 && fn.Pkg() == pass.Pkg {
+						if fd := decls[fn]; fd != nil && bodyTied(pass, decls, fd.Body, seen, depth-1) {
+							tied = true
+						}
+					}
+				}
+			} else if id, ok := x.Fun.(*ast.Ident); ok {
+				if fn, ok := pass.Info.Uses[id].(*types.Func); ok && fn.Pkg() == pass.Pkg && depth > 0 {
+					if fd := decls[fn]; fd != nil && bodyTied(pass, decls, fd.Body, seen, depth-1) {
+						tied = true
+					}
+				}
+			}
+		}
+		return !tied
+	})
+	return tied
+}
+
+// isWaitGroupMethod reports whether fn is a method of sync.WaitGroup.
+func isWaitGroupMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	n, ok := rt.(*types.Named)
+	return ok && n.Obj().Name() == "WaitGroup"
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return n.Obj().Name() == "Context" && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "context"
+}

@@ -1,0 +1,481 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// AnalyzerLockOrder guards the serve/cluster concurrency stack against
+// the two deadlock shapes a review keeps missing:
+//
+//   - inconsistent acquisition order: it builds a per-package
+//     lock-acquisition graph over sync.Mutex/RWMutex (an edge A→B
+//     means B was acquired while A was held, including transitively
+//     through same-package calls) and reports every edge that sits on
+//     a cycle;
+//   - blocking while holding: a channel send/receive, a select, a
+//     WaitGroup/Cond Wait, a time.Sleep, or network I/O executed under
+//     a lock stalls every contender of that lock for as long as the
+//     operation blocks — the drain/refcount and membership machinery
+//     must do its waiting outside the critical section.
+//
+// Lock identity is structural, like katomic's: the field object for
+// x.mu (so every instance of a struct shares one node — acquisition
+// order is a per-type protocol), the variable for locals and package
+// vars. The held-set simulation is linear over each function body —
+// branch-heavy code can in principle confuse it, in which case the
+// finding is suppressed in place with a documented //klocal:allow.
+// Goroutine bodies launched with `go` are simulated as their own
+// functions (they do not hold the spawner's locks).
+var AnalyzerLockOrder = &Analyzer{
+	Name: "klockorder",
+	Doc:  "no cyclic lock-acquisition orders; no blocking calls while holding a lock",
+	Run:  runLockOrder,
+}
+
+// lock event kinds.
+const (
+	evAcquire = iota
+	evRelease
+	evCall
+	evBlock
+)
+
+type lockEvent struct {
+	pos  token.Pos
+	kind int
+	lock *types.Var  // evAcquire/evRelease
+	fn   *types.Func // evCall: same-package callee
+	desc string      // evBlock: what blocks
+}
+
+// lockStream is one simulated execution context: a function body or a
+// goroutine literal launched inside one.
+type lockStream struct {
+	name   string
+	events []lockEvent
+}
+
+type lockEdge struct{ from, to *types.Var }
+
+func runLockOrder(pass *Pass) {
+	// Collect one primary stream per declared function (plus separate
+	// streams for its `go` literals).
+	streams := make(map[*types.Func]*lockStream)
+	var all []*lockStream
+	var order []*types.Func
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			c := &lockCollector{pass: pass}
+			primary := &lockStream{name: fd.Name.Name}
+			c.collect(primary, fd.Body)
+			streams[fn] = primary
+			order = append(order, fn)
+			all = append(all, primary)
+			all = append(all, c.extra...)
+		}
+	}
+
+	// Transitive per-function acquisition summaries, to a fixed point.
+	summaries := make(map[*types.Func]map[*types.Var]bool)
+	for fn, st := range streams {
+		sum := make(map[*types.Var]bool)
+		for _, ev := range st.events {
+			if ev.kind == evAcquire {
+				sum[ev.lock] = true
+			}
+		}
+		summaries[fn] = sum
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range order {
+			sum := summaries[fn]
+			for _, ev := range streams[fn].events {
+				if ev.kind != evCall {
+					continue
+				}
+				for l := range summaries[ev.fn] {
+					if !sum[l] {
+						sum[l] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Simulate every stream: blocking-under-lock and self-deadlock are
+	// reported directly; ordering edges are accumulated for the cycle
+	// pass.
+	fieldOf := lockNamer(pass)
+	edges := make(map[lockEdge]token.Pos)
+	addEdge := func(from, to *types.Var, pos token.Pos) {
+		if _, ok := edges[lockEdge{from, to}]; !ok {
+			edges[lockEdge{from, to}] = pos
+		}
+	}
+	for _, st := range all {
+		var held []*types.Var
+		holds := func(l *types.Var) bool {
+			for _, h := range held {
+				if h == l {
+					return true
+				}
+			}
+			return false
+		}
+		for _, ev := range st.events {
+			switch ev.kind {
+			case evAcquire:
+				if holds(ev.lock) {
+					pass.Reportf(ev.pos, "acquires %s while already holding it (possible self-deadlock)", fieldOf(ev.lock))
+				} else {
+					for _, h := range held {
+						addEdge(h, ev.lock, ev.pos)
+					}
+					held = append(held, ev.lock)
+				}
+			case evRelease:
+				for i := len(held) - 1; i >= 0; i-- {
+					if held[i] == ev.lock {
+						held = append(held[:i], held[i+1:]...)
+						break
+					}
+				}
+			case evCall:
+				for l := range summaries[ev.fn] {
+					if holds(l) {
+						pass.Reportf(ev.pos, "calls %s while holding %s, which it also acquires (possible self-deadlock)", ev.fn.Name(), fieldOf(l))
+					} else {
+						for _, h := range held {
+							addEdge(h, l, ev.pos)
+						}
+					}
+				}
+			case evBlock:
+				if len(held) > 0 {
+					pass.Reportf(ev.pos, "%s while holding %s; a blocked holder stalls every contender — move the wait outside the critical section", ev.desc, fieldOf(held[len(held)-1]))
+				}
+			}
+		}
+	}
+
+	// Cycle pass: an edge A→B participates in a deadlock when B can
+	// reach A again through the acquisition graph.
+	adj := make(map[*types.Var][]*types.Var)
+	for e := range edges {
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	type finding struct {
+		pos token.Pos
+		msg string
+	}
+	var cyc []finding
+	for e, pos := range edges {
+		if reachesLock(adj, e.to, e.from) {
+			cyc = append(cyc, finding{pos, fmt.Sprintf(
+				"inconsistent lock order: %s is acquired while holding %s here, but elsewhere %s is acquired while holding %s (deadlock risk)",
+				fieldOf(e.to), fieldOf(e.from), fieldOf(e.from), fieldOf(e.to))})
+		}
+	}
+	sort.Slice(cyc, func(i, j int) bool { return cyc[i].pos < cyc[j].pos })
+	for _, f := range cyc {
+		pass.Reportf(f.pos, "%s", f.msg)
+	}
+}
+
+// reachesLock reports whether from can reach to in the acquisition
+// graph.
+func reachesLock(adj map[*types.Var][]*types.Var, from, to *types.Var) bool {
+	seen := make(map[*types.Var]bool)
+	stack := []*types.Var{from}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if x == to {
+			return true
+		}
+		if seen[x] {
+			continue
+		}
+		seen[x] = true
+		stack = append(stack, adj[x]...)
+	}
+	return false
+}
+
+// lockCollector linearizes one function body into lock events.
+type lockCollector struct {
+	pass  *Pass
+	extra []*lockStream
+}
+
+func (c *lockCollector) collect(st *lockStream, n ast.Node) {
+	switch node := n.(type) {
+	case nil:
+		return
+	case *ast.GoStmt:
+		// The goroutine does not hold the spawner's locks: its body is
+		// its own stream. Arguments are evaluated synchronously.
+		for _, arg := range node.Call.Args {
+			c.collect(st, arg)
+		}
+		if lit, ok := node.Call.Fun.(*ast.FuncLit); ok {
+			sub := &lockStream{name: st.name + ".go"}
+			c.collect(sub, lit.Body)
+			c.extra = append(c.extra, sub)
+		}
+		return
+	case *ast.DeferStmt:
+		// A deferred Unlock keeps the lock held to function end: drop
+		// the release event. Other deferred work runs at exit, outside
+		// the linear window — skip it entirely.
+		return
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, cl := range node.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			st.events = append(st.events, lockEvent{pos: node.Pos(), kind: evBlock, desc: "select with no default blocks"})
+		}
+		// Case bodies run after the select resolves; the comm clauses
+		// themselves are part of the select's blocking point.
+		for _, cl := range node.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok {
+				for _, b := range cc.Body {
+					c.collect(st, b)
+				}
+			}
+		}
+		return
+	case *ast.SendStmt:
+		c.collect(st, node.Chan)
+		c.collect(st, node.Value)
+		st.events = append(st.events, lockEvent{pos: node.Pos(), kind: evBlock, desc: "channel send may block"})
+		return
+	case *ast.UnaryExpr:
+		if node.Op == token.ARROW {
+			c.collect(st, node.X)
+			st.events = append(st.events, lockEvent{pos: node.Pos(), kind: evBlock, desc: "channel receive blocks"})
+			return
+		}
+	case *ast.RangeStmt:
+		c.collect(st, node.X)
+		if t := c.pass.TypeOf(node.X); t != nil {
+			if _, ok := t.Underlying().(*types.Chan); ok {
+				st.events = append(st.events, lockEvent{pos: node.Pos(), kind: evBlock, desc: "ranging over a channel blocks"})
+			}
+		}
+		c.collect(st, node.Body)
+		return
+	case *ast.CallExpr:
+		for _, arg := range node.Args {
+			c.collect(st, arg)
+		}
+		if lit, ok := node.Fun.(*ast.FuncLit); ok {
+			// An immediately-invoked literal runs here, under the
+			// current held set.
+			c.collect(st, lit.Body)
+		} else {
+			c.collect(st, node.Fun)
+		}
+		c.callEvent(st, node)
+		return
+	case *ast.FuncLit:
+		// A literal that is defined but not invoked here (stored in a
+		// variable, passed as a callback) executes under a held set we
+		// cannot see; simulate it as its own stream so its internal
+		// locking is still checked without poisoning this one.
+		sub := &lockStream{name: st.name + ".func"}
+		c.collect(sub, node.Body)
+		c.extra = append(c.extra, sub)
+		return
+	}
+	// Generic descent in source order.
+	var children []ast.Node
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == n {
+			return true
+		}
+		if m != nil {
+			children = append(children, m)
+		}
+		return false
+	})
+	for _, ch := range children {
+		c.collect(st, ch)
+	}
+}
+
+// callEvent classifies one call: mutex acquire/release, same-package
+// callee, or a known blocking operation.
+func (c *lockCollector) callEvent(st *lockStream, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			if fn, ok := c.pass.Info.Uses[id].(*types.Func); ok && fn.Pkg() == c.pass.Pkg {
+				st.events = append(st.events, lockEvent{pos: call.Pos(), kind: evCall, fn: fn})
+			}
+		}
+		return
+	}
+	fn, ok := c.pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	if lv, acquire, ok := c.mutexOp(sel, fn); ok {
+		kind := evRelease
+		if acquire {
+			kind = evAcquire
+		}
+		if lv != nil {
+			st.events = append(st.events, lockEvent{pos: call.Pos(), kind: kind, lock: lv})
+		}
+		return
+	}
+	if desc, ok := blockingCallee(fn); ok {
+		st.events = append(st.events, lockEvent{pos: call.Pos(), kind: evBlock, desc: desc})
+		return
+	}
+	if fn.Pkg() == c.pass.Pkg {
+		st.events = append(st.events, lockEvent{pos: call.Pos(), kind: evCall, fn: fn})
+	}
+}
+
+// mutexOp recognizes sync.Mutex/RWMutex method calls and resolves the
+// lock's identity.
+func (c *lockCollector) mutexOp(sel *ast.SelectorExpr, fn *types.Func) (*types.Var, bool, bool) {
+	if fn.Pkg().Path() != "sync" {
+		return nil, false, false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return nil, false, false
+	}
+	rt := recv.Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok || (named.Obj().Name() != "Mutex" && named.Obj().Name() != "RWMutex") {
+		return nil, false, false
+	}
+	var acquire bool
+	switch fn.Name() {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+		acquire = false
+	default:
+		return nil, false, false
+	}
+	return lockIdent(c.pass, sel.X), acquire, true
+}
+
+// lockIdent resolves the receiver expression of a mutex call to its
+// identity: the field object for x.mu (shared across instances — the
+// ordering protocol is per type), the variable for locals and package
+// vars, nil when unresolvable.
+func lockIdent(pass *Pass, e ast.Expr) *types.Var {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return lockIdent(pass, x.X)
+	case *ast.UnaryExpr:
+		return lockIdent(pass, x.X)
+	case *ast.SelectorExpr:
+		if selection := pass.Info.Selections[x]; selection != nil && selection.Kind() == types.FieldVal {
+			return selection.Obj().(*types.Var)
+		}
+		if v, ok := pass.Info.Uses[x.Sel].(*types.Var); ok {
+			return v
+		}
+		return nil
+	case *ast.Ident:
+		v, _ := pass.Info.Uses[x].(*types.Var)
+		return v
+	case *ast.IndexExpr:
+		// Shard patterns (shards[i].mu) resolve through the element; an
+		// index on its own (locks[i]) keys the whole array.
+		return lockIdent(pass, x.X)
+	default:
+		return nil
+	}
+}
+
+// blockingCallee recognizes the operations that park the calling
+// goroutine: WaitGroup waits, sleeps, and network I/O. Cond.Wait is
+// deliberately not here — it releases its mutex while parked, so it
+// does not stall contenders the way a held lock does.
+func blockingCallee(fn *types.Func) (string, bool) {
+	path := fn.Pkg().Path()
+	switch {
+	case path == "sync" && fn.Name() == "Wait":
+		recv := fn.Type().(*types.Signature).Recv()
+		if recv != nil && recvTypeName(recv) == "WaitGroup" {
+			return "sync.WaitGroup.Wait blocks", true
+		}
+	case path == "time" && fn.Name() == "Sleep":
+		return "time.Sleep blocks", true
+	case path == "net" || strings.HasPrefix(path, "net/"):
+		return fmt.Sprintf("network I/O (%s.%s) blocks", fn.Pkg().Name(), fn.Name()), true
+	}
+	return "", false
+}
+
+func recvTypeName(recv *types.Var) string {
+	rt := recv.Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	if n, ok := rt.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return "?"
+}
+
+// lockNamer renders lock identities as Type.field where the field's
+// owner can be found in the package scope, else the bare name.
+func lockNamer(pass *Pass) func(*types.Var) string {
+	owner := make(map[*types.Var]string)
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if st, ok := named.Underlying().(*types.Struct); ok {
+			for i := 0; i < st.NumFields(); i++ {
+				owner[st.Field(i)] = name + "." + st.Field(i).Name()
+			}
+		}
+	}
+	return func(v *types.Var) string {
+		if v == nil {
+			return "?"
+		}
+		if n, ok := owner[v]; ok {
+			return n
+		}
+		return v.Name()
+	}
+}

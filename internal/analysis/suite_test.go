@@ -29,6 +29,29 @@ func TestDirectiveFixture(t *testing.T) {
 	runFixture(t, []*Analyzer{AnalyzerDirective}, "directive")
 }
 
+func TestAllocFixture(t *testing.T) {
+	runFixture(t, []*Analyzer{AnalyzerAlloc}, "alloc")
+}
+
+func TestLifetimeFixture(t *testing.T) {
+	runFixture(t, []*Analyzer{AnalyzerLifetime}, "lifetime")
+}
+
+func TestLockOrderFixture(t *testing.T) {
+	runFixture(t, []*Analyzer{AnalyzerLockOrder}, "lockorder")
+}
+
+func TestGoroutineFixture(t *testing.T) {
+	runFixture(t, []*Analyzer{AnalyzerGoroutine}, "goroutine")
+}
+
+// TestStaleAllow runs the full suite with stale-allow reporting on: the
+// live suppression in the fixture stays silent, the one whose
+// diagnostic no longer fires is itself reported.
+func TestStaleAllow(t *testing.T) {
+	runFixtureOpts(t, All(), "staleallow", Options{StaleAllows: true})
+}
+
 // TestAllowSuppression runs the full suite over a fixture mixing
 // suppressed and unsuppressed violations: a documented //klocal:allow
 // silences the diagnostic on its own and the following line, a
@@ -41,7 +64,8 @@ func TestAllowSuppression(t *testing.T) {
 // report nothing on the repository itself (the same check `make lint`
 // runs via cmd/klocalvet). Any finding is either a genuine contract
 // violation to fix or a deliberate exception to document with
-// //klocal:allow.
+// //klocal:allow — and stale-allow reporting is on, so a documented
+// exception whose diagnostic stops firing must be deleted too.
 func TestRepoClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("skipping whole-repo analysis in -short mode")
@@ -50,7 +74,7 @@ func TestRepoClean(t *testing.T) {
 	if err != nil {
 		t.Fatalf("loading repo: %v", err)
 	}
-	for _, d := range Run(All(), pkgs) {
+	for _, d := range RunWithOptions(All(), pkgs, Options{StaleAllows: true}) {
 		t.Errorf("%s", d)
 	}
 }

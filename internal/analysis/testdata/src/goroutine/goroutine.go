@@ -1,0 +1,88 @@
+// Package goroutine seeds kgoroutine violations: fire-and-forget
+// spawns with no reachable stop signal, next to the tied shapes —
+// context, done channel, closing work channel, WaitGroup — that must
+// pass silently.
+package goroutine
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+// LeakLit spawns an unstoppable loop.
+func LeakLit() {
+	go func() { // want "kgoroutine: goroutine is fire-and-forget"
+		for {
+			work()
+		}
+	}()
+}
+
+// LeakNamed launches a named function that nothing can stop.
+func LeakNamed() {
+	go work() // want "kgoroutine: goroutine is fire-and-forget"
+}
+
+// TiedCtx watches its context.
+func TiedCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// TiedCtxArg hands the goroutine its cancellation as an argument.
+func TiedCtxArg(ctx context.Context) {
+	go handle(ctx)
+}
+
+func handle(ctx context.Context) {}
+
+// TiedDone selects on a stop channel.
+func TiedDone(done chan struct{}, jobs chan int) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case j := <-jobs:
+				_ = j
+			}
+		}
+	}()
+}
+
+// TiedRange drains a work channel; closing it stops the goroutine.
+func TiedRange(jobs chan int) {
+	go func() {
+		for j := range jobs {
+			_ = j
+		}
+	}()
+}
+
+// TiedWG is joined through a WaitGroup.
+func TiedWG(wg *sync.WaitGroup) {
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// TiedNamed launches a named loop whose body blocks on the done
+// channel — the one-hop expansion finds it.
+func TiedNamed(done chan struct{}) {
+	go loop(done)
+}
+
+func loop(done chan struct{}) {
+	<-done
+}
+
+// TiedViaHelper reaches the stop signal through a same-package callee.
+func TiedViaHelper(done chan struct{}) {
+	go func() {
+		loop(done)
+	}()
+}

@@ -1,0 +1,78 @@
+// Package lifetime seeds klifetime violations: slices aliasing the
+// mmap-backed CSR store escaping the borrow window that Close bounds.
+package lifetime
+
+import "klocal/internal/bigraph"
+
+// Cache parks row views past the caller's frame.
+type Cache struct {
+	rows [][]int32
+	last []int32
+}
+
+var hottest []int32
+
+// LeakReturn hands the caller a view into pages Close will unmap.
+func LeakReturn(c *bigraph.CSR, i int32) []int32 {
+	row := c.Row(i)
+	return row // want "klifetime: returns a slice aliasing the mmap-backed CSR store"
+}
+
+// LeakReslice launders the view through a re-slice; still the same
+// backing pages.
+func LeakReslice(c *bigraph.CSR, i int32) []int32 {
+	row := c.Row(i)
+	tail := row[1:]
+	return tail // want "klifetime: returns a slice aliasing the mmap-backed CSR store"
+}
+
+// LeakField survives the frame inside a struct.
+func (ca *Cache) LeakField(c *bigraph.CSR, i int32) {
+	ca.last = c.Row(i) // want "klifetime: stores a slice aliasing the mmap-backed CSR store into field last"
+}
+
+// LeakGlobal survives the frame in a package variable.
+func LeakGlobal(c *bigraph.CSR, i int32) {
+	hottest = c.Row(i) // want "klifetime: stores a slice aliasing the mmap-backed CSR store into package variable hottest"
+}
+
+// LeakSend crosses goroutines on a channel.
+func LeakSend(c *bigraph.CSR, i int32, ch chan []int32) {
+	ch <- c.Row(i) // want "klifetime: sends a slice aliasing the mmap-backed CSR store on a channel"
+}
+
+// LeakGoroutine captures the view in a goroutine whose lifetime is
+// unbounded with respect to the store's.
+func LeakGoroutine(c *bigraph.CSR, i int32, sink func(int32)) {
+	row := c.Row(i)
+	go func() {
+		for _, t := range row { // want "klifetime: goroutine captures row, a slice aliasing the mmap-backed CSR store"
+			sink(t)
+		}
+	}()
+}
+
+// LeakGoArg hands the view to a spawned function directly.
+func LeakGoArg(c *bigraph.CSR, i int32) {
+	go consume(c.Row(i)) // want "klifetime: hands a slice aliasing the mmap-backed CSR store to a goroutine"
+}
+
+func consume(row []int32) {}
+
+// CopyOut is the sanctioned shape: the data leaves, the alias does not.
+func CopyOut(c *bigraph.CSR, i int32, out []int32) []int32 {
+	row := c.Row(i)
+	out = append(out[:0], row...)
+	return out
+}
+
+// BorrowLocally reads through the view inside the frame; nothing
+// escapes.
+func BorrowLocally(c *bigraph.CSR, i int32) int32 {
+	row := c.Row(i)
+	var sum int32
+	for _, t := range row {
+		sum += t
+	}
+	return sum
+}

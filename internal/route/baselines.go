@@ -3,7 +3,6 @@ package route
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 	"sync"
 
 	"klocal/internal/bigraph"
@@ -34,12 +33,24 @@ func TreeRightHand() Algorithm {
 				adj = extract(u, 1).G.Adj(u)
 			}
 			if len(adj) == 0 {
+				//klocal:allow cold error path: fires only on a model-contract violation, never on the measured route
 				return graph.NoVertex, fmt.Errorf("%w: isolated node", ErrNoRoute)
 			}
 			if v == graph.NoVertex {
 				return adj[0], nil
 			}
-			i := sort.Search(len(adj), func(i int) bool { return adj[i] >= v })
+			// Hand-rolled binary search: sort.Search's closure would
+			// allocate on every forwarding decision.
+			lo, hi := 0, len(adj)
+			for lo < hi {
+				mid := int(uint(lo+hi) >> 1)
+				if adj[mid] < v {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			i := lo
 			if i == len(adj) || adj[i] != v {
 				return adj[0], nil
 			}
@@ -86,6 +97,7 @@ func ShortestPathOracle() Algorithm {
 				//klocal:allow the oracle baseline has full topology knowledge by design (the comparator the paper's model forbids)
 				hop := g.NextHopToward(u, t)
 				if hop == graph.NoVertex {
+					//klocal:allow cold error path: fires only on a model-contract violation, never on the measured route
 					return graph.NoVertex, fmt.Errorf("%w: destination unreachable", ErrNoRoute)
 				}
 				return hop, nil
@@ -137,6 +149,7 @@ func randomWalk(newRNG func() *rand.Rand) Algorithm {
 				adj = extract(u, 1).G.Adj(u)
 			}
 			if len(adj) == 0 {
+				//klocal:allow cold error path: fires only on a model-contract violation, never on the measured route
 				return graph.NoVertex, fmt.Errorf("%w: isolated node", ErrNoRoute)
 			}
 			mu.Lock()

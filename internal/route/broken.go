@@ -29,6 +29,7 @@ func Algorithm2Broken() Algorithm {
 			}
 			roots := view.ActiveRoots
 			if len(roots) > 2 {
+				//klocal:allow cold error path: fires only on a model-contract violation, never on the measured route
 				return graph.NoVertex, fmt.Errorf("%w: active degree %d > 2", ErrLocalityTooSmall, len(roots))
 			}
 			// BROKEN: the arrival classification is discarded, so the

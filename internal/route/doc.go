@@ -57,6 +57,18 @@ package route
 // ShortestPathOracle comparator) carry //klocal:allow annotations with
 // their justification.
 //
+// Hot-path contract. Decision paths are additionally held allocation-
+// free by the kalloc analyzer (DESIGN.md §13): routing a message must
+// not touch the heap, because the engine pushes millions of decisions
+// per run and GC pressure would dominate every benchmark. Scratch space
+// is caller-owned (bound at Bind time or reused via bigraph.Scratch)
+// and grown with the exempt self-append idiom. The remaining
+// allocations in this package — alg1b's bounded bounce-simulation
+// state and cold error paths — are enumerated //klocal:allow
+// exceptions; the zero-alloc rewrite of the bounce core is a ROADMAP
+// item, and the allow directives are checked for staleness on every
+// `make lint`, so they retire automatically when it lands.
+//
 // The same contracts are also enforced dynamically: internal/fuzz's
 // property registry checks delivery at k >= T(n), the Table 2 dilation
 // bounds, walk validity, determinism under re-binding, robustness under

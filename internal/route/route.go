@@ -122,9 +122,11 @@ const (
 func decideActive(kind ruleKind, roots []graph.Vertex, from arrival, activeIdx int) (graph.Vertex, error) {
 	d := len(roots)
 	if d == 0 {
+		//klocal:allow cold error path: fires only on a model-contract violation, never on the measured route
 		return graph.NoVertex, fmt.Errorf("%w: no active components", ErrNoRoute)
 	}
 	if d > 3 {
+		//klocal:allow cold error path: fires only on a model-contract violation, never on the measured route
 		return graph.NoVertex, fmt.Errorf("%w: active degree %d > 3", ErrLocalityTooSmall, d)
 	}
 	if from != arrivalActive {
@@ -145,6 +147,7 @@ func decideActive(kind ruleKind, roots []graph.Vertex, from arrival, activeIdx i
 		}
 		return roots[activeIdx+1], nil
 	default:
+		//klocal:allow cold error path: fires only on a model-contract violation, never on the measured route
 		return graph.NoVertex, fmt.Errorf("%w: unknown rule kind", ErrNoRoute)
 	}
 }
@@ -266,6 +269,7 @@ func Algorithm2Policy(pol prep.Policy) Algorithm {
 			}
 			roots := view.ActiveRoots
 			if len(roots) > 2 {
+				//klocal:allow cold error path: fires only on a model-contract violation, never on the measured route
 				return graph.NoVertex, fmt.Errorf("%w: active degree %d > 2", ErrLocalityTooSmall, len(roots))
 			}
 			from, idx := classifyArrival(view, graph.NoVertex, v, false)
@@ -319,6 +323,7 @@ func alg3Step(view *nbhd.Neighborhood, t, u graph.Vertex) (graph.Vertex, error) 
 	if view.Contains(t) {
 		hop := view.G.NextHopToward(u, t)
 		if hop == graph.NoVertex {
+			//klocal:allow cold error path: fires only on a model-contract violation, never on the measured route
 			return graph.NoVertex, fmt.Errorf("%w: t unreachable in view", ErrNoRoute)
 		}
 		return hop, nil
@@ -335,6 +340,7 @@ func alg3Step(view *nbhd.Neighborhood, t, u graph.Vertex) (graph.Vertex, error) 
 		}
 	}
 	if active != 1 || constrained == nil {
+		//klocal:allow cold error path: fires only on a model-contract violation, never on the measured route
 		return graph.NoVertex, fmt.Errorf("%w: Lemma 12 precondition violated (%d active components)", ErrLocalityTooSmall, active)
 	}
 	// The furthest constraint vertex; ties broken by rank
@@ -350,6 +356,7 @@ func alg3Step(view *nbhd.Neighborhood, t, u graph.Vertex) (graph.Vertex, error) 
 	}
 	hop := view.G.NextHopToward(u, target)
 	if hop == graph.NoVertex {
+		//klocal:allow cold error path: fires only on a model-contract violation, never on the measured route
 		return graph.NoVertex, fmt.Errorf("%w: constraint vertex unreachable", ErrNoRoute)
 	}
 	return hop, nil

@@ -101,6 +101,7 @@ func (ft *FullTables) Algorithm() route.Algorithm {
 			return func(_, t, u, _ graph.Vertex) (graph.Vertex, error) {
 				hop, ok := ft.next[u][t]
 				if !ok || hop == graph.NoVertex {
+					//klocal:allow cold error path: fires only on a model-contract violation, never on the measured route
 					return graph.NoVertex, fmt.Errorf("tables: no entry for %d at %d", t, u)
 				}
 				return hop, nil
@@ -214,6 +215,7 @@ func (ti *TreeInterval) NextHop(u, t graph.Vertex) (graph.Vertex, error) {
 	}
 	at, ok := ti.addr[t]
 	if !ok {
+		//klocal:allow cold error path: fires only on a model-contract violation, never on the measured route
 		return graph.NoVertex, fmt.Errorf("tables: unknown destination %d", t)
 	}
 	for _, c := range ti.children[u] {
@@ -224,6 +226,7 @@ func (ti *TreeInterval) NextHop(u, t graph.Vertex) (graph.Vertex, error) {
 	}
 	p := ti.parent[u]
 	if p == graph.NoVertex {
+		//klocal:allow cold error path: fires only on a model-contract violation, never on the measured route
 		return graph.NoVertex, fmt.Errorf("tables: address %d outside every subtree of the root", at)
 	}
 	return p, nil

@@ -150,6 +150,7 @@ func Exhaustive(cfg Config, n int) (*Report, error) {
 		return nil, fmt.Errorf("verify: exhaustive mode supports 1 <= n <= 8, got %d", n)
 	}
 	graphs := make(chan *graph.Graph, 64)
+	//klocal:allow generator is drained to exhaustion by runPool, so the final send always unblocks
 	go func() {
 		defer close(graphs)
 		gen.ConnectedGraphs(n, func(g *graph.Graph) bool {
@@ -169,6 +170,7 @@ func RandomSample(cfg Config, seed int64, count, minN, maxN int) (*Report, error
 	}
 	rng := rand.New(rand.NewSource(seed))
 	graphs := make(chan *graph.Graph, 16)
+	//klocal:allow generator is drained to exhaustion by runPool, so the final send always unblocks
 	go func() {
 		defer close(graphs)
 		for i := 0; i < count; i++ {
