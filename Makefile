@@ -16,7 +16,7 @@ KLOCALVET_FLAGS ?=
 # notice when none is installed.
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: tier1 check race build test vet lint klocalvet staticcheck bench bench-scale serve-smoke fuzz-smoke go-fuzz-smoke cluster-smoke scale-smoke
+.PHONY: tier1 check race build test vet lint klocalvet staticcheck bench bench-scale bench-gate serve-smoke fuzz-smoke go-fuzz-smoke cluster-smoke scale-smoke
 
 tier1: vet build test serve-smoke fuzz-smoke cluster-smoke scale-smoke
 
@@ -103,6 +103,14 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngine' -benchmem -count=1 -json . \
 		| tee BENCH_engine.json | { grep -o '"Output":".*msgs/sec.*"' || true; }
+
+# Throughput regression gate: re-runs the single-worker engine
+# benchmark and fails when msgs/sec regresses >10% below the committed
+# BENCH_engine.json baseline or allocations per routed message exceed
+# the gate (see cmd/benchgate). Single-worker only, so the gate holds on
+# any core count.
+bench-gate:
+	$(GO) run ./cmd/benchgate -baseline BENCH_engine.json
 
 # Million-node scale benchmarks over the CSR store (n = 10^4 … 10^6 grid
 # under a Zipf workload): routing throughput and store footprint; the

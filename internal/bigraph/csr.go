@@ -69,6 +69,13 @@ func (c *CSR) index(v graph.Vertex) (int32, bool) {
 	return 0, false
 }
 
+// IndexOf resolves a label to its dense index, reporting presence — the
+// exported twin of index, for the compact view extractors that BFS over
+// rows directly.
+//
+//klocal:hotpath
+func (c *CSR) IndexOf(v graph.Vertex) (int32, bool) { return c.index(v) }
+
 // Label returns the label of dense index i.
 func (c *CSR) Label(i int32) graph.Vertex {
 	if c.labels == nil {

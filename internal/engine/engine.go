@@ -147,13 +147,16 @@ func (e *Engine) Config() Config { return e.cfg }
 func (e *Engine) Snapshot() *Snapshot { return e.snap }
 
 // worker routes tasks until the queue closes, recording into its own
-// metric shard.
+// metric shard. Each worker owns one sim.Scratch for its whole lifetime,
+// so the warm routing path allocates only the Response's retained copy
+// of the scratch-owned Result.
 func (e *Engine) worker(w int) {
 	defer e.wg.Done()
 	sh := e.shards[w]
+	sc := sim.NewScratch()
 	for tk := range e.tasks {
 		start := time.Now()
-		res := e.snap.Route(tk.req.S, tk.req.T, e.cfg.MaxSteps)
+		res := e.snap.RouteScratch(tk.req.S, tk.req.T, e.cfg.MaxSteps, sc)
 		lat := time.Since(start)
 
 		sh.Count("requests", 1)
@@ -175,7 +178,10 @@ func (e *Engine) worker(w int) {
 			sh.Count("exhausted", 1)
 		}
 
-		resp := Response{Request: tk.req, Index: tk.index, Worker: w, Result: res, Latency: lat}
+		// The scratch owns res and the next task overwrites it; the
+		// response escapes to channels and callers, so it carries an
+		// independent copy.
+		resp := Response{Request: tk.req, Index: tk.index, Worker: w, Result: res.Clone(), Latency: lat}
 		if tk.done != nil {
 			tk.done <- resp
 		} else {
@@ -228,6 +234,48 @@ func (e *Engine) markActive() {
 	}
 }
 
+// doneChans pools completion channels for Do: capacity-1 channels whose
+// single response was always consumed before release, so a reused
+// channel is provably empty.
+var doneChans = sync.Pool{New: func() any { return make(chan Response, 1) }}
+
+// batchChans pools completion channels for DoBatch. Channels keep their
+// creation capacity, so get discards pooled channels too small for the
+// batch at hand and allocates with headroom; steady-state serving traffic
+// converges on the largest batch size seen.
+var batchChans sync.Pool
+
+func getBatchChan(n int) chan Response {
+	if c, _ := batchChans.Get().(chan Response); c != nil && cap(c) >= n {
+		return c
+	}
+	return make(chan Response, n+n/2)
+}
+
+// timers pools admission-budget timers across Do/DoBatch/RunWorkload
+// calls. putTimer's stop-and-drain leaves the channel provably empty, so
+// Reset on reuse is race-free.
+var timers sync.Pool
+
+func getTimer(d time.Duration) *time.Timer {
+	if tm, _ := timers.Get().(*time.Timer); tm != nil {
+		tm.Reset(d)
+		return tm
+	}
+	return time.NewTimer(d)
+}
+
+func putTimer(tm *time.Timer) {
+	if !tm.Stop() {
+		// Already fired: the tick may or may not have been consumed.
+		select {
+		case <-tm.C:
+		default:
+		}
+	}
+	timers.Put(tm)
+}
+
 // Do routes one request synchronously through the worker pool: it
 // enqueues the request (waiting at most budget for a queue slot when
 // budget > 0 — ErrSaturated past it, the admission-control signal) and
@@ -235,20 +283,25 @@ func (e *Engine) markActive() {
 // for arbitrary concurrent callers: each call has a private completion
 // channel, so responses never interleave.
 func (e *Engine) Do(req Request, budget time.Duration) (Response, error) {
-	done := make(chan Response, 1)
+	done := doneChans.Get().(chan Response)
 	tk := task{req: req, index: int(e.nextIdx.Add(1) - 1), done: done}
 	var expire <-chan time.Time
 	if budget > 0 {
-		tm := time.NewTimer(budget)
-		defer tm.Stop()
+		tm := getTimer(budget)
+		defer putTimer(tm)
 		expire = tm.C
 	}
 	if err := e.submitOn(tk, expire); err != nil {
+		// Nothing was enqueued, so the channel is still empty.
+		doneChans.Put(done)
 		return Response{}, err
 	}
 	// Every accepted task is routed: workers drain the queue until it
-	// closes, and done has capacity 1, so this receive always completes.
-	return <-done, nil
+	// closes, and done has capacity 1, so this receive always completes —
+	// and empties the channel for the pool.
+	r := <-done
+	doneChans.Put(done)
+	return r, nil
 }
 
 // DoBatch routes reqs concurrently through the worker pool and returns
@@ -262,12 +315,12 @@ func (e *Engine) DoBatch(reqs []Request, budget time.Duration) ([]Response, erro
 		return nil, nil
 	}
 	// Capacity for the full batch: workers never block sending here,
-	// even if the caller abandons the batch on admission failure.
-	done := make(chan Response, len(reqs))
+	// even when admission fails partway.
+	done := getBatchChan(len(reqs))
 	var expire <-chan time.Time
 	if budget > 0 {
-		tm := time.NewTimer(budget)
-		defer tm.Stop()
+		tm := getTimer(budget)
+		defer putTimer(tm)
 		expire = tm.C
 	}
 	admitted := 0
@@ -279,6 +332,14 @@ func (e *Engine) DoBatch(reqs []Request, budget time.Duration) ([]Response, erro
 		admitted++
 	}
 	if err != nil {
+		// The admitted prefix is still in flight toward done. Receive
+		// exactly that many responses before releasing the channel: a
+		// pooled channel with stragglers would deliver them to a later,
+		// unrelated batch (lost here, duplicated there).
+		for i := 0; i < admitted; i++ {
+			<-done
+		}
+		batchChans.Put(done)
 		return nil, err
 	}
 	out := make([]Response, len(reqs))
@@ -286,6 +347,7 @@ func (e *Engine) DoBatch(reqs []Request, budget time.Duration) ([]Response, erro
 		r := <-done
 		out[r.Index] = r
 	}
+	batchChans.Put(done)
 	return out, nil
 }
 
@@ -412,8 +474,8 @@ func (e *Engine) RunWorkload(w Workload, n int, d time.Duration) error {
 	}()
 	var expire <-chan time.Time
 	if d > 0 {
-		tm := time.NewTimer(d)
-		defer tm.Stop()
+		tm := getTimer(d)
+		defer putTimer(tm)
 		expire = tm.C
 	}
 	var err error

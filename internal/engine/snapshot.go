@@ -159,13 +159,23 @@ func (s *Snapshot) CacheStats() prep.CacheStats {
 // body, also usable standalone). Store-backed snapshots skip the global
 // dist(s, t) computation (Result.Dist stays 0).
 func (s *Snapshot) Route(src, dst graph.Vertex, maxSteps int) *sim.Result {
+	return s.RouteScratch(src, dst, maxSteps, sim.NewScratch())
+}
+
+// RouteScratch is Route allocating only into sc — the engine workers'
+// per-request body. The returned Result is owned by sc (sim.RunScratch's
+// contract): valid until the next route with the same scratch, Clone to
+// retain.
+//
+//klocal:hotpath
+func (s *Snapshot) RouteScratch(src, dst graph.Vertex, maxSteps int, sc *sim.Scratch) *sim.Result {
 	opts := sim.Options{
 		MaxSteps:         maxSteps,
 		DetectLoops:      !s.alg.Randomized,
 		PredecessorAware: s.alg.PredecessorAware,
 	}
 	if s.g != nil {
-		return sim.Run(s.g, sim.Func(s.f), src, dst, opts)
+		return sim.RunScratch(s.g, sim.Func(s.f), src, dst, opts, sc)
 	}
-	return sim.RunStore(s.st, sim.Func(s.f), src, dst, opts)
+	return sim.RunStoreScratch(s.st, sim.Func(s.f), src, dst, opts, sc)
 }

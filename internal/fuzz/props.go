@@ -14,6 +14,7 @@ import (
 	"klocal/internal/gen"
 	"klocal/internal/nbhd"
 	"klocal/internal/netsim"
+	"klocal/internal/route"
 	"klocal/internal/sim"
 	"klocal/internal/verify"
 )
@@ -79,6 +80,11 @@ func AllProperties() []Property {
 			Name:  "csr",
 			Doc:   "CSR store views G_k(u) are vertex-, distance- and edge-identical to nbhd.Extract, and store-backed routing walks the graph-backed walk",
 			Check: checkCSR,
+		},
+		{
+			Name:  "compact",
+			Doc:   "the compact int-indexed decision paths route walk-identically to the retained map-based reference step",
+			Check: checkCompact,
 		},
 	}
 }
@@ -328,6 +334,59 @@ func sameView(got, want *nbhd.Neighborhood) error {
 	for _, e := range want.G.Edges() {
 		if !got.G.HasEdge(e.U, e.V) {
 			return fmt.Errorf("edge {%d, %d} missing", e.U, e.V)
+		}
+	}
+	return nil
+}
+
+// refTwin maps a scenario algorithm to its reference build over the
+// retained map-based step (route/reference.go), or reports that none
+// exists (the deliberately broken variant has no reference twin).
+func refTwin(name string) (route.Algorithm, bool) {
+	switch name {
+	case "alg1":
+		return route.Algorithm1Ref(), true
+	case "alg1b":
+		return route.Algorithm1BRef(), true
+	case "alg2":
+		return route.Algorithm2Ref(), true
+	case "alg3":
+		return route.Algorithm3Ref(), true
+	default:
+		return route.Algorithm{}, false
+	}
+}
+
+// checkCompact is the compact-view differential: the production decision
+// paths (int-indexed CompactView reads, scratch-backed bounce
+// simulation) must behave exactly like the retained map-based reference
+// step — same outcome, hop-for-hop identical walk — at every locality,
+// below threshold included (error cases must agree too). A divergence
+// means the compact encoding, the index-order rank argument, or the
+// scratch reuse broke a decision rule.
+func checkCompact(sc *Scenario) error {
+	ref, ok := refTwin(sc.Algo)
+	if !ok {
+		return nil
+	}
+	prod := routeScenario(sc)
+	refRes := routeScenario(&Scenario{
+		Algo: sc.Algo, Alg: ref,
+		G: sc.G, K: sc.K, S: sc.S, T: sc.T,
+		Seed: sc.Seed, Family: sc.Family,
+	})
+	if prod.Outcome != refRes.Outcome {
+		return fmt.Errorf("compact outcome %v, reference %v (err %v vs %v)",
+			prod.Outcome, refRes.Outcome, prod.Err, refRes.Err)
+	}
+	if len(prod.Route) != len(refRes.Route) {
+		return fmt.Errorf("walk lengths differ: compact %d hops, reference %d hops",
+			prod.Len(), refRes.Len())
+	}
+	for i := range prod.Route {
+		if prod.Route[i] != refRes.Route[i] {
+			return fmt.Errorf("walks diverge at hop %d: compact %d, reference %d",
+				i, prod.Route[i], refRes.Route[i])
 		}
 	}
 	return nil

@@ -1,0 +1,150 @@
+package graph
+
+// mirror is the int-indexed CSR twin of the map-based adjacency: vertex
+// index i is g.vertices[i] (so index order and label order coincide and
+// every canonical rank tie-break survives the translation), and row i is
+// to[start[i]:start[i+1]], sorted ascending by index. It is built once,
+// lazily, and shared by all readers; the map adjacency stays the source
+// of truth for the label-space API.
+type mirror struct {
+	start []int32
+	to    []int32
+}
+
+// ensureMirror builds the CSR mirror on first use. Graphs are immutable
+// after construction, so the sync.Once publication is safe for
+// concurrent readers.
+func (g *Graph) ensureMirror() *mirror {
+	g.csrOnce.Do(func() {
+		m := &mirror{start: make([]int32, len(g.vertices)+1)}
+		arcs := 0
+		for _, v := range g.vertices {
+			arcs += len(g.adj[v])
+		}
+		m.to = make([]int32, 0, arcs)
+		for i, v := range g.vertices {
+			m.start[i] = int32(len(m.to))
+			for _, w := range g.adj[v] {
+				j, _ := g.Index(w)
+				m.to = append(m.to, j)
+			}
+		}
+		m.start[len(g.vertices)] = int32(len(m.to))
+		g.csr = m
+	})
+	return g.csr
+}
+
+// Index resolves a vertex label to its dense index (its position in the
+// sorted vertex order), reporting presence. The binary search is
+// hand-rolled: sort.Search's closure would allocate, and Index sits
+// under every per-hop accessor of the compact routing structures.
+//
+//klocal:hotpath
+func (g *Graph) Index(v Vertex) (int32, bool) {
+	lo, hi := 0, len(g.vertices)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if g.vertices[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(g.vertices) && g.vertices[lo] == v {
+		return int32(lo), true
+	}
+	return 0, false
+}
+
+// VertexAt returns the label of dense index i (inverse of Index).
+//
+//klocal:hotpath
+func (g *Graph) VertexAt(i int32) Vertex { return g.vertices[i] }
+
+// Row returns the neighbours of dense index i as dense indices, sorted
+// ascending. The slice aliases the mirror; callers must not mutate it.
+//
+//klocal:hotpath
+func (g *Graph) Row(i int32) []int32 {
+	m := g.ensureMirror()
+	return m.to[m.start[i]:m.start[i+1]]
+}
+
+// SearchScratch is caller-owned working memory for the int-indexed
+// search primitives (DistScratch, BFSIndexed): an epoch-marked visited
+// array, a distance array and a queue, all sized to the largest graph
+// seen and then reused without allocating. Not safe for concurrent use;
+// give each worker its own.
+type SearchScratch struct {
+	mark  []uint32
+	dist  []int32
+	queue []int32
+	epoch uint32
+}
+
+// NewSearchScratch returns an empty scratch; the first search sizes it.
+func NewSearchScratch() *SearchScratch { return &SearchScratch{} }
+
+// begin readies the scratch for a graph of n vertices.
+//
+//klocal:hotpath
+func (sc *SearchScratch) begin(n int) {
+	if len(sc.mark) < n {
+		//klocal:allow grows once to the largest graph seen, then reused; steady state pinned by TestSearchScratchAllocs
+		sc.mark = make([]uint32, n)
+		//klocal:allow same growth-once path as mark above
+		sc.dist = make([]int32, n)
+		sc.epoch = 0
+	}
+	sc.epoch++
+	if sc.epoch == 0 { // uint32 wrap: all marks are stale garbage
+		clear(sc.mark)
+		sc.epoch = 1
+	}
+	sc.queue = sc.queue[:0]
+}
+
+// seen reports whether index v was reached this search.
+func (sc *SearchScratch) seen(v int32) bool { return sc.mark[v] == sc.epoch }
+
+// visit marks index v reached at distance d and enqueues it.
+//
+//klocal:hotpath
+func (sc *SearchScratch) visit(v, d int32) {
+	sc.mark[v] = sc.epoch
+	sc.dist[v] = d
+	sc.queue = append(sc.queue, v)
+}
+
+// DistScratch returns the unweighted graph distance between u and v
+// (Infinity if disconnected), allocating only into sc. It is
+// Dist-identical: same BFS, int-indexed.
+//
+//klocal:hotpath
+func (g *Graph) DistScratch(u, v Vertex, sc *SearchScratch) int {
+	ui, uok := g.Index(u)
+	vi, vok := g.Index(v)
+	if !uok || !vok {
+		return Infinity
+	}
+	if ui == vi {
+		return 0
+	}
+	sc.begin(len(g.vertices))
+	sc.visit(ui, 0)
+	for head := 0; head < len(sc.queue); head++ {
+		x := sc.queue[head]
+		d := sc.dist[x]
+		for _, y := range g.Row(x) {
+			if sc.seen(y) {
+				continue
+			}
+			if y == vi {
+				return int(d) + 1
+			}
+			sc.visit(y, d+1)
+		}
+	}
+	return Infinity
+}

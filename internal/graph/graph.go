@@ -18,6 +18,7 @@ import (
 	"slices"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Vertex is a network node, identified by its unique integer label.
@@ -76,6 +77,11 @@ type Graph struct {
 	adj      map[Vertex][]Vertex
 	vertices []Vertex // sorted
 	edges    []Edge   // sorted by rank
+
+	// csr is the lazily-built int-indexed adjacency mirror (see csr.go);
+	// csrOnce publishes it safely to concurrent readers.
+	csrOnce sync.Once
+	csr     *mirror
 }
 
 // Builder accumulates vertices and edges and produces an immutable Graph.

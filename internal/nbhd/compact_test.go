@@ -1,0 +1,187 @@
+package nbhd
+
+import (
+	"math/rand"
+	"testing"
+
+	"klocal/internal/bigraph"
+	"klocal/internal/graph"
+)
+
+func randomGraph(r *rand.Rand, n int) *graph.Graph {
+	b := graph.NewBuilder()
+	for v := 1; v < n; v++ {
+		b.AddEdge(graph.Vertex(v*3), graph.Vertex(r.Intn(v)*3)) // sparse labels
+	}
+	extra := n / 2
+	for i := 0; i < extra; i++ {
+		b.AddEdge(graph.Vertex(r.Intn(n)*3), graph.Vertex(r.Intn(n)*3))
+	}
+	return b.Build()
+}
+
+// checkViewMatches compares a compact view against a reference
+// Neighborhood: same vertex set, distances, and edge set.
+func checkViewMatches(t *testing.T, cv *CompactView, nb *Neighborhood) {
+	t.Helper()
+	if cv.NV() != len(nb.Dist) {
+		t.Fatalf("view size %d want %d", cv.NV(), len(nb.Dist))
+	}
+	for li, v := range cv.Verts {
+		d, ok := nb.Dist[v]
+		if !ok {
+			t.Fatalf("compact view has stray vertex %d", v)
+		}
+		if int(cv.Dist[li]) != d {
+			t.Fatalf("dist[%d] = %d want %d", v, cv.Dist[li], d)
+		}
+		if li > 0 && cv.Verts[li-1] >= v {
+			t.Fatalf("Verts not strictly ascending at %d", li)
+		}
+	}
+	if cv.Verts[cv.CenterIdx] != nb.Center {
+		t.Fatalf("CenterIdx resolves to %d want %d", cv.Verts[cv.CenterIdx], nb.Center)
+	}
+	edges := 0
+	for li := range cv.Verts {
+		row := cv.Row(int32(li))
+		for p, wj := range row {
+			if p > 0 && row[p-1] >= wj {
+				t.Fatalf("row of %d not strictly ascending", cv.Verts[li])
+			}
+			if !nb.G.HasEdge(cv.Verts[li], cv.Verts[wj]) {
+				t.Fatalf("stray compact edge {%d,%d}", cv.Verts[li], cv.Verts[wj])
+			}
+		}
+		edges += len(row)
+	}
+	if edges != 2*nb.G.M() {
+		t.Fatalf("compact view has %d arcs, want %d", edges, 2*nb.G.M())
+	}
+}
+
+// TestExtractCompactMatchesExtract pins ExtractGraph and ExtractCSR to
+// the map-based Extract on random graphs.
+func TestExtractCompactMatchesExtract(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	sc := NewScratch()
+	for trial := 0; trial < 40; trial++ {
+		g := randomGraph(r, 2+r.Intn(40))
+		vs := g.Vertices()
+		u := vs[r.Intn(len(vs))]
+		k := r.Intn(5)
+		nb := Extract(g, u, k)
+		if !sc.ExtractGraph(g, u, k) {
+			t.Fatalf("ExtractGraph(%d,%d) reported absent centre", u, k)
+		}
+		checkViewMatches(t, &sc.View, nb)
+
+		c := bigraph.FromGraph(g)
+		if !sc.ExtractCSR(c, u, k) {
+			t.Fatalf("ExtractCSR(%d,%d) reported absent centre", u, k)
+		}
+		checkViewMatches(t, &sc.View, nb)
+	}
+	if sc.ExtractGraph(randomGraph(r, 5), graph.Vertex(1<<40), 2) {
+		t.Fatal("ExtractGraph accepted absent centre")
+	}
+}
+
+// TestClassifyMatchesRef pins the dominator-based compact classification
+// to the remove-and-re-BFS reference on random views, through the public
+// label-space API (classify routes through the compact path).
+func TestClassifyMatchesRef(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 60; trial++ {
+		g := randomGraph(r, 2+r.Intn(36))
+		vs := g.Vertices()
+		u := vs[r.Intn(len(vs))]
+		k := 1 + r.Intn(4)
+		nb := Extract(g, u, k)
+		got := ClassifyView(nb.G, u, k)
+		want := ClassifyViewRef(nb.G, u, k)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d components, want %d (u=%d k=%d g=%v)", trial, len(got), len(want), u, k, g)
+		}
+		for i := range want {
+			gc, wc := got[i], want[i]
+			if !vertsEqual(gc.Vertices, wc.Vertices) {
+				t.Fatalf("trial %d comp %d: vertices %v want %v", trial, i, gc.Vertices, wc.Vertices)
+			}
+			if !vertsEqual(gc.Roots, wc.Roots) {
+				t.Fatalf("trial %d comp %d: roots %v want %v", trial, i, gc.Roots, wc.Roots)
+			}
+			if gc.Active != wc.Active || gc.Independent != wc.Independent || gc.Constrained != wc.Constrained {
+				t.Fatalf("trial %d comp %d: flags %v/%v/%v want %v/%v/%v (u=%d k=%d g=%v)",
+					trial, i, gc.Active, gc.Independent, gc.Constrained, wc.Active, wc.Independent, wc.Constrained, u, k, g)
+			}
+			if !vertsEqual(gc.ConstraintVertices, wc.ConstraintVertices) {
+				t.Fatalf("trial %d comp %d: constraints %v want %v (u=%d k=%d g=%v)",
+					trial, i, gc.ConstraintVertices, wc.ConstraintVertices, u, k, g)
+			}
+		}
+	}
+}
+
+func vertsEqual(a, b []graph.Vertex) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCompactNextHopMatchesGraph pins the scratch next-hop against the
+// canonical graph.NextHopToward inside random views.
+func TestCompactNextHopMatchesGraph(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	sc := NewScratch()
+	for trial := 0; trial < 30; trial++ {
+		g := randomGraph(r, 2+r.Intn(30))
+		vs := g.Vertices()
+		u := vs[r.Intn(len(vs))]
+		k := 1 + r.Intn(4)
+		nb := Extract(g, u, k)
+		if !sc.ExtractGraph(g, u, k) {
+			t.Fatal("ExtractGraph failed")
+		}
+		cv := &sc.View
+		for _, tgt := range cv.Verts {
+			want := nb.G.NextHopToward(u, tgt)
+			ti, _ := cv.Index(tgt)
+			hop := sc.NextHopToward(cv.CenterIdx, ti)
+			got := graph.NoVertex
+			if hop >= 0 {
+				got = cv.Verts[hop]
+			}
+			if got != want {
+				t.Fatalf("NextHopToward(%d,%d) = %d want %d", u, tgt, got, want)
+			}
+		}
+	}
+}
+
+// TestCompactScratchAllocs pins the zero-steady-state-allocation contract
+// of extraction, classification, and next-hop lookup.
+func TestCompactScratchAllocs(t *testing.T) {
+	r := rand.New(rand.NewSource(24))
+	g := randomGraph(r, 64)
+	vs := g.Vertices()
+	u := vs[len(vs)/2]
+	sc := NewScratch()
+	// Size the scratch and build the graph's CSR mirror.
+	sc.ExtractGraph(g, u, 3)
+	sc.Classify()
+	avg := testing.AllocsPerRun(200, func() {
+		sc.ExtractGraph(g, u, 3)
+		sc.Classify()
+		sc.NextHopToward(sc.View.CenterIdx, int32(sc.View.NV()-1))
+	})
+	if avg != 0 {
+		t.Fatalf("compact extract+classify allocates %v/op in steady state, want 0", avg)
+	}
+}

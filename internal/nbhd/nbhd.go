@@ -7,6 +7,7 @@ package nbhd
 
 import (
 	"sort"
+	"sync"
 
 	"klocal/internal/graph"
 )
@@ -72,12 +73,24 @@ type Component struct {
 	// than the centre lying on all active paths of the component), sorted
 	// by label. Empty for passive or unconstrained components.
 	ConstraintVertices []graph.Vertex
-
-	vset map[graph.Vertex]bool
 }
 
-// Has reports whether v belongs to the component.
-func (c *Component) Has(v graph.Vertex) bool { return c.vset[v] }
+// Has reports whether v belongs to the component, by binary search in the
+// sorted member list (no per-component membership map).
+//
+//klocal:hotpath
+func (c *Component) Has(v graph.Vertex) bool {
+	lo, hi := 0, len(c.Vertices)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if c.Vertices[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(c.Vertices) && c.Vertices[lo] == v
+}
 
 // Root returns the unique root of an independent component; for
 // multi-rooted components it returns the lowest-labelled root (the
@@ -98,20 +111,63 @@ func ClassifyView(view *graph.Graph, center graph.Vertex, k int) []*Component {
 	return classify(view, center, k)
 }
 
+// scratchPool recycles compact scratches across classify calls so the
+// label-space API gets the single-pass constraint computation without a
+// per-call working-set allocation.
+var scratchPool = sync.Pool{New: func() any { return NewScratch() }}
+
+// classify runs the compact classification and materializes the result in
+// label space. The per-candidate remove-and-re-BFS implementation it
+// replaced survives as ClassifyViewRef; TestClassifyMatchesRef and the
+// klocalcheck "compact" property pin the equivalence.
 func classify(view *graph.Graph, center graph.Vertex, k int) []*Component {
+	sc := scratchPool.Get().(*Scratch)
+	defer scratchPool.Put(sc)
+	if !sc.FromView(view, center, k) {
+		return nil
+	}
+	sc.Classify()
+	cv := &sc.View
+	comps := make([]*Component, 0, len(sc.Comps))
+	for i := range sc.Comps {
+		cc := &sc.Comps[i]
+		c := &Component{
+			Vertices:    make([]graph.Vertex, len(cc.Verts)),
+			Roots:       make([]graph.Vertex, len(cc.Roots)),
+			Active:      cc.Active,
+			Independent: cc.Independent,
+			Constrained: cc.Constrained,
+		}
+		for j, li := range cc.Verts {
+			c.Vertices[j] = cv.Verts[li]
+		}
+		for j, li := range cc.Roots {
+			c.Roots[j] = cv.Verts[li]
+		}
+		if len(cc.Constraints) > 0 {
+			c.ConstraintVertices = make([]graph.Vertex, len(cc.Constraints))
+			for j, li := range cc.Constraints {
+				c.ConstraintVertices[j] = cv.Verts[li]
+			}
+		}
+		comps = append(comps, c)
+	}
+	return comps
+}
+
+// ClassifyViewRef is the reference classification: the direct map-based
+// transcription of the paper's definitions, one remove-vertex-and-re-BFS
+// per constraint candidate. It is retained solely to pin the compact
+// implementation (differential tests and the klocalcheck "compact"
+// property); production paths use ClassifyView.
+func ClassifyViewRef(view *graph.Graph, center graph.Vertex, k int) []*Component {
 	dist := view.BFS(center)
 	removed := view.WithoutVertex(center)
 	var comps []*Component
 	for _, vs := range removed.Components() {
-		c := &Component{
-			Vertices: vs,
-			vset:     make(map[graph.Vertex]bool, len(vs)),
-		}
-		for _, v := range vs {
-			c.vset[v] = true
-		}
+		c := &Component{Vertices: vs}
 		view.EachAdj(center, func(w graph.Vertex) bool {
-			if c.vset[w] {
+			if c.Has(w) {
 				c.Roots = append(c.Roots, w)
 			}
 			return true
@@ -132,7 +188,7 @@ func classify(view *graph.Graph, center graph.Vertex, k int) []*Component {
 		}
 		c.Active = len(horizon) > 0
 		if c.Active {
-			c.ConstraintVertices = constraintVertices(view, center, horizon, c, dist)
+			c.ConstraintVertices = constraintVerticesRef(view, center, horizon, c, dist)
 			c.Constrained = len(c.ConstraintVertices) > 0
 		}
 		comps = append(comps, c)
@@ -141,12 +197,12 @@ func classify(view *graph.Graph, center graph.Vertex, k int) []*Component {
 	return comps
 }
 
-// constraintVertices returns the vertices w ≠ center that lie on every
+// constraintVerticesRef returns the vertices w ≠ center that lie on every
 // active path of the component: every shortest path in the view from the
 // centre to a horizon vertex of the component. A vertex w lies on every
 // shortest u→z path iff removing w increases (or destroys) the u→z
 // distance.
-func constraintVertices(view *graph.Graph, center graph.Vertex, horizon []graph.Vertex, c *Component, dist map[graph.Vertex]int) []graph.Vertex {
+func constraintVerticesRef(view *graph.Graph, center graph.Vertex, horizon []graph.Vertex, c *Component, dist map[graph.Vertex]int) []graph.Vertex {
 	var out []graph.Vertex
 	for _, w := range c.Vertices {
 		// A horizon vertex w trivially lies on every u→w path; the paper

@@ -81,9 +81,55 @@ type View struct {
 	// active components) in rank order. Its length is the centre's active
 	// degree.
 	ActiveRoots []graph.Vertex
-
-	dormantSet map[graph.Edge]bool
+	// C holds the int-indexed compact encodings of the same data, read by
+	// the routing decision paths without rebuilding maps.
+	C Compact
 }
+
+// Compact is the int-indexed face of a preprocessed view: flat arrays
+// over local indices that the per-hop decision closures read with binary
+// searches and array loads only (DESIGN.md §14). It is built once at
+// preprocessing time and immutable afterwards, so concurrent routing
+// workers share it freely.
+type Compact struct {
+	// Raw is the compact encoding of G_k(u).
+	Raw *nbhd.CompactView
+	// NextHop maps each Raw local index t to the canonical next hop from
+	// the centre toward t inside G_k(u) (the lowest-labelled neighbour of
+	// the centre on a shortest path), or graph.NoVertex when t is the
+	// centre itself. Precomputing it turns the per-hop
+	// Raw.G.NextHopToward BFS into one binary search and a load.
+	NextHop []graph.Vertex
+	// Routing is the compact encoding of G'_k(u); its Dist column is the
+	// compact twin of RoutingDist.
+	Routing *nbhd.CompactView
+	// Comps are the classified components of G'_k(u) in local index
+	// space, heap-owned, ordered by lowest root label (parallel to
+	// View.Comps).
+	Comps []nbhd.CompactComponent
+	// CompID maps each Routing local index to its component's position in
+	// Comps, or -1 for the centre.
+	CompID []int32
+}
+
+// NextHopFromCenter returns the canonical next hop from the centre
+// toward t inside G_k(u), or graph.NoVertex when t is outside the raw
+// view or is the centre — exactly Raw.G.NextHopToward(centre, t).
+//
+//klocal:hotpath
+func (c *Compact) NextHopFromCenter(t graph.Vertex) graph.Vertex {
+	ti, ok := c.Raw.Index(t)
+	if !ok {
+		return graph.NoVertex
+	}
+	return c.NextHop[ti]
+}
+
+// CompIdxOf returns the position in Comps of the component containing
+// routing local index li, or -1 for the centre.
+//
+//klocal:hotpath
+func (c *Compact) CompIdxOf(li int32) int32 { return c.CompID[li] }
 
 // Preprocess computes the view at u for locality k on network g with the
 // paper's minimum-rank dormancy policy.
@@ -129,15 +175,15 @@ func PreprocessStore(st bigraph.Store, u graph.Vertex, k int, pol Policy) *View 
 // operates on the small view graph, never the full network.
 func preprocessRaw(raw *nbhd.Neighborhood, u graph.Vertex, k int, pol Policy) *View {
 	v := &View{
-		Center:     u,
-		K:          k,
-		Raw:        raw,
-		dormantSet: make(map[graph.Edge]bool),
+		Center: u,
+		K:      k,
+		Raw:    raw,
 	}
 	for _, e := range raw.G.Edges() {
 		if dormantInView(raw.G, e, k, pol) {
+			// Edges() is rank-ordered, so Dormant stays sorted and
+			// IsDormant can binary-search it.
 			v.Dormant = append(v.Dormant, e)
-			v.dormantSet[e] = true
 		}
 	}
 	pruned := raw.G.WithoutEdges(v.Dormant)
@@ -151,7 +197,56 @@ func preprocessRaw(raw *nbhd.Neighborhood, u graph.Vertex, k int, pol Policy) *V
 		}
 	}
 	sort.Slice(v.ActiveRoots, func(i, j int) bool { return v.ActiveRoots[i] < v.ActiveRoots[j] })
+	v.buildCompact()
 	return v
+}
+
+// compactScratch pools the compact-encoding working memory across
+// preprocessing calls.
+var compactScratch = sync.Pool{New: func() any { return nbhd.NewScratch() }}
+
+// buildCompact derives the view's int-indexed encodings. Runs once at
+// preprocessing time; the per-target next-hop BFS sweep is the same cost
+// class as the dormancy classification that precedes it, and it deletes
+// a full BFS from every subsequent hop through this node.
+func (v *View) buildCompact() {
+	sc := compactScratch.Get().(*nbhd.Scratch)
+	defer compactScratch.Put(sc)
+
+	sc.FromView(v.Raw.G, v.Center, v.K)
+	v.C.Raw = sc.View.Clone()
+	v.C.NextHop = make([]graph.Vertex, sc.View.NV())
+	for t := range v.C.NextHop {
+		hop := sc.NextHopToward(sc.View.CenterIdx, int32(t))
+		if hop < 0 {
+			v.C.NextHop[t] = graph.NoVertex
+		} else {
+			v.C.NextHop[t] = sc.View.Verts[hop]
+		}
+	}
+
+	sc.FromView(v.Routing, v.Center, v.K)
+	sc.Classify()
+	v.C.Routing = sc.View.Clone()
+	v.C.Comps = make([]nbhd.CompactComponent, len(sc.Comps))
+	v.C.CompID = make([]int32, sc.View.NV())
+	for i := range v.C.CompID {
+		v.C.CompID[i] = -1
+	}
+	for i := range sc.Comps {
+		cc := &sc.Comps[i]
+		v.C.Comps[i] = nbhd.CompactComponent{
+			Verts:       append([]int32(nil), cc.Verts...),
+			Roots:       append([]int32(nil), cc.Roots...),
+			Constraints: append([]int32(nil), cc.Constraints...),
+			Active:      cc.Active,
+			Independent: cc.Independent,
+			Constrained: cc.Constrained,
+		}
+		for _, li := range cc.Verts {
+			v.C.CompID[li] = int32(i)
+		}
+	}
 }
 
 // dormantInView reports whether e is the policy-extreme edge of some
@@ -166,8 +261,23 @@ func dormantInView(view *graph.Graph, e graph.Edge, k int, pol Policy) bool {
 	return view.HasPathAvoiding(e.U, e.V, 2*k-1, allow)
 }
 
-// IsDormant reports whether the view classified e as dormant.
-func (v *View) IsDormant(e graph.Edge) bool { return v.dormantSet[graph.NewEdge(e.U, e.V)] }
+// IsDormant reports whether the view classified e as dormant, by binary
+// search in the rank-ordered Dormant list (no per-view edge map).
+//
+//klocal:hotpath
+func (v *View) IsDormant(e graph.Edge) bool {
+	e = graph.NewEdge(e.U, e.V)
+	lo, hi := 0, len(v.Dormant)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if v.Dormant[mid].Less(e) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(v.Dormant) && v.Dormant[lo] == e
+}
 
 // ActiveDegree returns the number of active neighbours of the centre
 // (Propositions 1–3 bound it by 3, 2 and 1 at k ≥ n/4, n/3, n/2 given the
@@ -264,9 +374,31 @@ func (s CacheStats) HitRate() float64 {
 }
 
 // prepShard is one lock-striped portion of the view cache.
+//
+// Reads are two-level: frozen is an immutable map published through an
+// atomic pointer — warm hits resolve against it with no lock and no
+// shared-cacheline write beyond this shard's own padded hit counter —
+// and live holds entries inserted since the last freeze, guarded by mu.
+// When live outgrows frozen, the two merge into a fresh frozen map
+// (amortized O(1) per insert) so a prewarmed cache serves every hit
+// lock-free. Bounded caches (Capacity > 0) skip the frozen level and
+// keep everything in live, preserving the exact eviction semantics.
+//
+// The counters live in the shard and the struct is padded past a cache
+// line, so hit accounting from different workers never false-shares —
+// the previous design's four global atomics serialized every warm hit
+// in the pool.
 type prepShard struct {
-	mu    sync.RWMutex
-	views map[graph.Vertex]*View
+	frozen atomic.Pointer[map[graph.Vertex]*View]
+	mu     sync.Mutex
+	live   map[graph.Vertex]*View
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	size      atomic.Int64
+
+	_ [64]byte // pad: neighbouring shards' counters must not share a line
 }
 
 // Preprocessor caches per-node views for a fixed network and locality.
@@ -288,11 +420,6 @@ type Preprocessor struct {
 	shards   []prepShard
 	mask     uint64
 	capacity int // per whole cache; 0 = unbounded
-
-	hits      atomic.Int64
-	misses    atomic.Int64
-	evictions atomic.Int64
-	size      atomic.Int64
 }
 
 // NewPreprocessor returns a caching preprocessor for network g at
@@ -342,7 +469,7 @@ func NewPreprocessorStoreOpts(st bigraph.Store, k int, pol Policy, opts CacheOpt
 		p.g = g
 	}
 	for i := range p.shards {
-		p.shards[i].views = make(map[graph.Vertex]*View)
+		p.shards[i].live = make(map[graph.Vertex]*View)
 	}
 	return p
 }
@@ -360,14 +487,26 @@ func (p *Preprocessor) Store() bigraph.Store { return p.st }
 // Policy returns the dormancy policy.
 func (p *Preprocessor) Policy() Policy { return p.pol }
 
-// Stats returns a snapshot of cache activity.
+// Stats returns a snapshot of cache activity, summed over the shards.
 func (p *Preprocessor) Stats() CacheStats {
-	return CacheStats{
-		Hits:      p.hits.Load(),
-		Misses:    p.misses.Load(),
-		Evictions: p.evictions.Load(),
-		Size:      p.size.Load(),
+	var s CacheStats
+	for i := range p.shards {
+		sh := &p.shards[i]
+		s.Hits += sh.hits.Load()
+		s.Misses += sh.misses.Load()
+		s.Evictions += sh.evictions.Load()
+		s.Size += sh.size.Load()
 	}
+	return s
+}
+
+// totalSize sums resident views across shards (the capacity check).
+func (p *Preprocessor) totalSize() int64 {
+	var n int64
+	for i := range p.shards {
+		n += p.shards[i].size.Load()
+	}
+	return n
 }
 
 // shardOf picks the lock shard for u (Fibonacci hashing spreads the
@@ -377,38 +516,84 @@ func (p *Preprocessor) shardOf(u graph.Vertex) *prepShard {
 	return &p.shards[(h>>32)&p.mask]
 }
 
-// At returns the (cached) view at u.
+// At returns the (cached) view at u. Warm hits on an unbounded cache
+// resolve against the shard's frozen map: one atomic load, no lock, no
+// cross-shard cacheline traffic.
+//
+//klocal:hotpath
 func (p *Preprocessor) At(u graph.Vertex) *View {
 	sh := p.shardOf(u)
-	sh.mu.RLock()
-	v, ok := sh.views[u]
-	sh.mu.RUnlock()
-	if ok {
-		p.hits.Add(1)
+	if m := sh.frozen.Load(); m != nil {
+		if v, ok := (*m)[u]; ok {
+			sh.hits.Add(1)
+			return v
+		}
+	}
+	sh.mu.Lock()
+	if v, ok := sh.live[u]; ok {
+		sh.mu.Unlock()
+		sh.hits.Add(1)
 		return v
 	}
-	p.misses.Add(1)
-	v = PreprocessStore(p.st, u, p.k, p.pol)
+	sh.mu.Unlock()
+	sh.misses.Add(1)
+	v := PreprocessStore(p.st, u, p.k, p.pol)
 	sh.mu.Lock()
-	if cur, ok := sh.views[u]; ok {
+	defer sh.mu.Unlock()
+	if cur, ok := sh.live[u]; ok {
 		// A concurrent miss published first; keep its view so every
 		// caller shares one instance.
-		sh.mu.Unlock()
 		return cur
 	}
-	if p.capacity > 0 && int(p.size.Load()) >= p.capacity {
+	if m := sh.frozen.Load(); m != nil {
+		// A concurrent freeze may have moved the winning entry out of
+		// live; freezes happen under mu, so this read is stable.
+		if cur, ok := (*m)[u]; ok {
+			return cur
+		}
+	}
+	if p.capacity > 0 && p.totalSize() >= int64(p.capacity) {
 		// Random replacement inside this shard (map iteration order).
-		for w := range sh.views {
-			delete(sh.views, w)
-			p.size.Add(-1)
-			p.evictions.Add(1)
+		for w := range sh.live {
+			delete(sh.live, w)
+			sh.size.Add(-1)
+			sh.evictions.Add(1)
 			break
 		}
 	}
-	sh.views[u] = v
-	p.size.Add(1)
-	sh.mu.Unlock()
+	sh.live[u] = v
+	sh.size.Add(1)
+	if p.capacity == 0 {
+		sh.maybeFreezeLocked(false)
+	}
 	return v
+}
+
+// maybeFreezeLocked merges live into a fresh frozen map when live has
+// caught up with frozen (or unconditionally when force is set), then
+// resets live. Doubling-style growth keeps the merge cost amortized O(1)
+// per insert. Caller holds sh.mu.
+func (sh *prepShard) maybeFreezeLocked(force bool) {
+	const freezeMin = 32
+	var frozen map[graph.Vertex]*View
+	if m := sh.frozen.Load(); m != nil {
+		frozen = *m
+	}
+	if !force && (len(sh.live) < freezeMin || len(sh.live) < len(frozen)) {
+		return
+	}
+	if len(sh.live) == 0 {
+		return
+	}
+	merged := make(map[graph.Vertex]*View, len(frozen)+len(sh.live))
+	for w, v := range frozen {
+		merged[w] = v
+	}
+	for w, v := range sh.live {
+		merged[w] = v
+	}
+	sh.frozen.Store(&merged)
+	sh.live = make(map[graph.Vertex]*View)
 }
 
 // Prewarm computes and caches the view of every vertex using `workers`
@@ -447,6 +632,16 @@ func (p *Preprocessor) Prewarm(workers int) {
 		}()
 	}
 	wg.Wait()
+	if p.capacity == 0 {
+		// Freeze the remainder so a prewarmed cache serves every
+		// subsequent hit lock-free.
+		for i := range p.shards {
+			sh := &p.shards[i]
+			sh.mu.Lock()
+			sh.maybeFreezeLocked(true)
+			sh.mu.Unlock()
+		}
+	}
 }
 
 // ConsistentEdges returns the globally consistent edges of g at locality

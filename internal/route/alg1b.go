@@ -1,15 +1,19 @@
 package route
 
 import (
+	"sync"
+
 	"klocal/internal/bigraph"
 	"klocal/internal/graph"
+	"klocal/internal/nbhd"
 	"klocal/internal/prep"
 )
 
 // sortVerts sorts a small vertex slice in place. Insertion sort, not
 // sort.Slice: the comparator closure and interface boxing would
 // allocate on every simulation step, and these slices hold at most a
-// handful of branch roots.
+// handful of branch roots. (Used by the reference path; the compact
+// simulation emits roots already sorted.)
 func sortVerts(vs []graph.Vertex) {
 	for i := 1; i < len(vs); i++ {
 		for j := i; j > 0 && vs[j] < vs[j-1]; j-- {
@@ -60,66 +64,66 @@ func Algorithm1BPolicy(pol prep.Policy) Algorithm {
 // send the message down a forced path that Rule S2 (at s) or Rule US2 (at
 // the vertex carrying s's passive branch) immediately bounces back to u,
 // the reversal is applied at u instead. Returns NoVertex to keep the
-// plain U2 decision.
+// plain U2 decision. Walk-identical to anticipateU2Ref (pinned by
+// TestCompactStepMatchesRef).
+//
+//klocal:hotpath
 func anticipateU2(view *prep.View, s, _, u, v graph.Vertex, roots []graph.Vertex, activeIdx int) graph.Vertex {
 	// Case U2a: the origin is not on u's routing horizon chart, or sits
 	// exactly at the horizon — no anticipation is possible.
-	ds, ok := view.RoutingDist[s]
-	if !ok || ds >= view.K || s == u {
+	rcv := view.C.Routing
+	sLi, ok := rcv.Index(s)
+	if !ok || rcv.Dist[sLi] >= rcv.K || s == u {
 		return graph.NoVertex
 	}
-	target := roots[1-activeIdx]
-	comp := view.CompRootedAt(target)
-	if comp == nil || !comp.Has(s) {
+	tLi, ok := rcv.Index(roots[1-activeIdx])
+	if !ok {
+		return graph.NoVertex
+	}
+	ci := view.C.CompIdxOf(tLi)
+	if ci < 0 || ci != view.C.CompIdxOf(sLi) {
 		// The message is moving away from the origin; S2/US2 cannot be
 		// imminent on this side.
 		return graph.NoVertex
 	}
-	if simulatesBounce(view, s, target) {
+	if simulatesBounce(view, sLi, tLi) {
 		return v
 	}
 	return graph.NoVertex
 }
 
-// simBranch is a branch of the routing view around a simulated node: a
-// connected component of G'_k(u) minus that node.
-type simBranch struct {
-	roots  []graph.Vertex
-	active bool
-	hasS   bool
-}
+// simPool shares bounce-simulation scratches across calls; the scratch
+// type lives in nbhd (substrate working memory), keeping the decision
+// path itself stateless.
+var simPool = sync.Pool{New: func() any { return nbhd.NewBounceScratch() }}
 
 // simulatesBounce walks the anticipated trajectory inside u's routing
-// view, starting with the hop u→first. It follows only forced U2 steps
-// (exactly two active branches) and reports whether the walk provably
-// terminates in an S2/US2 reversal back along its own footsteps; any
-// unprovable or diverging situation aborts with false, leaving Rule U2
-// unchanged (Rules U2b/U2d/U2f).
+// view, starting with the hop u→first (all positions are local indices
+// into view.C.Routing; index order is label order, so every rank
+// comparison below matches the reference). It follows only forced U2
+// steps (exactly two active branches) and reports whether the walk
+// provably terminates in an S2/US2 reversal back along its own
+// footsteps; any unprovable or diverging situation aborts with false,
+// leaving Rule U2 unchanged (Rules U2b/U2d/U2f).
 //
 // Branch activity is judged from u's chart: a branch is active for the
 // simulated node if it reaches u's knowledge horizon or has visible depth
 // at least k. The horizon case is the paper's constraint-vertex chain in
 // operational form: on a forced path, depth accumulates hop by hop, so a
 // horizon-reaching branch extends at least k from every chain vertex.
-func simulatesBounce(view *prep.View, s, first graph.Vertex) bool {
-	prev, cur := view.Center, first
+//
+//klocal:hotpath
+func simulatesBounce(view *prep.View, sLi, firstLi int32) bool {
+	rcv := view.C.Routing
+	sc := simPool.Get().(*nbhd.BounceScratch)
+	defer simPool.Put(sc)
+	prev, cur := rcv.CenterIdx, firstLi
 	for step := 0; step < 4*view.K+4; step++ {
-		if view.RoutingDist[cur] >= view.K {
+		if rcv.Dist[cur] >= rcv.K {
 			return false // cannot see past the horizon
 		}
-		branches := simBranches(view, cur, s)
-		var actRoots []graph.Vertex
-		sPassive := false
-		for _, br := range branches {
-			if br.active {
-				//klocal:allow per-call bounce-simulation state, bounded by 4k+4 steps; the zero-alloc core rewrite is tracked in ROADMAP
-				actRoots = append(actRoots, br.roots...)
-			} else if br.hasS {
-				sPassive = true
-			}
-		}
-		sortVerts(actRoots)
-		if cur == s || sPassive {
+		actRoots, sPassive := sc.Branches(rcv, cur, sLi)
+		if cur == sLi || sPassive {
 			// Terminal: Rule S2 (cur == s) or US2 (s hangs in a passive
 			// branch of cur) is anticipated. Either bounces exactly when
 			// the arrival is the higher-rank of two active roots.
@@ -131,7 +135,7 @@ func simulatesBounce(view *prep.View, s, first graph.Vertex) bool {
 		if len(actRoots) != 2 {
 			return false // the trajectory is not a forced U2 chain
 		}
-		var next graph.Vertex
+		var next int32
 		switch prev {
 		case actRoots[0]:
 			next = actRoots[1]
@@ -143,45 +147,4 @@ func simulatesBounce(view *prep.View, s, first graph.Vertex) bool {
 		prev, cur = cur, next
 	}
 	return false
-}
-
-// simBranches classifies the branches around cur within u's routing view.
-func simBranches(view *prep.View, cur, s graph.Vertex) []simBranch {
-	without := view.Routing.WithoutVertex(cur)
-	distCur := view.Routing.BFS(cur)
-	var out []simBranch
-	for _, vs := range without.Components() {
-		br := simBranch{}
-		//klocal:allow per-call bounce-simulation state, bounded by 4k+4 steps; the zero-alloc core rewrite is tracked in ROADMAP
-		vset := make(map[graph.Vertex]bool, len(vs))
-		for _, v := range vs {
-			vset[v] = true
-			if v == s {
-				br.hasS = true
-			}
-			if view.RoutingDist[v] == view.K || distCur[v] >= view.K {
-				br.active = true
-			}
-			if v == view.Center {
-				// The branch holding u extends through u's other
-				// component, which reaches the horizon by construction.
-				br.active = true
-			}
-		}
-		//klocal:allow per-call bounce-simulation state, bounded by 4k+4 steps; the zero-alloc core rewrite is tracked in ROADMAP
-		view.Routing.EachAdj(cur, func(w graph.Vertex) bool {
-			if vset[w] {
-				//klocal:allow per-call bounce-simulation state, bounded by 4k+4 steps; the zero-alloc core rewrite is tracked in ROADMAP
-				br.roots = append(br.roots, w)
-			}
-			return true
-		})
-		if len(br.roots) == 0 {
-			continue
-		}
-		sortVerts(br.roots)
-		//klocal:allow per-call bounce-simulation state, bounded by 4k+4 steps; the zero-alloc core rewrite is tracked in ROADMAP
-		out = append(out, br)
-	}
-	return out
 }

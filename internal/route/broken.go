@@ -24,7 +24,7 @@ func Algorithm2Broken() Algorithm {
 	bind := func(p *prep.Preprocessor) Func {
 		return func(_, t, u, v graph.Vertex) (graph.Vertex, error) {
 			view := p.At(u)
-			if hop := caseOneHop(view, t, u); hop != graph.NoVertex {
+			if hop := caseOneHop(view, t); hop != graph.NoVertex {
 				return hop, nil
 			}
 			roots := view.ActiveRoots

@@ -10,6 +10,7 @@ package route
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"klocal/internal/bigraph"
 	"klocal/internal/graph"
@@ -152,7 +153,10 @@ func decideActive(kind ruleKind, roots []graph.Vertex, from arrival, activeIdx i
 	}
 }
 
-// classifyArrival resolves the predecessor v against the view.
+// classifyArrival resolves the predecessor v against the view's compact
+// encoding: two binary searches and array loads, no component scans.
+//
+//klocal:hotpath
 func classifyArrival(view *prep.View, s, v graph.Vertex, originAware bool) (arrival, int) {
 	if v == graph.NoVertex {
 		return arrivalFirst, -1
@@ -163,32 +167,41 @@ func classifyArrival(view *prep.View, s, v graph.Vertex, originAware bool) (arri
 		}
 	}
 	if originAware {
-		if c := view.CompOf(v); c != nil && !c.Active && c.Has(s) {
-			return arrivalSPassive, -1
+		if vi, ok := view.C.Routing.Index(v); ok {
+			if ci := view.C.CompIdxOf(vi); ci >= 0 && !view.C.Comps[ci].Active {
+				if si, ok := view.C.Routing.Index(s); ok && view.C.CompIdxOf(si) == ci {
+					return arrivalSPassive, -1
+				}
+			}
 		}
 	}
 	return arrivalPassive, -1
 }
 
 // kindAt resolves which rule family applies at u for origin s.
+//
+//klocal:hotpath
 func kindAt(view *prep.View, s, u graph.Vertex) ruleKind {
 	if u == s {
 		return rulesS
 	}
-	if c := view.CompOf(s); c != nil && !c.Active {
-		return rulesUS
+	if si, ok := view.C.Routing.Index(s); ok {
+		if ci := view.C.CompIdxOf(si); ci >= 0 && !view.C.Comps[ci].Active {
+			return rulesUS
+		}
 	}
 	return rulesU
 }
 
 // caseOneHop returns the Case 1 forwarding decision (t visible in the raw
 // k-neighbourhood: follow a shortest path) or NoVertex if Case 1 does not
-// apply.
-func caseOneHop(view *prep.View, t, u graph.Vertex) graph.Vertex {
-	if !view.Raw.Contains(t) {
-		return graph.NoVertex
-	}
-	return view.Raw.G.NextHopToward(u, t)
+// apply. The routing function always evaluates at the view's centre, so
+// the precomputed next-hop table answers in one binary search — this
+// deletes the per-hop BFS that dominated the old profile.
+//
+//klocal:hotpath
+func caseOneHop(view *prep.View, t graph.Vertex) graph.Vertex {
+	return view.C.NextHopFromCenter(t)
 }
 
 // refineU2 is the Algorithm 1B hook: called in Case 3 with active degree
@@ -198,9 +211,11 @@ func caseOneHop(view *prep.View, t, u graph.Vertex) graph.Vertex {
 type refineU2 func(view *prep.View, s, t, u, v graph.Vertex, roots []graph.Vertex, activeIdx int) graph.Vertex
 
 // stepAware is the shared body of Algorithms 1 and 1B.
+//
+//klocal:hotpath
 func stepAware(p *prep.Preprocessor, s, t, u, v graph.Vertex, refine refineU2) (graph.Vertex, error) {
 	view := p.At(u)
-	if hop := caseOneHop(view, t, u); hop != graph.NoVertex {
+	if hop := caseOneHop(view, t); hop != graph.NoVertex {
 		return hop, nil
 	}
 	kind := kindAt(view, s, u)
@@ -264,7 +279,7 @@ func Algorithm2Policy(pol prep.Policy) Algorithm {
 	bind := func(p *prep.Preprocessor) Func {
 		return func(_, t, u, v graph.Vertex) (graph.Vertex, error) {
 			view := p.At(u)
-			if hop := caseOneHop(view, t, u); hop != graph.NoVertex {
+			if hop := caseOneHop(view, t); hop != graph.NoVertex {
 				return hop, nil
 			}
 			roots := view.ActiveRoots
@@ -305,32 +320,61 @@ func Algorithm3() Algorithm {
 		MinK:             MinK3,
 		Bind: func(g *graph.Graph, k int) Func {
 			return func(_, t, u, _ graph.Vertex) (graph.Vertex, error) {
-				return alg3Step(nbhd.Extract(g, u, k), t, u)
+				sc := alg3Scratch.Get().(*nbhd.Scratch)
+				defer alg3Scratch.Put(sc)
+				if !sc.ExtractGraph(g, u, k) {
+					//klocal:allow cold error path: fires only on a model-contract violation, never on the measured route
+					return graph.NoVertex, fmt.Errorf("%w: current node outside network", ErrNoRoute)
+				}
+				return alg3StepCompact(sc, t)
 			}
 		},
 		BindStore: func(st bigraph.Store, k int) Func {
+			if c, ok := st.(*bigraph.CSR); ok {
+				return func(_, t, u, _ graph.Vertex) (graph.Vertex, error) {
+					sc := alg3Scratch.Get().(*nbhd.Scratch)
+					defer alg3Scratch.Put(sc)
+					if !sc.ExtractCSR(c, u, k) {
+						//klocal:allow cold error path: fires only on a model-contract violation, never on the measured route
+						return graph.NoVertex, fmt.Errorf("%w: current node outside network", ErrNoRoute)
+					}
+					return alg3StepCompact(sc, t)
+				}
+			}
 			return func(_, t, u, _ graph.Vertex) (graph.Vertex, error) {
-				return alg3Step(nbhd.ExtractStore(st, u, k), t, u)
+				return alg3StepRef(nbhd.ExtractStore(st, u, k), t, u)
 			}
 		},
 	}
 }
 
-// alg3Step is Algorithm 3's forwarding decision over an extracted view:
-// shortest path when t is visible, otherwise the Lemma 12 move toward the
-// furthest constraint vertex of the unique constrained active component.
-func alg3Step(view *nbhd.Neighborhood, t, u graph.Vertex) (graph.Vertex, error) {
-	if view.Contains(t) {
-		hop := view.G.NextHopToward(u, t)
-		if hop == graph.NoVertex {
+// alg3Scratch pools the compact extraction scratch across Algorithm 3
+// steps (Algorithm 3 has no preprocessor, so its per-hop extraction
+// cannot be cached — but its working memory can).
+var alg3Scratch = sync.Pool{New: func() any { return nbhd.NewScratch() }}
+
+// alg3StepCompact is Algorithm 3's forwarding decision over the compact
+// view already extracted into sc: shortest path when t is visible,
+// otherwise the Lemma 12 move toward the furthest constraint vertex of
+// the unique constrained active component. Walk-identical to alg3StepRef
+// (pinned by TestCompactStepMatchesRef and the fuzz "compact" property).
+//
+//klocal:hotpath
+func alg3StepCompact(sc *nbhd.Scratch, t graph.Vertex) (graph.Vertex, error) {
+	cv := &sc.View
+	if ti, ok := cv.Index(t); ok {
+		hop := sc.NextHopToward(cv.CenterIdx, ti)
+		if hop < 0 {
 			//klocal:allow cold error path: fires only on a model-contract violation, never on the measured route
 			return graph.NoVertex, fmt.Errorf("%w: t unreachable in view", ErrNoRoute)
 		}
-		return hop, nil
+		return cv.Verts[hop], nil
 	}
-	var constrained *nbhd.Component
+	sc.Classify()
+	var constrained *nbhd.CompactComponent
 	active := 0
-	for _, c := range view.Components() {
+	for i := range sc.Comps {
+		c := &sc.Comps[i]
 		if !c.Active {
 			continue
 		}
@@ -343,21 +387,20 @@ func alg3Step(view *nbhd.Neighborhood, t, u graph.Vertex) (graph.Vertex, error) 
 		//klocal:allow cold error path: fires only on a model-contract violation, never on the measured route
 		return graph.NoVertex, fmt.Errorf("%w: Lemma 12 precondition violated (%d active components)", ErrLocalityTooSmall, active)
 	}
-	// The furthest constraint vertex; ties broken by rank
-	// (ConstraintVertices is label-sorted, so the first maximum is
-	// canonical).
-	target := graph.NoVertex
-	best := -1
-	for _, w := range constrained.ConstraintVertices {
-		if d := view.Dist[w]; d > best {
+	// The furthest constraint vertex; ties broken by rank (Constraints
+	// is label-sorted, so the first maximum is canonical).
+	target := int32(-1)
+	best := int32(-1)
+	for _, w := range constrained.Constraints {
+		if d := cv.Dist[w]; d > best {
 			best = d
 			target = w
 		}
 	}
-	hop := view.G.NextHopToward(u, target)
-	if hop == graph.NoVertex {
+	hop := sc.NextHopToward(cv.CenterIdx, target)
+	if hop < 0 {
 		//klocal:allow cold error path: fires only on a model-contract violation, never on the measured route
 		return graph.NoVertex, fmt.Errorf("%w: constraint vertex unreachable", ErrNoRoute)
 	}
-	return hop, nil
+	return cv.Verts[hop], nil
 }

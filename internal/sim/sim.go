@@ -69,6 +69,15 @@ func (r *Result) Len() int {
 	return len(r.Route) - 1
 }
 
+// Clone returns an independent deep copy (Route included). Use it to
+// retain a scratch-owned Result past the next RunScratch on the same
+// scratch.
+func (r *Result) Clone() *Result {
+	cp := *r
+	cp.Route = append([]graph.Vertex(nil), r.Route...)
+	return &cp
+}
+
 // Dilation returns Len()/Dist. It returns 0 for s == t and +Inf-like
 // MaxDilation for undelivered messages.
 func (r *Result) Dilation() float64 {
@@ -111,6 +120,33 @@ type Network interface {
 	HasEdge(u, v graph.Vertex) bool
 }
 
+// dirEdge is the loop-detection state for predecessor-aware walks.
+type dirEdge struct{ from, to graph.Vertex }
+
+// Scratch is caller-owned working memory for RunScratch/RunStoreScratch:
+// the route buffer, the loop-detection sets (cleared, not reallocated,
+// per run) and the distance search's banks, all grown to a high-water
+// mark and then reused without allocating. The Result returned by the
+// scratch-taking entry points is owned by the scratch — its Route
+// aliases the internal buffer and the next run overwrites both; Clone it
+// to retain it. Not safe for concurrent use; give each worker its own.
+type Scratch struct {
+	route     []graph.Vertex
+	seenEdges map[dirEdge]bool
+	seenNodes map[graph.Vertex]bool
+	search    *graph.SearchScratch
+	res       Result
+}
+
+// NewScratch returns a ready scratch; the first run sizes it.
+func NewScratch() *Scratch {
+	return &Scratch{
+		seenEdges: make(map[dirEdge]bool),
+		seenNodes: make(map[graph.Vertex]bool),
+		search:    graph.NewSearchScratch(),
+	}
+}
+
 // Run simulates routing a message from s to t on g with the bound routing
 // function f. The predecessor-awareness of the algorithm determines the
 // livelock criterion:
@@ -120,8 +156,15 @@ type Network interface {
 //   - predecessor-oblivious: the decision depends only on u, so
 //     revisiting any node repeats forever.
 func Run(g *graph.Graph, f Func, s, t graph.Vertex, opts Options) *Result {
-	res := run(g, f, s, t, opts)
-	res.Dist = g.Dist(s, t)
+	return RunScratch(g, f, s, t, opts, NewScratch())
+}
+
+// RunScratch is Run allocating only into sc (plus the Result's error on
+// failure paths). The returned Result is owned by sc: it is valid until
+// the next run with the same scratch; Clone it to retain it.
+func RunScratch(g *graph.Graph, f Func, s, t graph.Vertex, opts Options, sc *Scratch) *Result {
+	res := run(g, f, s, t, opts, sc)
+	res.Dist = g.DistScratch(s, t, sc.search)
 	return res
 }
 
@@ -130,11 +173,21 @@ func Run(g *graph.Graph, f Func, s, t graph.Vertex, opts Options) *Result {
 // Result.Dist stays 0 ("unknown"): consumers guard dilation-derived
 // metrics with Dist > 0 and are unaffected.
 func RunStore(net Network, f Func, s, t graph.Vertex, opts Options) *Result {
-	return run(net, f, s, t, opts)
+	return run(net, f, s, t, opts, NewScratch())
 }
 
-func run(g Network, f Func, s, t graph.Vertex, opts Options) *Result {
-	res := &Result{Route: []graph.Vertex{s}}
+// RunStoreScratch is RunStore with caller-owned working memory, under
+// RunScratch's ownership contract.
+func RunStoreScratch(net Network, f Func, s, t graph.Vertex, opts Options, sc *Scratch) *Result {
+	return run(net, f, s, t, opts, sc)
+}
+
+//klocal:hotpath
+func run(g Network, f Func, s, t graph.Vertex, opts Options, sc *Scratch) *Result {
+	res := &sc.res
+	*res = Result{}
+	sc.route = append(sc.route[:0], s)
+	res.Route = sc.route
 	if s == t {
 		res.Outcome = Delivered
 		return res
@@ -146,9 +199,13 @@ func run(g Network, f Func, s, t graph.Vertex, opts Options) *Result {
 			maxSteps = int(^uint(0) >> 1)
 		}
 	}
-	type dirEdge struct{ from, to graph.Vertex }
-	seenEdges := make(map[dirEdge]bool)
-	seenNodes := make(map[graph.Vertex]bool)
+	if opts.DetectLoops {
+		if opts.PredecessorAware {
+			clear(sc.seenEdges)
+		} else {
+			clear(sc.seenNodes)
+		}
+	}
 
 	u, v := s, graph.NoVertex
 	for step := 0; step < maxSteps; step++ {
@@ -160,26 +217,28 @@ func run(g Network, f Func, s, t graph.Vertex, opts Options) *Result {
 		}
 		if !g.HasEdge(u, next) {
 			res.Outcome = Errored
+			//klocal:allow cold error path: an illegal hop aborts the walk
 			res.Err = fmt.Errorf("%w: %d -> %d", ErrIllegalHop, u, next)
 			return res
 		}
 		if opts.DetectLoops {
 			if opts.PredecessorAware {
 				e := dirEdge{from: u, to: next}
-				if seenEdges[e] {
+				if sc.seenEdges[e] {
 					res.Outcome = Looped
 					return res
 				}
-				seenEdges[e] = true
+				sc.seenEdges[e] = true
 			} else {
-				if seenNodes[u] {
+				if sc.seenNodes[u] {
 					res.Outcome = Looped
 					return res
 				}
-				seenNodes[u] = true
+				sc.seenNodes[u] = true
 			}
 		}
-		res.Route = append(res.Route, next)
+		sc.route = append(sc.route, next)
+		res.Route = sc.route
 		u, v = next, u
 		if u == t {
 			res.Outcome = Delivered
