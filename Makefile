@@ -16,9 +16,9 @@ KLOCALVET_FLAGS ?=
 # notice when none is installed.
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: tier1 check race build test vet lint klocalvet staticcheck bench bench-scale bench-gate serve-smoke fuzz-smoke go-fuzz-smoke cluster-smoke scale-smoke
+.PHONY: tier1 check race build test vet lint klocalvet staticcheck bench bench-scale bench-gate serve-smoke fuzz-smoke go-fuzz-smoke cluster-smoke scale-smoke churn-smoke
 
-tier1: vet build test serve-smoke fuzz-smoke cluster-smoke scale-smoke
+tier1: vet build test serve-smoke fuzz-smoke cluster-smoke scale-smoke churn-smoke
 
 # The full local gate: everything CI runs except the benchmarks.
 check: lint tier1 race
@@ -74,6 +74,13 @@ scale-smoke:
 # check full recovery — the crash/recovery story end to end in-process.
 cluster-smoke:
 	$(GO) run ./cmd/klocald -cluster-smoke
+
+# PATCH a stream of chord flaps into a live klocald while routing
+# traffic through it: epochs must advance, dirty sets must stay k-local
+# (≪ n), no request may fail mid-swap, and the final topology must
+# route exactly like a from-scratch snapshot of a client-side mirror.
+churn-smoke:
+	$(GO) run ./cmd/klocald -churn-smoke
 
 # The Go-native fuzzing engine over the same scenario space, long enough
 # to exercise the decoder and mutator plumbing.

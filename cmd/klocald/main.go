@@ -67,6 +67,7 @@ func main() {
 		hopBudget    = flag.Int("hop-budget", 0, "cluster mode: walk hop budget (0 = 8n+16)")
 		reqTimeout   = flag.Duration("request-timeout", 10*time.Second, "cluster mode: end-to-end budget for one entry request")
 		clusterSmoke = flag.Bool("cluster-smoke", false, "self-test: boot a 3-member loopback cluster, kill one, assert recovery")
+		churnSmoke   = flag.Bool("churn-smoke", false, "self-test: PATCH topology deltas under live traffic, assert locality and mirror equivalence")
 	)
 	flag.Parse()
 
@@ -120,6 +121,13 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println("cluster-smoke: ok")
+		return
+	}
+	if *churnSmoke {
+		if err := runChurnSmoke(*drain); err != nil {
+			fatal(fmt.Errorf("churn-smoke: %w", err))
+		}
+		fmt.Println("churn-smoke: ok")
 		return
 	}
 	if *shard != "" {

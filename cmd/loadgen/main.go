@@ -13,9 +13,20 @@
 //	        [-prewarm]
 //
 // Workloads: uniform (random pairs), zipf (skewed destinations),
-// allpairs (exhaustive coverage), adversarial (the Theorem 4 dilation
-// path from internal/adversary — overrides -graph/-size with the
-// extremal instance).
+// hotspot (destinations skewed by approximate betweenness — traffic
+// concentrating on the "core routers"), allpairs (exhaustive
+// coverage), adversarial (the Theorem 4 dilation path from
+// internal/adversary — overrides -graph/-size with the extremal
+// instance).
+//
+// -churn rate sustains topology deltas (edge flaps, vertex arrivals
+// and departures) at the given frequency while traffic routes: each
+// delta is applied copy-on-write, the snapshot re-derives only the
+// views within distance k of the touched endpoints, and the engine
+// hot-swaps generations without draining. The run then reports
+// per-delta invalidation counts and swap latencies alongside the
+// traffic metrics. Requests that race a departure may legitimately
+// fail, so delivery below 1.0 under churn is not by itself a bug.
 //
 // -n bounds the request count, -duration the wall time; with both set
 // the run stops at whichever comes first. -k 0 uses the algorithm's own
@@ -62,7 +73,7 @@ func main() {
 func run() error {
 	var (
 		algName   = flag.String("algo", "alg2", "algorithm: alg1|alg1b|alg2|alg3|righthand|oracle|randomwalk")
-		workload  = flag.String("workload", "zipf", "workload: uniform|zipf|allpairs|adversarial")
+		workload  = flag.String("workload", "zipf", "workload: uniform|zipf|hotspot|allpairs|adversarial")
 		n         = flag.Int("n", 100000, "number of requests (0 = unbounded, needs -duration)")
 		workers   = flag.Int("workers", 0, "routing workers (0 = GOMAXPROCS)")
 		duration  = flag.Duration("duration", 0, "wall-clock bound for the run (0 = none)")
@@ -78,6 +89,7 @@ func run() error {
 		maxSteps  = flag.Int("max-steps", 0, "per-walk step budget (0 = simulator default, 8n+16; set ~2k when routing below threshold at scale)")
 		cacheCap  = flag.Int("cache-cap", 0, "max cached preprocessed views (0 = unbounded)")
 		prewarm   = flag.Bool("prewarm", false, "precompute every vertex's view before routing")
+		churnRate = flag.Float64("churn", 0, "sustained topology deltas per second during the run (0 = off; needs an in-memory graph)")
 	)
 	flag.Parse()
 	explicit := map[string]bool{}
@@ -238,18 +250,86 @@ func run() error {
 	}
 
 	eng := klocal.NewEngine(snap, klocal.EngineConfig{Workers: *workers, QueueDepth: *queue, MaxSteps: *maxSteps})
+
+	// The churner hot-swaps snapshots under the running traffic: apply
+	// one delta copy-on-write, derive the next snapshot (only views in
+	// the k-radius dirty set recompute), publish it atomically. Its own
+	// metrics shard records the per-delta cost.
+	var churnMet *klocal.MetricsShard
+	var churnStop, churnDone chan struct{}
+	if *churnRate > 0 {
+		if g == nil {
+			return fmt.Errorf("-churn needs an in-memory graph, not -graph-file")
+		}
+		if *workload == "adversarial" {
+			return fmt.Errorf("-churn would destroy the adversarial instance's extremal structure")
+		}
+		churnMet = klocal.NewMetricsShard()
+		churnStop = make(chan struct{})
+		churnDone = make(chan struct{})
+		go func(cur *klocal.Graph, cs *klocal.Snapshot) {
+			defer close(churnDone)
+			sched := klocal.NewChurnScheduler(cur, *seed+1)
+			tick := time.NewTicker(time.Duration(float64(time.Second) / *churnRate))
+			defer tick.Stop()
+			for {
+				select {
+				case <-churnStop:
+					return
+				case <-tick.C:
+				}
+				d := sched.Next()
+				t0 := time.Now()
+				post, dirty, err := klocal.ApplyDelta(cur, d, cs.K())
+				if err != nil {
+					// The scheduler only emits deltas valid against its
+					// own mirror, which tracks cur exactly.
+					fmt.Fprintf(os.Stderr, "loadgen: churn: %v\n", err)
+					return
+				}
+				next, err := cs.Incremental(post, dirty)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "loadgen: churn: %v\n", err)
+					return
+				}
+				eng.SwapSnapshot(next)
+				churnMet.Count("deltas", 1)
+				churnMet.Observe("invalidated_views", int64(len(dirty)))
+				churnMet.Observe("swap_ns", time.Since(t0).Nanoseconds())
+				cur, cs = post, next
+			}
+		}(g, snap)
+	}
+
 	start := time.Now()
-	if err := eng.RunWorkload(w, *n, *duration); err != nil {
-		return err
+	runErr := eng.RunWorkload(w, *n, *duration)
+	if churnStop != nil {
+		close(churnStop)
+		<-churnDone
+	}
+	if runErr != nil {
+		return runErr
 	}
 	elapsed := time.Since(start)
 
 	rep := eng.Report()
 	switch *report {
 	case "json":
-		return rep.WriteJSON(os.Stdout)
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			return err
+		}
+		if churnMet != nil {
+			return churnMet.Snapshot().WriteJSON(os.Stdout)
+		}
+		return nil
 	case "text":
 		rep.WriteText(os.Stdout)
+		if churnMet != nil {
+			fmt.Printf("churn: %d deltas applied, %.1f views invalidated per delta (p99 %v swap)\n",
+				churnMet.Counter("deltas"),
+				churnMet.Histogram("invalidated_views").Mean(),
+				time.Duration(churnMet.Histogram("swap_ns").Quantile(0.99)).Round(time.Microsecond))
+		}
 		fmt.Printf("elapsed                  %v\n", elapsed.Round(time.Millisecond))
 		if rep.Gauge("delivery_rate") == 1.0 {
 			fmt.Println("delivery: ALL messages delivered")

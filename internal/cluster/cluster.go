@@ -214,7 +214,8 @@ type Member struct {
 	store    map[graph.Vertex]*record
 	storeGen int64
 	views    map[graph.Vertex]*boundView
-	ready    bool // latched: every addressed vertex has a record
+	viewGen  map[graph.Vertex]int64 // per-owned-vertex minimum gen a cached view must have
+	ready    bool                   // latched: every addressed vertex has a record
 	stopped  bool
 
 	waitMu  sync.Mutex
@@ -264,6 +265,7 @@ func NewMember(cfg Config, asn Assignment, adj map[graph.Vertex][]graph.Vertex, 
 		peers:   make(map[int]*peerState),
 		store:   make(map[graph.Vertex]*record),
 		views:   make(map[graph.Vertex]*boundView),
+		viewGen: make(map[graph.Vertex]int64),
 		waiters: make(map[uint64]chan *RouteReply),
 		stop:    make(chan struct{}),
 	}

@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"testing"
+
+	"klocal/internal/gen"
+	"klocal/internal/graph"
+	"klocal/internal/nbhd"
+)
+
+// flapLSAs builds the two announcements a real link flap on {u, v}
+// floods: both endpoints re-originate with the edge dropped from their
+// adjacency (the union store keeps an edge as long as either endpoint
+// still announces it).
+func flapLSAs(t *testing.T, m *Member, u, v graph.Vertex) []WireLSA {
+	t.Helper()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]WireLSA, 0, 2)
+	for _, pair := range [2][2]graph.Vertex{{u, v}, {v, u}} {
+		origin, drop := pair[0], pair[1]
+		rec := m.store[origin]
+		if rec == nil || rec.tomb {
+			t.Fatalf("no live record for origin %d", origin)
+		}
+		adj := make([]graph.Vertex, 0, len(rec.adj))
+		for _, w := range rec.adj {
+			if w != drop {
+				adj = append(adj, w)
+			}
+		}
+		out = append(out, WireLSA{Origin: origin, Seq: rec.seq + 1, Adj: adj})
+	}
+	return out
+}
+
+// TestViewInvalidationIsKLocal is the cluster face of the locality
+// theorem: an LSA change invalidates a member's cached bound views only
+// for owned vertices within distance k of the touched endpoints. A
+// flap at the far end of a path must leave every cached view of the
+// first shard pointer-identical across the store generation bump; a
+// flap just past the shard boundary must rebuild exactly the owned
+// rows inside the k-ball and nothing else.
+func TestViewInvalidationIsKLocal(t *testing.T) {
+	g := gen.Path(30)
+	k := 3
+	members, _, err := NewLocalCluster(g, LocalClusterConfig{Shards: 3, K: k, Alg: alg2(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Converge(members, 0); err != nil {
+		t.Fatal(err)
+	}
+	m := members[0]
+	owned := m.asn.Owned(0)
+
+	warm := func() map[graph.Vertex]*boundView {
+		t.Helper()
+		out := make(map[graph.Vertex]*boundView, len(owned))
+		for _, v := range owned {
+			bv, err := m.viewFor(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[v] = bv
+		}
+		return out
+	}
+	before := warm()
+
+	// A flap 19 hops from the nearest owned vertex: outside every owned
+	// k-ball, so despite the generation bump nothing may rebuild.
+	m.mu.Lock()
+	genBefore := m.storeGen
+	m.mu.Unlock()
+	m.handleLSAs(&LSABatch{From: PeerInfo{Index: 2}, LSAs: flapLSAs(t, m, 28, 29)})
+	m.mu.Lock()
+	if m.storeGen == genBefore {
+		t.Fatal("far flap did not advance the store generation")
+	}
+	m.mu.Unlock()
+	for v, bv := range warm() {
+		if bv != before[v] {
+			t.Fatalf("far flap rebuilt the view of %d (distance >> k)", v)
+		}
+	}
+
+	// A flap on {10, 11}, just across the shard boundary. Owned rows in
+	// B_k(10) ∪ B_k(11) rebuild against the new topology; the rest keep
+	// their exact pointers.
+	m.handleLSAs(&LSABatch{From: PeerInfo{Index: 1}, LSAs: flapLSAs(t, m, 10, 11)})
+	post := g.WithoutEdge(10, 11)
+	dirty := make(map[graph.Vertex]bool)
+	for w := range g.BFSBounded(10, k) {
+		dirty[w] = true
+	}
+	for w := range g.BFSBounded(11, k) {
+		dirty[w] = true
+	}
+	sawDirty, sawClean := false, false
+	for v, bv := range warm() {
+		if dirty[v] {
+			sawDirty = true
+			if bv == before[v] {
+				t.Fatalf("near flap kept the stale view of %d (inside the k-ball)", v)
+			}
+			want := nbhd.Extract(post, v, k).G
+			if !bv.view.Equal(want) {
+				t.Fatalf("rebuilt view of %d differs from G_%d(%d) on the post-flap graph", v, k, v)
+			}
+		} else {
+			sawClean = true
+			if bv != before[v] {
+				t.Fatalf("near flap rebuilt the view of %d outside the k-ball", v)
+			}
+		}
+	}
+	if !sawDirty || !sawClean {
+		t.Fatalf("test graph degenerate: dirty and clean owned rows must both exist (dirty=%v clean=%v)", sawDirty, sawClean)
+	}
+}

@@ -187,6 +187,7 @@ func (m *Member) handleLSAs(batch *LSABatch) *LSAAck {
 	from := batch.From
 	m.mergeDirectLocked(from, now)
 	ack := &LSAAck{From: m.selfInfoLocked(), Acked: make([]AckRef, 0, len(batch.LSAs))}
+	pre := m.captureStoreLocked()
 	changed := false
 	for _, l := range batch.LSAs {
 		ack.Acked = append(ack.Acked, AckRef{Origin: l.Origin, Seq: l.Seq, Tomb: l.Tomb})
@@ -214,6 +215,7 @@ func (m *Member) handleLSAs(batch *LSABatch) *LSAAck {
 	}
 	if changed {
 		m.storeGen++
+		m.invalidateViewsLocked(pre)
 		m.checkReadyLocked()
 	}
 	return ack

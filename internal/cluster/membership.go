@@ -95,9 +95,13 @@ func (m *Member) mergeGossipLocked(info PeerInfo, now time.Time) {
 		if info.Dead && info.Inc >= m.inc {
 			m.inc = info.Inc + 1
 			m.met.Count("tombstones_refuted", 1)
+			// Re-announcing identical adjacencies diffs to zero deltas:
+			// self-defense bumps sequence numbers without evicting views.
+			pre := m.captureStoreLocked()
 			for _, v := range m.asn.Owned(m.cfg.Index) {
 				m.reOriginateLocked(v)
 			}
+			m.invalidateViewsLocked(pre)
 		}
 		return
 	}
@@ -162,6 +166,7 @@ func (m *Member) markDeadLocked(p *peerState, declared bool) {
 // tombstonePeerLocked writes tombstones for every vertex the dead peer
 // owns and floods them, so views across the cluster withdraw the shard.
 func (m *Member) tombstonePeerLocked(p *peerState) {
+	pre := m.captureStoreLocked()
 	changed := false
 	for _, v := range m.asn.Owned(p.index) {
 		rec := m.store[v]
@@ -180,6 +185,7 @@ func (m *Member) tombstonePeerLocked(p *peerState) {
 	}
 	if changed {
 		m.storeGen++
+		m.invalidateViewsLocked(pre)
 	}
 	m.checkReadyLocked()
 }

@@ -3,13 +3,15 @@ package cluster
 import (
 	"fmt"
 
+	"klocal/internal/churn"
 	"klocal/internal/graph"
 	"klocal/internal/route"
 )
 
 // boundView is one owned vertex's discovered G_k(u) with the routing
 // algorithm bound to it. It is immutable once built; a store change
-// (higher generation) invalidates it and the next request rebuilds.
+// whose k-radius dirty set covers u (per-row generation in
+// Member.viewGen) invalidates it and the next request rebuilds.
 type boundView struct {
 	gen      int64
 	view     *graph.Graph
@@ -33,7 +35,10 @@ func (m *Member) viewFor(u graph.Vertex) (*boundView, error) {
 	}
 	m.mu.Lock()
 	gen := m.storeGen
-	if bv := m.views[u]; bv != nil && bv.gen == gen {
+	// Per-row validity: the locality theorem says G_k(u) only changes
+	// when the link-state delta touches B_k(u), so a view survives any
+	// number of store generations as long as none of them dirtied u.
+	if bv := m.views[u]; bv != nil && bv.gen >= m.viewGen[u] {
 		m.mu.Unlock()
 		return bv, nil
 	}
@@ -66,26 +71,7 @@ func (m *Member) viewFor(u graph.Vertex) (*boundView, error) {
 // distance-k horizon, so u's whole component is inside the view and
 // absence of a destination proves a partition.
 func assembleView(recs map[graph.Vertex]*record, u graph.Vertex, k int) (*graph.Graph, bool) {
-	dead := make(map[graph.Vertex]bool)
-	for origin, rec := range recs {
-		if rec.tomb {
-			dead[origin] = true
-		}
-	}
-	b := graph.NewBuilder()
-	b.AddVertex(u)
-	for origin, rec := range recs {
-		if rec.tomb {
-			continue
-		}
-		for _, w := range rec.adj {
-			if dead[w] {
-				continue
-			}
-			b.AddEdge(origin, w)
-		}
-	}
-	full := b.Build()
+	full := unionGraph(recs).WithVertex(u)
 	trimmed := graph.NewBuilder()
 	trimmed.AddVertex(u)
 	dist := full.BFSBounded(u, k)
@@ -103,6 +89,69 @@ func assembleView(recs map[graph.Vertex]*record, u graph.Vertex, k int) (*graph.
 		})
 	}
 	return trimmed.Build(), complete
+}
+
+// unionGraph materializes the tombstone-excluded union of all announced
+// adjacencies: the member's whole picture of the topology. Tombstoned
+// origins and edges into them are absent, so a peer withdrawal reads as
+// vertex removal when two snapshots are diffed.
+func unionGraph(recs map[graph.Vertex]*record) *graph.Graph {
+	dead := make(map[graph.Vertex]bool)
+	for origin, rec := range recs {
+		if rec.tomb {
+			dead[origin] = true
+		}
+	}
+	b := graph.NewBuilder()
+	for origin, rec := range recs {
+		if rec.tomb {
+			continue
+		}
+		b.AddVertex(origin)
+		for _, w := range rec.adj {
+			if dead[w] {
+				continue
+			}
+			b.AddEdge(origin, w)
+		}
+	}
+	return b.Build()
+}
+
+// captureStoreLocked snapshots the union graph before a batch of store
+// mutations, or nil when no views are cached — with nothing to
+// invalidate there is nothing to diff against, and views cached later
+// are built from post-mutation snapshots anyway (viewFor only caches a
+// build whose generation is still current).
+func (m *Member) captureStoreLocked() *graph.Graph {
+	if len(m.views) == 0 {
+		return nil
+	}
+	return unionGraph(m.store)
+}
+
+// invalidateViewsLocked maps the store mutations since pre onto churn
+// deltas and evicts exactly the owned rows inside the k-radius dirty
+// set — the cluster face of the locality theorem: a link flap at {x, y}
+// can only change G_k(u) for u within distance k of x or y, so every
+// other member view survives the generation bump untouched. Call after
+// m.storeGen has been advanced; pre == nil is a no-op.
+func (m *Member) invalidateViewsLocked(pre *graph.Graph) {
+	if pre == nil {
+		return
+	}
+	post := unionGraph(m.store)
+	deltas := churn.Diff(pre, post)
+	if len(deltas) == 0 {
+		return // e.g. a re-origination with identical adjacency
+	}
+	for _, v := range churn.DirtySet(pre, post, deltas, m.cfg.K) {
+		if _, owned := m.adj[v]; !owned {
+			continue
+		}
+		m.viewGen[v] = m.storeGen
+		delete(m.views, v)
+	}
 }
 
 // View exposes the discovered k-neighbourhood of an owned vertex for

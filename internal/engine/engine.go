@@ -97,7 +97,11 @@ type task struct {
 // hot path takes no shared locks beyond the snapshot's sharded view
 // cache. An Engine is a single session: use it, Close it, read Report.
 type Engine struct {
-	snap *Snapshot
+	// snap is the snapshot the workers route over, behind an atomic
+	// pointer so SwapSnapshot can hot-swap topology epochs mid-traffic:
+	// each task loads the pointer once and routes entirely on that
+	// epoch's consistent (graph, views) pair.
+	snap atomic.Pointer[Snapshot]
 	cfg  Config
 
 	tasks chan task
@@ -125,13 +129,13 @@ type Engine struct {
 func New(snap *Snapshot, cfg Config) *Engine {
 	cfg = cfg.withDefaults()
 	e := &Engine{
-		snap:    snap,
 		cfg:     cfg,
 		tasks:   make(chan task, cfg.QueueDepth),
 		out:     make(chan Response, cfg.QueueDepth),
 		shards:  make([]*metrics.Shard, cfg.Workers),
 		started: time.Now(),
 	}
+	e.snap.Store(snap)
 	for w := 0; w < cfg.Workers; w++ {
 		e.shards[w] = metrics.NewShard()
 		e.wg.Add(1)
@@ -143,8 +147,18 @@ func New(snap *Snapshot, cfg Config) *Engine {
 // Config returns the engine's effective (defaulted) configuration.
 func (e *Engine) Config() Config { return e.cfg }
 
-// Snapshot returns the snapshot the engine routes over.
-func (e *Engine) Snapshot() *Snapshot { return e.snap }
+// Snapshot returns the snapshot the engine currently routes over.
+func (e *Engine) Snapshot() *Snapshot { return e.snap.Load() }
+
+// SwapSnapshot atomically replaces the snapshot the workers route over
+// and returns the previous one. In-flight requests finish on the
+// snapshot they loaded; requests picked up after the swap route on
+// next. The caller is responsible for next being a binding of the same
+// algorithm family it wants reported (the report reads the current
+// snapshot's descriptor).
+func (e *Engine) SwapSnapshot(next *Snapshot) *Snapshot {
+	return e.snap.Swap(next)
+}
 
 // worker routes tasks until the queue closes, recording into its own
 // metric shard. Each worker owns one sim.Scratch for its whole lifetime,
@@ -156,7 +170,7 @@ func (e *Engine) worker(w int) {
 	sc := sim.NewScratch()
 	for tk := range e.tasks {
 		start := time.Now()
-		res := e.snap.RouteScratch(tk.req.S, tk.req.T, e.cfg.MaxSteps, sc)
+		res := e.snap.Load().RouteScratch(tk.req.S, tk.req.T, e.cfg.MaxSteps, sc)
 		lat := time.Since(start)
 
 		sh.Count("requests", 1)
@@ -532,8 +546,9 @@ func (e *Engine) LiveShard() *metrics.Shard {
 // report derives the gauge set over an already-merged shard.
 func (e *Engine) report(merged *metrics.Shard) *metrics.Report {
 	rep := merged.Snapshot()
+	snap := e.snap.Load()
 	rep.Name = fmt.Sprintf("%s k=%d n=%d workers=%d",
-		e.snap.alg.Name, e.snap.k, e.snap.st.N(), e.cfg.Workers)
+		snap.alg.Name, snap.k, snap.st.N(), e.cfg.Workers)
 
 	total, active := e.TotalElapsed(), e.ActiveElapsed()
 	rep.Put("elapsed_total_s", total.Seconds())
@@ -552,7 +567,7 @@ func (e *Engine) report(merged *metrics.Shard) *metrics.Report {
 		rep.Put("stretch_p99", h.P99/1000)
 		rep.Put("stretch_mean", h.Mean/1000)
 	}
-	if cs := e.snap.CacheStats(); cs.Hits+cs.Misses > 0 {
+	if cs := snap.CacheStats(); cs.Hits+cs.Misses > 0 {
 		rep.Put("cache_hit_rate", cs.HitRate())
 		rep.Put("cache_size", float64(cs.Size))
 		rep.Put("cache_evictions", float64(cs.Evictions))

@@ -130,6 +130,31 @@ func (s *Snapshot) prewarm(opts SnapshotOptions) {
 	}
 }
 
+// Incremental returns a snapshot over the post-delta graph next that
+// adopts every cached view of s except those of the dirty vertices
+// (churn.Apply's output) — the churn fast path: instead of re-running
+// preprocessing for all n vertices, only the |dirty| views inside the
+// k-ball of the delta are recomputed, lazily on first use. s itself is
+// untouched and remains fully consistent, so in-flight routes on the
+// old epoch never observe the new topology.
+//
+// Algorithms without a cached-preprocessing binding (alg.BindCached ==
+// nil) have no views to carry over; they rebind against next directly,
+// which is still build-cost-free for stateless algorithms.
+func (s *Snapshot) Incremental(next *graph.Graph, dirty []graph.Vertex) (*Snapshot, error) {
+	if next == nil || next.N() == 0 {
+		return nil, fmt.Errorf("engine: incremental swap to empty network")
+	}
+	ns := &Snapshot{st: next, g: next, k: s.k, alg: s.alg}
+	if s.pre != nil {
+		ns.pre = s.pre.Derive(next, dirty)
+		ns.f = s.alg.BindCached(ns.pre)
+	} else {
+		ns.f = s.alg.Bind(next, s.k)
+	}
+	return ns, nil
+}
+
 // Graph returns the underlying network as a *graph.Graph, or nil for
 // store-backed snapshots (use Store for the universal handle).
 func (s *Snapshot) Graph() *graph.Graph { return s.g }

@@ -159,8 +159,9 @@ func adversarialPairs(inst gen.Instance) Workload {
 	}
 }
 
-// NewWorkload builds a named workload over g: "uniform", "zipf" or
-// "allpairs". ("adversarial" carries its own graph; use Adversarial.)
+// NewWorkload builds a named workload over g: "uniform", "zipf",
+// "allpairs" or "hotspot". ("adversarial" carries its own graph; use
+// Adversarial.)
 func NewWorkload(kind string, rng *rand.Rand, g *graph.Graph) (Workload, error) {
 	return NewWorkloadStore(kind, rng, g)
 }
@@ -174,8 +175,10 @@ func NewWorkloadStore(kind string, rng *rand.Rand, st bigraph.Store) (Workload, 
 		return ZipfStore(rng, st, 0), nil
 	case "allpairs":
 		return AllPairsStore(st), nil
+	case "hotspot":
+		return HotspotStore(rng, st, 0), nil
 	default:
-		return Workload{}, fmt.Errorf("engine: unknown workload %q (uniform|zipf|allpairs|adversarial)", kind)
+		return Workload{}, fmt.Errorf("engine: unknown workload %q (uniform|zipf|allpairs|hotspot|adversarial)", kind)
 	}
 }
 

@@ -159,5 +159,23 @@ func seedCorpus(t *testing.T) []Case {
 		"Algorithm 3 is exactly shortest-path; dilation pinned at 1")
 	cases = append(cases, witnessDilation(t, path))
 
+	// Extremal churn schedules for the delta property (the schedule is
+	// derived from the case seed via churn.ScheduleDeltas). The path
+	// seed drives repeated cut-edge splits on a tree — every removal
+	// disconnects — plus a vertex departure; the cycle seed flaps edges
+	// whose k-radius dirty balls end exactly at distance k from the
+	// far arc, pinning boundary-precise view survival.
+	churnSplit := named("churn-cut-split", "path", 10, "alg2", 0, 9,
+		"tree under churn: schedule (seed 8) splits components four times and removes a vertex; incremental views must track every prefix")
+	churnSplit.K = 2
+	churnSplit.Seed = 8
+	churnSplit.Property = "delta"
+	churnBoundary := named("churn-boundary-k", "cycle", 14, "alg2", 6, 7,
+		"cycle under churn: schedule (seed 17) unravels arcs and re-adds an edge; views exactly k away from every flap must survive by pointer")
+	churnBoundary.K = 3
+	churnBoundary.Seed = 17
+	churnBoundary.Property = "delta"
+	cases = append(cases, churnSplit, churnBoundary)
+
 	return cases
 }

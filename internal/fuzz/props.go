@@ -9,11 +9,14 @@ import (
 	"strings"
 
 	"klocal/internal/bigraph"
+	"klocal/internal/churn"
 	"klocal/internal/cluster"
 	"klocal/internal/engine"
 	"klocal/internal/gen"
+	"klocal/internal/graph"
 	"klocal/internal/nbhd"
 	"klocal/internal/netsim"
+	"klocal/internal/prep"
 	"klocal/internal/route"
 	"klocal/internal/sim"
 	"klocal/internal/verify"
@@ -85,6 +88,11 @@ func AllProperties() []Property {
 			Name:  "compact",
 			Doc:   "the compact int-indexed decision paths route walk-identically to the retained map-based reference step",
 			Check: checkCompact,
+		},
+		{
+			Name:  "delta",
+			Doc:   "after every prefix of a churn schedule, incrementally derived views equal from-scratch views, clean views survive by pointer, and delivery holds on connected snapshots",
+			Check: checkDelta,
 		},
 	}
 }
@@ -387,6 +395,105 @@ func checkCompact(sc *Scenario) error {
 		if prod.Route[i] != refRes.Route[i] {
 			return fmt.Errorf("walks diverge at hop %d: compact %d, reference %d",
 				i, prod.Route[i], refRes.Route[i])
+		}
+	}
+	return nil
+}
+
+// DeltaSteps is the churn-schedule length the delta property replays.
+// Each prefix is checked against a from-scratch rebuild, so the cost is
+// DeltaSteps full preprocessing passes plus the incremental chain.
+const DeltaSteps = 6
+
+// checkDelta is the incremental-churn differential: replay a
+// deterministic (seed-derived) schedule of topology deltas and, after
+// every prefix, require the Derive-maintained preprocessor to hold
+// views identical to a from-scratch preprocessor on the same snapshot.
+// Views outside the k-radius dirty set must survive by pointer (the
+// locality theorem as a caching contract: a flap at {x, y} can only
+// change G_k(u) within distance k of x or y), and on snapshots where
+// the endpoints stay connected at threshold locality the incrementally
+// maintained views must still deliver.
+func checkDelta(sc *Scenario) error {
+	k := sc.K
+	sched := churn.ScheduleDeltas(sc.G, sc.Seed, DeltaSteps)
+	cur := sc.G
+	p := prep.NewPreprocessorPolicy(sc.G, k, sc.Alg.Policy)
+	for i, d := range sched {
+		old := make(map[graph.Vertex]*prep.View, cur.N())
+		for _, v := range cur.Vertices() {
+			old[v] = p.At(v)
+		}
+		post, dirty, err := churn.Apply(cur, d, k)
+		if err != nil {
+			return fmt.Errorf("delta %d (%s): %v", i, d, err)
+		}
+		p = p.Derive(post, dirty)
+		isDirty := make(map[graph.Vertex]bool, len(dirty))
+		for _, v := range dirty {
+			isDirty[v] = true
+		}
+		for _, v := range post.Vertices() {
+			got := p.At(v)
+			if !isDirty[v] {
+				if ov, ok := old[v]; ok && got != ov {
+					return fmt.Errorf("delta %d (%s): view of clean vertex %d was rebuilt (outside the dirty set)", i, d, v)
+				}
+			}
+			want := prep.PreprocessPolicy(post, v, k, sc.Alg.Policy)
+			if err := samePrepView(got, want); err != nil {
+				return fmt.Errorf("delta %d (%s): derived view of %d differs from scratch: %w", i, d, v, err)
+			}
+		}
+		if sc.Alg.BindCached != nil && post.HasVertex(sc.S) && post.HasVertex(sc.T) &&
+			k >= sc.Alg.MinK(post.N()) && post.Connected() {
+			res := sim.Run(post, sim.Func(sc.Alg.BindCached(p)), sc.S, sc.T, sim.Options{
+				DetectLoops:      !sc.Alg.Randomized,
+				PredecessorAware: sc.Alg.PredecessorAware,
+			})
+			if res.Outcome != sim.Delivered {
+				return fmt.Errorf("delta %d (%s): connected snapshot at k=%d ≥ T(%d) but incremental views failed to deliver: %v (%v)",
+					i, d, k, post.N(), res.Outcome, res.Err)
+			}
+		}
+		cur = post
+	}
+	return nil
+}
+
+// samePrepView compares two preprocessed views field by field: same raw
+// neighbourhood, dormant classification, routing subgraph, routing
+// distances and active roots. The compact encodings are deterministic
+// functions of these, so equality here is full view equality.
+func samePrepView(got, want *prep.View) error {
+	if err := sameView(got.Raw, want.Raw); err != nil {
+		return fmt.Errorf("raw neighbourhood: %w", err)
+	}
+	if len(got.Dormant) != len(want.Dormant) {
+		return fmt.Errorf("%d dormant edges, want %d", len(got.Dormant), len(want.Dormant))
+	}
+	for i := range got.Dormant {
+		if got.Dormant[i] != want.Dormant[i] {
+			return fmt.Errorf("dormant[%d] = %v, want %v", i, got.Dormant[i], want.Dormant[i])
+		}
+	}
+	if !got.Routing.Equal(want.Routing) {
+		return fmt.Errorf("routing subgraphs differ")
+	}
+	if len(got.RoutingDist) != len(want.RoutingDist) {
+		return fmt.Errorf("routing dist over %d vertices, want %d", len(got.RoutingDist), len(want.RoutingDist))
+	}
+	for v, d := range want.RoutingDist {
+		if gd, ok := got.RoutingDist[v]; !ok || gd != d {
+			return fmt.Errorf("routing dist(%d) = %d, want %d", v, gd, d)
+		}
+	}
+	if len(got.ActiveRoots) != len(want.ActiveRoots) {
+		return fmt.Errorf("%d active roots, want %d", len(got.ActiveRoots), len(want.ActiveRoots))
+	}
+	for i := range got.ActiveRoots {
+		if got.ActiveRoots[i] != want.ActiveRoots[i] {
+			return fmt.Errorf("active root %d = %d, want %d", i, got.ActiveRoots[i], want.ActiveRoots[i])
 		}
 	}
 	return nil

@@ -203,3 +203,35 @@ func TestCSRPropertyAcrossFamiliesAndK(t *testing.T) {
 		}
 	}
 }
+
+// TestDeltaPropertyAcrossFamilies replays the churn differential on
+// every generator family at threshold locality and at k=1: derived
+// views must equal from-scratch views after every schedule prefix
+// regardless of the topology's shape.
+func TestDeltaPropertyAcrossFamilies(t *testing.T) {
+	fams := families()
+	if len(fams) < 15 {
+		t.Fatalf("generator pool shrank to %d families, want >= 15", len(fams))
+	}
+	for _, fam := range fams {
+		fam := fam
+		t.Run(fam.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			g := fam.build(rng, (fam.minN+fam.maxN)/2)
+			vs := g.Vertices()
+			for _, algo := range []string{"alg2", "alg3"} {
+				sc := scenarioOn(t, algo, g, 0, vs[0], vs[len(vs)-1])
+				for _, k := range []int{sc.Alg.MinK(g.N()), 1} {
+					if k < 1 {
+						k = 1
+					}
+					sc.K = k
+					sc.Seed = 11
+					if err := checkDelta(sc); err != nil {
+						t.Errorf("%s k=%d: %v", algo, k, err)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,136 @@
+package graph
+
+import "sort"
+
+// This file is the copy-on-write face of the immutable Graph: derive a
+// one-delta neighbour of g without rebuilding it. The derived graph
+// shares every untouched adjacency row with its parent (rows are
+// immutable, so aliasing is safe); only the vertex list, the edge rank
+// list, and the rows of the touched endpoints are fresh. That makes a
+// single-edge derivation O(n + m) in copied pointers — no hashing, no
+// re-sorting — which is what internal/churn's incremental topology
+// updates lean on.
+
+// cowAdj returns a fresh adjacency map sharing every row of g.
+func (g *Graph) cowAdj(extra int) map[Vertex][]Vertex {
+	adj := make(map[Vertex][]Vertex, len(g.adj)+extra)
+	for v, row := range g.adj {
+		adj[v] = row
+	}
+	return adj
+}
+
+// insertSorted returns a fresh copy of row with v inserted in label
+// order (row must not already contain v).
+func insertSorted(row []Vertex, v Vertex) []Vertex {
+	i := sort.Search(len(row), func(i int) bool { return row[i] >= v })
+	out := make([]Vertex, 0, len(row)+1)
+	out = append(out, row[:i]...)
+	out = append(out, v)
+	return append(out, row[i:]...)
+}
+
+// removeSorted returns a fresh copy of row with v removed (no-op copy
+// semantics are the caller's concern: v must be present).
+func removeSorted(row []Vertex, v Vertex) []Vertex {
+	i := sort.Search(len(row), func(i int) bool { return row[i] >= v })
+	out := make([]Vertex, 0, len(row)-1)
+	out = append(out, row[:i]...)
+	return append(out, row[i+1:]...)
+}
+
+// insertEdgeRank returns a fresh copy of edges with e inserted at its
+// rank position (e must not be present).
+func insertEdgeRank(edges []Edge, e Edge) []Edge {
+	i := sort.Search(len(edges), func(i int) bool { return !edges[i].Less(e) })
+	out := make([]Edge, 0, len(edges)+1)
+	out = append(out, edges[:i]...)
+	out = append(out, e)
+	return append(out, edges[i:]...)
+}
+
+// removeEdgeRank returns a fresh copy of edges with e removed (e must be
+// present).
+func removeEdgeRank(edges []Edge, e Edge) []Edge {
+	i := sort.Search(len(edges), func(i int) bool { return !edges[i].Less(e) })
+	out := make([]Edge, 0, len(edges)-1)
+	out = append(out, edges[:i]...)
+	return append(out, edges[i+1:]...)
+}
+
+// WithEdge returns g with the undirected edge {u, v} added, creating
+// absent endpoints. Self-loops and already-present edges return g
+// itself (the model is simple graphs; the derivation is a no-op).
+func (g *Graph) WithEdge(u, v Vertex) *Graph {
+	if u == v || g.HasEdge(u, v) {
+		return g
+	}
+	ng := &Graph{adj: g.cowAdj(2)}
+	ng.vertices = g.vertices
+	for _, w := range []Vertex{u, v} {
+		if _, ok := ng.adj[w]; !ok {
+			ng.adj[w] = nil
+			ng.vertices = insertSorted(ng.vertices, w)
+		}
+	}
+	if len(ng.vertices) == len(g.vertices) {
+		// No new endpoints: the parent's vertex list is shared as-is.
+		ng.vertices = g.vertices
+	}
+	ng.adj[u] = insertSorted(ng.adj[u], v)
+	ng.adj[v] = insertSorted(ng.adj[v], u)
+	ng.edges = insertEdgeRank(g.edges, NewEdge(u, v))
+	return ng
+}
+
+// WithoutEdge returns g with the undirected edge {u, v} removed (both
+// endpoints kept). An absent edge returns g itself.
+func (g *Graph) WithoutEdge(u, v Vertex) *Graph {
+	if !g.HasEdge(u, v) {
+		return g
+	}
+	ng := &Graph{adj: g.cowAdj(0), vertices: g.vertices}
+	ng.adj[u] = removeSorted(ng.adj[u], v)
+	ng.adj[v] = removeSorted(ng.adj[v], u)
+	ng.edges = removeEdgeRank(g.edges, NewEdge(u, v))
+	return ng
+}
+
+// DropVertex returns g with v and every incident edge removed, sharing
+// the adjacency rows of non-neighbours; if v is absent, g itself.
+func (g *Graph) DropVertex(v Vertex) *Graph {
+	if !g.HasVertex(v) {
+		return g
+	}
+	row := g.adj[v]
+	ng := &Graph{adj: g.cowAdj(0)}
+	delete(ng.adj, v)
+	for _, w := range row {
+		ng.adj[w] = removeSorted(ng.adj[w], v)
+	}
+	ng.vertices = removeSorted(g.vertices, v)
+	if len(row) == 0 {
+		ng.edges = g.edges
+	} else {
+		out := make([]Edge, 0, len(g.edges)-len(row))
+		for _, e := range g.edges {
+			if e.U != v && e.V != v {
+				out = append(out, e)
+			}
+		}
+		ng.edges = out
+	}
+	return ng
+}
+
+// WithVertex returns g with the isolated vertex v added; if v is
+// already present, g itself.
+func (g *Graph) WithVertex(v Vertex) *Graph {
+	if g.HasVertex(v) {
+		return g
+	}
+	ng := &Graph{adj: g.cowAdj(1), edges: g.edges}
+	ng.adj[v] = nil
+	ng.vertices = insertSorted(g.vertices, v)
+	return ng
+}

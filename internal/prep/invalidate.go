@@ -1,0 +1,128 @@
+package prep
+
+import (
+	"klocal/internal/bigraph"
+	"klocal/internal/graph"
+)
+
+// This file is the churn-facing side of the view cache. A topology
+// delta on edge {x, y} can change G_k(u) only for u within distance k
+// of x or y (the locality theorem read as an invalidation bound —
+// internal/churn computes that dirty set); every other cached view is
+// still byte-identical on the new topology and must survive. Two
+// entry points cover the two mutation disciplines:
+//
+//   - Invalidate evicts the dirty rows in place. Correct when the
+//     preprocessor's own store reflects the new topology (a mutable
+//     store, or no topology change at all — e.g. cache pressure).
+//
+//   - Derive builds a NEW preprocessor over the post-delta store that
+//     adopts every surviving view and recomputes only the dirty ones
+//     lazily. The receiver is left untouched, so in-flight routes keep
+//     reading a consistent (old graph, old views) pair — the epoch
+//     isolation klocald's PATCH /graph path relies on.
+
+// Invalidate evicts exactly the cached views of the dirty vertices,
+// from both cache levels, and returns how many resident views were
+// actually dropped. Untouched views survive, including their Compact
+// encodings. It is safe under concurrent At: routing that holds an
+// evicted *View keeps a consistent immutable value, and the next At on
+// a dirty vertex recomputes through the store.
+func (p *Preprocessor) Invalidate(dirty []graph.Vertex) int {
+	if len(dirty) == 0 {
+		return 0
+	}
+	// Group per shard so each shard locks once per call, not per vertex.
+	byShard := make(map[*prepShard][]graph.Vertex)
+	for _, u := range dirty {
+		sh := p.shardOf(u)
+		byShard[sh] = append(byShard[sh], u)
+	}
+	dropped := 0
+	for sh, us := range byShard {
+		sh.mu.Lock()
+		for _, u := range us {
+			if _, ok := sh.live[u]; ok {
+				delete(sh.live, u)
+				sh.size.Add(-1)
+				dropped++
+			}
+		}
+		if m := sh.frozen.Load(); m != nil {
+			hit := 0
+			for _, u := range us {
+				if _, ok := (*m)[u]; ok {
+					hit++
+				}
+			}
+			if hit > 0 {
+				// The frozen map is immutable; publish a copy without
+				// the dirty rows.
+				next := make(map[graph.Vertex]*View, len(*m)-hit)
+				for w, v := range *m {
+					next[w] = v
+				}
+				for _, u := range us {
+					if _, ok := next[u]; ok {
+						delete(next, u)
+						sh.size.Add(-1)
+						dropped++
+					}
+				}
+				sh.frozen.Store(&next)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return dropped
+}
+
+// Derive returns a preprocessor bound to st — the post-delta topology —
+// that adopts every cached view of p except those of dirty vertices.
+// Cache tuning (shards, capacity, policy, locality) carries over; p is
+// not modified and stays fully usable over its own store, so old-epoch
+// readers and the derived new epoch never observe a torn
+// (graph, views) pair. The adopted views are frozen, so warm hits on
+// the new epoch are lock-free immediately.
+func (p *Preprocessor) Derive(st bigraph.Store, dirty []graph.Vertex) *Preprocessor {
+	np := NewPreprocessorStoreOpts(st, p.k, p.pol, CacheOptions{
+		Shards:   len(p.shards),
+		Capacity: p.capacity,
+	})
+	skip := make(map[graph.Vertex]struct{}, len(dirty))
+	for _, u := range dirty {
+		skip[u] = struct{}{}
+	}
+	for i := range p.shards {
+		sh := &p.shards[i]
+		nsh := &np.shards[i] // same shard count ⇒ same vertex→shard map
+		adopted := make(map[graph.Vertex]*View)
+		sh.mu.Lock()
+		if m := sh.frozen.Load(); m != nil {
+			for w, v := range *m {
+				if _, bad := skip[w]; !bad {
+					adopted[w] = v
+				}
+			}
+		}
+		for w, v := range sh.live {
+			if _, bad := skip[w]; !bad {
+				adopted[w] = v
+			}
+		}
+		sh.mu.Unlock()
+		if len(adopted) == 0 {
+			continue
+		}
+		if np.capacity > 0 {
+			// Bounded caches keep everything in live to preserve the
+			// eviction semantics; adoption can never exceed the old
+			// residency, which respected the same capacity.
+			nsh.live = adopted
+		} else {
+			nsh.frozen.Store(&adopted)
+		}
+		nsh.size.Store(int64(len(adopted)))
+	}
+	return np
+}

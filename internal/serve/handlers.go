@@ -33,8 +33,10 @@ type RouteRequest struct {
 type RouteReply struct {
 	// Rev identifies the graph generation that routed the request, so
 	// clients (and the hot-swap test) can validate the walk against the
-	// right topology.
+	// right topology. Epoch is the topology version (bumped by PUT and
+	// PATCH /graph alike), the counter to correlate with GraphReply.Epoch.
 	Rev       int64        `json:"rev"`
+	Epoch     int64        `json:"epoch"`
 	Algo      string       `json:"algo"`
 	K         int          `json:"k"`
 	S         graph.Vertex `json:"s"`
@@ -62,13 +64,18 @@ type BatchRequest struct {
 // BatchReply is the JSON body of a POST /batch response.
 type BatchReply struct {
 	Rev     int64        `json:"rev"`
+	Epoch   int64        `json:"epoch"`
 	Algo    string       `json:"algo"`
 	Results []RouteReply `json:"results"`
 }
 
-// GraphReply is the JSON body of PUT /graph and GET /graph responses.
+// GraphReply is the JSON body of PUT, PATCH and GET /graph responses.
 type GraphReply struct {
-	Rev   int64     `json:"rev"`
+	Rev int64 `json:"rev"`
+	// Epoch is the topology version counter: clients that PUT or PATCH
+	// the graph read it back here and match it against the epoch echoed
+	// in route replies to know which routes saw the new topology.
+	Epoch int64     `json:"epoch"`
 	Spec  GraphSpec `json:"spec"`
 	N     int       `json:"n"`
 	M     int       `json:"m"`
@@ -81,6 +88,7 @@ type GraphReply struct {
 //	POST /route          route one (s, t) pair, optional hop trace
 //	POST /batch          route a batch of pairs in order
 //	PUT  /graph          hot-swap the topology (GraphSpec body)
+//	PATCH /graph         apply incremental deltas (DeltaRequest body)
 //	GET  /graph          describe the current generation
 //	GET  /metrics        live merged metrics (text; ?format=json)
 //	GET  /healthz        process liveness
@@ -91,6 +99,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /route", s.handleRoute)
 	mux.HandleFunc("POST /batch", s.handleBatch)
 	mux.HandleFunc("PUT /graph", s.handleSwap)
+	mux.HandleFunc("PATCH /graph", s.handleDelta)
 	mux.HandleFunc("GET /graph", s.handleGraph)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -136,6 +145,7 @@ func (d *deployment) reply(ae *algEngine, resp engine.Response, withTrace bool) 
 	res := resp.Result
 	rr := RouteReply{
 		Rev:       d.rev,
+		Epoch:     d.epoch,
 		Algo:      ae.name,
 		K:         ae.snap.K(),
 		S:         resp.S,
@@ -235,7 +245,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusServiceUnavailable, err)
 		return
 	}
-	br := BatchReply{Rev: d.rev, Algo: ae.name, Results: make([]RouteReply, len(resps))}
+	br := BatchReply{Rev: d.rev, Epoch: d.epoch, Algo: ae.name, Results: make([]RouteReply, len(resps))}
 	for i, resp := range resps {
 		br.Results[i] = d.reply(ae, resp, false)
 	}
@@ -269,6 +279,7 @@ func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
 func (s *Server) describe(d *deployment) GraphReply {
 	return GraphReply{
 		Rev:   d.rev,
+		Epoch: d.epoch,
 		Spec:  d.spec,
 		N:     d.st.N(),
 		M:     d.st.M(),

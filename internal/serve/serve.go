@@ -88,8 +88,15 @@ type algEngine struct {
 // engines, so no request ever observes a half-built or half-torn-down
 // generation.
 type deployment struct {
-	rev  int64
-	spec GraphSpec
+	rev int64
+	// epoch is the topology version this generation serves: bumped by
+	// every PUT /graph rebuild and every PATCH /graph delta batch, and
+	// echoed in route replies so clients can correlate a walk with the
+	// exact topology that produced it. rev counts deployment objects;
+	// epoch counts topology versions (today they advance together, but
+	// the contract is per-topology, not per-build).
+	epoch int64
+	spec  GraphSpec
 	// st is the topology every engine routes over; g is the same value
 	// when the spec built a materialized *graph.Graph, and nil for
 	// store-backed (kind "file") generations, where hop traces and exact
@@ -183,6 +190,9 @@ func (d *deployment) engineFor(name string) (*algEngine, error) {
 type Server struct {
 	cfg     Config
 	nextRev atomic.Int64
+	// epoch is the monotonically increasing topology version; see
+	// deployment.epoch.
+	epoch   atomic.Int64
 	cur     atomic.Pointer[deployment]
 	stopped atomic.Bool
 
@@ -251,6 +261,7 @@ func (s *Server) buildDeployment(spec GraphSpec) (*deployment, error) {
 	}()
 	d := &deployment{
 		rev:     s.nextRev.Add(1),
+		epoch:   s.epoch.Add(1),
 		spec:    spec.withDefaults(),
 		st:      st,
 		g:       g,

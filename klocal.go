@@ -32,6 +32,7 @@ import (
 
 	"klocal/internal/adversary"
 	"klocal/internal/bigraph"
+	"klocal/internal/churn"
 	"klocal/internal/digraph"
 	"klocal/internal/diroute"
 	"klocal/internal/engine"
@@ -538,3 +539,52 @@ var (
 	AllPairsStoreWorkload   = engine.AllPairsStore
 	NewTrafficWorkloadStore = engine.NewWorkloadStore
 )
+
+// Incremental topology churn (internal/churn, DESIGN.md §15): deltas
+// applied copy-on-write with k-radius dirty sets, so live engines swap
+// snapshots that re-derive only the views within distance k of the
+// touched endpoints.
+type (
+	// TopologyDelta is one topology mutation (edge flap, vertex
+	// arrival or departure).
+	TopologyDelta = churn.Delta
+	// ChurnOp enumerates the delta operations.
+	ChurnOp = churn.Op
+	// ChurnScheduler emits an endless, deterministic stream of valid
+	// deltas against an evolving graph.
+	ChurnScheduler = churn.Scheduler
+)
+
+// The delta operations.
+const (
+	AddEdge      = churn.AddEdge
+	RemoveEdge   = churn.RemoveEdge
+	AddVertex    = churn.AddVertex
+	RemoveVertex = churn.RemoveVertex
+)
+
+var (
+	// ApplyDelta applies one delta copy-on-write, returning the derived
+	// graph and the k-radius dirty set; ApplyDeltas applies a batch.
+	ApplyDelta  = churn.Apply
+	ApplyDeltas = churn.ApplyAll
+	// DiffGraphs expresses one graph as a delta batch over another;
+	// ChurnDirtySet is the k-radius dirty set of an arbitrary batch.
+	DiffGraphs    = churn.Diff
+	ChurnDirtySet = churn.DirtySet
+	// NewChurnScheduler streams deterministic valid deltas;
+	// ScheduleDeltas materializes a fixed-length schedule.
+	NewChurnScheduler = churn.NewScheduler
+	ScheduleDeltas    = churn.ScheduleDeltas
+	// HotspotWorkload routes to destinations skewed by approximate
+	// betweenness centrality (the "core router" traffic shape).
+	HotspotWorkload      = engine.Hotspot
+	HotspotStoreWorkload = engine.HotspotStore
+	// NewMetricsShard allocates a metrics shard for caller-side
+	// instrumentation (e.g. loadgen's churn loop).
+	NewMetricsShard = metrics.NewShard
+)
+
+// MetricsShard is one writer's metric namespace (counters +
+// histograms); Snapshot renders it as a MetricsReport.
+type MetricsShard = metrics.Shard
